@@ -1,0 +1,292 @@
+// Benchmarks regenerating every table and figure of the paper at reduced
+// scale. Each benchmark runs the corresponding experiment driver and logs
+// the same rows the paper reports (-v to see them); cmd/experiments runs
+// the full-scale versions. Ablation benchmarks isolate the design choices
+// called out in DESIGN.md.
+package s3crm
+
+import (
+	"testing"
+
+	"s3crm/internal/core"
+	"s3crm/internal/costmodel"
+	"s3crm/internal/diffusion"
+	"s3crm/internal/eval"
+	"s3crm/internal/gen"
+	"s3crm/internal/rng"
+)
+
+// benchSetup is a Facebook-like instance small enough for -bench runs.
+func benchSetup() eval.Setup {
+	return eval.Setup{Preset: gen.Facebook, Scale: 20, Seed: 77} // 200 users
+}
+
+func benchParams() eval.RunParams {
+	return eval.RunParams{Samples: 100, Seed: 77, CandidateCap: 30}
+}
+
+func benchBudgets() []float64 {
+	b := gen.Facebook.Scaled(20).Binv
+	return []float64{0.6 * b, b, 1.4 * b}
+}
+
+func BenchmarkTable2PresetStatistics(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = eval.PresetStatistics()
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkFig6InvestmentEfficiency(b *testing.B) {
+	var pts []eval.Point
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = eval.BudgetSweep(benchSetup(), benchBudgets(), eval.Algorithms, benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := pts[len(pts)-1]
+	b.ReportMetric(last.Measures[len(last.Measures)-1].Redemption, "s3ca-redemption")
+	b.Log("\n" + eval.RenderSweep("Fig 6(a) — redemption vs Binv", "Binv", pts, eval.Redemption))
+	b.Log("\n" + eval.RenderSweep("Fig 6(b) — benefit vs Binv", "Binv", pts, eval.Benefit))
+}
+
+func BenchmarkFig6LambdaSweep(b *testing.B) {
+	var pts []eval.Point
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = eval.LambdaSweep(benchSetup(), []float64{0.5, 1, 2, 4}, eval.Algorithms, benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + eval.RenderSweep("Fig 6(c,d) — redemption vs λ", "lambda", pts, eval.Redemption))
+}
+
+func BenchmarkFig6RunningTime(b *testing.B) {
+	var pts []eval.Point
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = eval.BudgetSweep(benchSetup(), benchBudgets(), eval.Algorithms, benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + eval.RenderSweep("Fig 6(e,f) — running time vs Binv (seconds)", "Binv", pts, eval.Runtime))
+}
+
+func BenchmarkFig7SeedSCRate(b *testing.B) {
+	var budgetPts, kappaPts []eval.Point
+	var err error
+	for i := 0; i < b.N; i++ {
+		budgetPts, err = eval.BudgetSweep(benchSetup(), benchBudgets(), eval.Algorithms, benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		kappaPts, err = eval.KappaSweep(benchSetup(), []float64{5, 10, 20}, eval.Algorithms, benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + eval.RenderSweep("Fig 7(a,b) — seed–SC rate vs Binv", "Binv", budgetPts, eval.SeedSCRate))
+	b.Log("\n" + eval.RenderSweep("Fig 7(e,f) — seed–SC rate vs κ", "kappa", kappaPts, eval.SeedSCRate))
+}
+
+func BenchmarkFig7LambdaSeedSCRate(b *testing.B) {
+	var pts []eval.Point
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = eval.LambdaSweep(benchSetup(), []float64{0.5, 1, 2, 4}, eval.Algorithms, benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + eval.RenderSweep("Fig 7(c,d) — seed–SC rate vs λ", "lambda", pts, eval.SeedSCRate))
+}
+
+func BenchmarkFig8CaseStudy(b *testing.B) {
+	algos := []string{"S3CA", "PM-L", "IM-L"}
+	var airbnb, booking []eval.Point
+	var err error
+	for i := 0; i < b.N; i++ {
+		airbnb, err = eval.CaseStudy(benchSetup(), costmodel.Airbnb, []float64{20, 50, 80}, algos, benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		booking, err = eval.CaseStudy(benchSetup(), costmodel.Booking, []float64{20, 50, 80}, algos, benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + eval.RenderSweep("Fig 8(a) — redemption vs margin (Airbnb)", "margin%", airbnb, eval.Redemption))
+	b.Log("\n" + eval.RenderSweep("Fig 8(b) — seed–SC rate vs margin (Airbnb)", "margin%", airbnb, eval.SeedSCRate))
+	b.Log("\n" + eval.RenderSweep("Fig 8(c) — redemption vs margin (Booking)", "margin%", booking, eval.Redemption))
+	b.Log("\n" + eval.RenderSweep("Fig 8(d) — seed–SC rate vs margin (Booking)", "margin%", booking, eval.SeedSCRate))
+}
+
+func BenchmarkFig9Scalability(b *testing.B) {
+	cfg := eval.ScalabilityConfig{Seed: 77}
+	var bySize, byBudget []eval.ScaleRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		bySize, err = eval.ScalabilityBySize(cfg, []int{100, 200, 400}, 50, benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		byBudget, err = eval.ScalabilityByBudget(cfg, 200, []float64{25, 50, 100}, benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + eval.RenderScale("Fig 9(a,b) — vs network size", bySize))
+	b.Log("\n" + eval.RenderScale("Fig 9(c,d) — vs budget", byBudget))
+}
+
+func BenchmarkFig10Approximation(b *testing.B) {
+	var rows []eval.ApproxRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = eval.Approximation(eval.ScalabilityConfig{Seed: 77}, 10,
+			[]float64{20, 50, 80}, eval.RunParams{Samples: 500, Seed: 77})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.S3CA < r.WorstCase {
+			b.Fatalf("S3CA %v fell below the worst-case bound %v", r.S3CA, r.WorstCase)
+		}
+	}
+	b.Log("\n" + eval.RenderApprox("Fig 10 — S3CA vs OPT vs worst-case", rows))
+}
+
+func BenchmarkTable3FarthestHops(b *testing.B) {
+	setups := []eval.Setup{
+		{Preset: gen.Facebook, Scale: 20, Seed: 77},
+		{Preset: gen.Epinions, Scale: 400, Seed: 77},
+	}
+	var out string
+	var err error
+	for i := 0; i < b.N; i++ {
+		out, err = eval.FarthestHops(setups, []string{"IM-U", "IM-L", "PM-U", "PM-L", "S3CA"}, benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkTable4RunningTime(b *testing.B) {
+	var out string
+	var err error
+	for i := 0; i < b.N; i++ {
+		out, err = eval.RunningTime(benchSetup(), benchBudgets(), benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + out)
+}
+
+// --- Ablations (DESIGN.md) ---
+
+func ablationInstance(b *testing.B) *diffusion.Instance {
+	b.Helper()
+	inst, err := eval.BuildInstance(benchSetup())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst
+}
+
+func runAblation(b *testing.B, opts core.Options) float64 {
+	inst := ablationInstance(b)
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		sol, err := core.Solve(inst, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = sol.RedemptionRate
+	}
+	b.ReportMetric(rate, "redemption")
+	return rate
+}
+
+func BenchmarkAblationFullS3CA(b *testing.B) {
+	runAblation(b, core.Options{Samples: 100, Seed: 77})
+}
+
+func BenchmarkAblationIDOnly(b *testing.B) {
+	// No GPI/SCM: how much do the maneuver phases contribute?
+	runAblation(b, core.Options{Samples: 100, Seed: 77, DisableGPI: true})
+}
+
+func BenchmarkAblationNoSCM(b *testing.B) {
+	// GPI runs but coupons are never maneuvered.
+	runAblation(b, core.Options{Samples: 100, Seed: 77, DisableSCM: true})
+}
+
+func BenchmarkAblationNoPivot(b *testing.B) {
+	// The investment trade-off machinery off: SCs always win over seeds.
+	runAblation(b, core.Options{Samples: 100, Seed: 77, DisablePivot: true})
+}
+
+func BenchmarkAblationSampleCount(b *testing.B) {
+	// Estimator accuracy vs time: the paper's ε.
+	for _, samples := range []int{50, 200, 800} {
+		b.Run(benchName(samples), func(b *testing.B) {
+			runAblation(b, core.Options{Samples: samples, Seed: 77})
+		})
+	}
+}
+
+func benchName(samples int) string {
+	switch samples {
+	case 50:
+		return "samples=50"
+	case 200:
+		return "samples=200"
+	default:
+		return "samples=800"
+	}
+}
+
+// --- Micro-benchmarks of the substrate hot paths ---
+
+func BenchmarkEstimatorEvaluate(b *testing.B) {
+	inst := ablationInstance(b)
+	d := diffusion.NewDeployment(inst.G.NumNodes())
+	d.AddSeed(0)
+	d.SetK(0, 3)
+	est := diffusion.NewEstimator(inst, 1000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.Evaluate(d)
+	}
+}
+
+func BenchmarkRedeemProbs(b *testing.B) {
+	probs := make([]float64, 64)
+	src := rng.New(1)
+	for i := range probs {
+		probs[i] = src.Float64()
+	}
+	out := make([]float64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		diffusion.RedeemProbsInto(out, probs, 16)
+	}
+}
+
+func BenchmarkGeneratePreset(b *testing.B) {
+	p := gen.Facebook.Scaled(20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Generate(rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

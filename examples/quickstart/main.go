@@ -1,0 +1,65 @@
+// Quickstart: build a small social network by hand, run S3CA, and inspect
+// the seed selection and coupon allocation it chooses.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"s3crm"
+)
+
+func main() {
+	// A ten-user network: user 0 is a cheap-to-recruit influencer whose
+	// friends fan out to two communities. Edge weights are influence
+	// probabilities; each user has a benefit (revenue if they join), a
+	// seed cost (paying them to start a campaign) and a coupon cost (the
+	// referral reward a recruited friend redeems).
+	b := s3crm.NewProblem(10).
+		AddEdge(0, 1, 0.8).AddEdge(0, 2, 0.6).AddEdge(0, 3, 0.3).
+		AddEdge(1, 4, 0.7).AddEdge(1, 5, 0.5).
+		AddEdge(2, 6, 0.9).AddEdge(2, 7, 0.4).
+		AddEdge(3, 8, 0.6).AddEdge(8, 9, 0.8).
+		Budget(12)
+	for u := 0; u < 10; u++ {
+		b.SetUser(u, 5, 20, 1) // benefit 5, seed cost 20, coupon cost 1
+	}
+	b.SetUser(0, 5, 4, 1) // the influencer is cheap to recruit
+	b.SetUser(9, 30, 20, 1)
+
+	problem, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	result, err := s3crm.Solve(problem, s3crm.Options{Samples: 5000, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("S3CA campaign plan")
+	fmt.Println("==================")
+	fmt.Printf("seeds:           %v\n", result.Seeds)
+	fmt.Printf("coupons:         %v\n", result.Coupons)
+	fmt.Printf("redemption rate: %.3f (benefit per unit spent)\n", result.RedemptionRate)
+	fmt.Printf("expected benefit:%.2f\n", result.Benefit)
+	fmt.Printf("total cost:      %.2f of budget %.2f (seeds %.2f + coupons %.2f)\n",
+		result.TotalCost, problem.Budget(), result.SeedCost, result.CouponCost)
+	fmt.Printf("farthest hop:    %.2f\n", result.FarthestHop)
+
+	// Compare with a hand-built alternative: recruit the influencer and
+	// give every coupon to them directly.
+	manual, err := problem.Evaluate(s3crm.Deployment{
+		Seeds:   []int{0},
+		Coupons: map[int]int{0: 3},
+	}, s3crm.Options{Samples: 5000, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Printf("manual plan (all coupons at the influencer): rate %.3f\n", manual.RedemptionRate)
+	fmt.Printf("S3CA improvement: %.1f%%\n",
+		100*(result.RedemptionRate-manual.RedemptionRate)/manual.RedemptionRate)
+}

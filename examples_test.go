@@ -1,0 +1,38 @@
+package s3crm
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example main end-to-end. The examples are
+// part of the public-API contract: they must build, run cleanly and print
+// the expected headline lines. Skipped with -short.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are slow under -short")
+	}
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"./examples/quickstart", "S3CA campaign plan"},
+		{"./examples/compare", "Marginal redemption"},
+		{"./examples/referral", "redemption"},
+		{"./examples/casestudy", "Airbnb policy"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", c.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", c.dir, err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Fatalf("%s output missing %q:\n%s", c.dir, c.want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,335 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"s3crm/internal/core"
+	"s3crm/internal/diffusion"
+	"s3crm/internal/graph"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// contrast builds an instance with a cheap low-influence seed (vA=0) and an
+// expensive high-influence hub (vB=2): IM must prefer the hub, PM the
+// profitable cheap seed.
+//
+//	0 → 1 (0.9)                 cseed(0)=1
+//	2 → 3..7 (0.9 each)         cseed(2)=100
+func contrast(t testing.TB) *diffusion.Instance {
+	t.Helper()
+	edges := []graph.Edge{{From: 0, To: 1, P: 0.9}}
+	for to := int32(3); to <= 7; to++ {
+		edges = append(edges, graph.Edge{From: 2, To: to, P: 0.9})
+	}
+	g, err := graph.FromEdges(8, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := &diffusion.Instance{
+		G:        g,
+		Benefit:  []float64{1, 1, 1, 1, 1, 1, 1, 1},
+		SeedCost: []float64{1, 1e9, 100, 1e9, 1e9, 1e9, 1e9, 1e9},
+		SCCost:   []float64{1, 1, 1, 1, 1, 1, 1, 1},
+		Budget:   200,
+	}
+	return inst
+}
+
+func TestStrategyK(t *testing.T) {
+	inst := contrast(t)
+	if got := Unlimited.K(inst, 2, 0); got != 5 {
+		t.Fatalf("unlimited K = %d, want out-degree 5", got)
+	}
+	if got := Limited.K(inst, 2, 3); got != 3 {
+		t.Fatalf("limited K = %d, want 3", got)
+	}
+	if got := Limited.K(inst, 2, 0); got != 5 {
+		t.Fatalf("limited default K = %d, want min(32, 5) = 5", got)
+	}
+	if got := Limited.K(inst, 1, 3); got != 0 {
+		t.Fatalf("leaf K = %d, want 0", got)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Unlimited.String() != "U" || Limited.String() != "L" {
+		t.Fatal("strategy names wrong")
+	}
+}
+
+func TestApplyStrategyEquipsReachable(t *testing.T) {
+	inst := contrast(t)
+	d := applyStrategy(inst, []int32{2}, Unlimited, 0)
+	if d.K(2) != 5 {
+		t.Fatalf("seed K = %d, want 5", d.K(2))
+	}
+	if d.K(0) != 0 {
+		t.Fatal("unreachable user equipped")
+	}
+	// Leaves are reachable but have no out-edges: K stays 0.
+	if d.K(3) != 0 {
+		t.Fatal("leaf got coupons")
+	}
+}
+
+func TestIMPrefersInfluence(t *testing.T) {
+	inst := contrast(t)
+	o, err := IM(inst, Config{Strategy: Unlimited, Samples: 400, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Deployment.IsSeed(2) {
+		t.Fatalf("IM ignored the influential hub: %v", o)
+	}
+	if o.TotalCost > inst.Budget {
+		t.Fatalf("IM violated budget: %v > %v", o.TotalCost, inst.Budget)
+	}
+	if o.Influence < 5 {
+		t.Fatalf("IM influence = %v, want >= 5", o.Influence)
+	}
+}
+
+func TestPMPrefersProfit(t *testing.T) {
+	inst := contrast(t)
+	o, err := PM(inst, Config{Strategy: Unlimited, Samples: 400, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := o.Deployment.Seeds()
+	if len(seeds) != 1 || seeds[0] != 0 {
+		t.Fatalf("PM seeds = %v, want [0] (the only profitable seed)", seeds)
+	}
+	if o.Profit() <= 0 {
+		t.Fatalf("PM profit = %v, want > 0", o.Profit())
+	}
+}
+
+func TestIMLimitedUsesQuota(t *testing.T) {
+	inst := contrast(t)
+	o, err := IM(inst, Config{Strategy: Limited, LimitedK: 2, Samples: 400, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range o.Deployment.Allocated() {
+		if o.Deployment.K(v) > 2 {
+			t.Fatalf("limited strategy exceeded quota at %d: %d", v, o.Deployment.K(v))
+		}
+	}
+}
+
+func TestIMBudgetInfeasibleSeedsDropped(t *testing.T) {
+	inst := contrast(t)
+	inst.Budget = 50 // hub costs 100: must fall back to the cheap seed
+	o, err := IM(inst, Config{Strategy: Unlimited, Samples: 400, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Deployment.IsSeed(2) {
+		t.Fatal("IM kept an unaffordable hub")
+	}
+	if !o.Deployment.IsSeed(0) {
+		t.Fatal("IM did not fall back to the affordable seed")
+	}
+	if o.TotalCost > inst.Budget {
+		t.Fatalf("budget violated: %v", o.TotalCost)
+	}
+}
+
+func TestApplyStrategyBudgetCapped(t *testing.T) {
+	// With a budget that only covers the seed plus part of the quota, the
+	// hand-out truncates instead of blowing the budget.
+	inst := contrast(t)
+	inst.Budget = 102 // hub (100) + ~2 expected coupon cost of 4.5
+	d := applyStrategy(inst, []int32{2}, Unlimited, 0)
+	if got := inst.TotalCost(d); got > inst.Budget {
+		t.Fatalf("budget-capped hand-out exceeded budget: %v > %v", got, inst.Budget)
+	}
+	if d.K(2) == 0 {
+		t.Fatal("no coupons handed out at all")
+	}
+	if d.K(2) >= 5 {
+		t.Fatalf("quota not truncated: K=%d", d.K(2))
+	}
+}
+
+func TestIMSSpreadsCouponsOnPaths(t *testing.T) {
+	// Two attractive seeds joined by a bridge node: IM-S must equip the
+	// bridge.
+	//
+	//	0 → {3,4} (0.9)   seed A, cseed 1
+	//	0 → 2 (0.8), 2 → 1 (0.8)   bridge 2
+	//	1 → {5,6} (0.9)   seed B, cseed 1
+	edges := []graph.Edge{
+		{From: 0, To: 3, P: 0.9}, {From: 0, To: 4, P: 0.9},
+		{From: 0, To: 2, P: 0.8}, {From: 2, To: 1, P: 0.8},
+		{From: 1, To: 5, P: 0.9}, {From: 1, To: 6, P: 0.9},
+	}
+	g, err := graph.FromEdges(7, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := &diffusion.Instance{
+		G:        g,
+		Benefit:  []float64{1, 1, 1, 1, 1, 1, 1},
+		SeedCost: []float64{1, 1, 1e9, 1e9, 1e9, 1e9, 1e9},
+		SCCost:   []float64{1, 1, 1, 1, 1, 1, 1},
+		Budget:   20,
+	}
+	o, err := IMS(inst, Config{Strategy: Unlimited, Samples: 400, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Deployment.NumSeeds() < 2 {
+		t.Fatalf("IM-S selected %d seeds, want 2", o.Deployment.NumSeeds())
+	}
+	if o.Deployment.K(2) < 1 {
+		t.Fatalf("bridge node got no coupons: %v", o.Deployment)
+	}
+	if o.TotalCost > inst.Budget {
+		t.Fatalf("budget violated: %v", o.TotalCost)
+	}
+}
+
+// optInstance is a small tree where one coupon at the seed is optimal:
+// benefits {1, 3, 1} on v1's children make the k=1 rate 1.68 beat both the
+// bare seed (1.0) and heavier allocations.
+func optInstance(t testing.TB) *diffusion.Instance {
+	t.Helper()
+	g, err := graph.FromEdges(8, []graph.Edge{
+		{From: 1, To: 2, P: 0.6}, {From: 1, To: 3, P: 0.4},
+		{From: 2, To: 4, P: 0.5}, {From: 2, To: 5, P: 0.4},
+		{From: 3, To: 6, P: 0.8}, {From: 3, To: 7, P: 0.7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := &diffusion.Instance{
+		G:        g,
+		Benefit:  []float64{1, 1, 3, 1, 1, 1, 1, 1},
+		SeedCost: []float64{1e9, 1, 1e9, 1e9, 1e9, 1e9, 1e9, 1e9},
+		SCCost:   []float64{1, 1, 1, 1, 1, 1, 1, 1},
+		Budget:   4,
+	}
+	return inst
+}
+
+func TestExhaustiveFindsOptimum(t *testing.T) {
+	inst := optInstance(t)
+	opt, err := Exhaustive(inst, ExhaustiveConfig{MaxSeeds: 1, MaxK: 2, Samples: 40000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OPT: seed v1 with one coupon — rate (1 + 0.6·3 + 0.16·1)/1.76 = 1.6818…
+	want := (1 + 0.6*3 + 0.16*1) / 1.76
+	if !almost(opt.RedemptionRate, want, 0.03) {
+		t.Fatalf("OPT rate = %v, want ≈ %v", opt.RedemptionRate, want)
+	}
+	if opt.Deployment.K(1) != 1 {
+		t.Fatalf("OPT allocation K(v1) = %d, want 1", opt.Deployment.K(1))
+	}
+}
+
+func TestExhaustiveTripwire(t *testing.T) {
+	inst := contrast(t)
+	if _, err := Exhaustive(inst, ExhaustiveConfig{MaxNodes: 4}); err == nil {
+		t.Fatal("exhaustive accepted an instance above the node bound")
+	}
+}
+
+func TestS3CAWithinOptAndAboveBound(t *testing.T) {
+	// The Fig. 10 validation in miniature: S3CA ≥ worst-case bound and
+	// ≤ OPT (within Monte-Carlo noise).
+	inst := optInstance(t)
+	opt, err := Exhaustive(inst, ExhaustiveConfig{MaxSeeds: 1, MaxK: 2, Samples: 40000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := core.Solve(inst, core.Options{Samples: 40000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := WorstCaseBound(inst, opt.RedemptionRate)
+	if bound <= 0 {
+		t.Fatalf("degenerate bound %v", bound)
+	}
+	if sol.RedemptionRate < bound {
+		t.Fatalf("S3CA rate %v below worst-case bound %v", sol.RedemptionRate, bound)
+	}
+	if sol.RedemptionRate > opt.RedemptionRate*1.05 {
+		t.Fatalf("S3CA rate %v exceeds OPT %v beyond noise", sol.RedemptionRate, opt.RedemptionRate)
+	}
+}
+
+func TestWorstCaseBoundDegenerate(t *testing.T) {
+	inst := optInstance(t)
+	inst.Benefit[0] = 0 // zero min benefit degenerates b0
+	if WorstCaseBound(inst, 5) != 0 {
+		t.Fatal("degenerate instance should give bound 0")
+	}
+}
+
+func TestOutcomeEmptyWhenNothingAffordable(t *testing.T) {
+	inst := contrast(t)
+	inst.Budget = 0.5
+	o, err := IM(inst, Config{Strategy: Unlimited, Samples: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Deployment.NumSeeds() != 0 || o.RedemptionRate != 0 {
+		t.Fatalf("expected empty outcome, got %v", o)
+	}
+}
+
+func TestBaselinesRejectInvalidInstance(t *testing.T) {
+	inst := contrast(t)
+	inst.Benefit = inst.Benefit[:2]
+	if _, err := IM(inst, Config{}); err == nil {
+		t.Fatal("IM accepted invalid instance")
+	}
+	if _, err := PM(inst, Config{}); err == nil {
+		t.Fatal("PM accepted invalid instance")
+	}
+	if _, err := IMS(inst, Config{}); err == nil {
+		t.Fatal("IMS accepted invalid instance")
+	}
+	if _, err := Exhaustive(inst, ExhaustiveConfig{}); err == nil {
+		t.Fatal("Exhaustive accepted invalid instance")
+	}
+}
+
+func TestS3CABeatsBaselinesOnCouponScenario(t *testing.T) {
+	// On the redemption objective S3CA must beat coupon-oblivious
+	// baselines on an instance with expensive hubs and a cheap efficient
+	// chain — the paper's headline comparison.
+	edges := []graph.Edge{
+		{From: 0, To: 1, P: 0.9}, {From: 1, To: 2, P: 0.9},
+		{From: 3, To: 4, P: 0.9}, {From: 3, To: 5, P: 0.9},
+		{From: 3, To: 6, P: 0.9}, {From: 3, To: 7, P: 0.9},
+	}
+	g, err := graph.FromEdges(8, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := &diffusion.Instance{
+		G:        g,
+		Benefit:  []float64{2, 2, 2, 1, 1, 1, 1, 1},
+		SeedCost: []float64{1, 1e9, 1e9, 30, 1e9, 1e9, 1e9, 1e9},
+		SCCost:   []float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5},
+		Budget:   40,
+	}
+	sol, err := core.Solve(inst, core.Options{Samples: 5000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []Strategy{Unlimited, Limited} {
+		im, err := IM(inst, Config{Strategy: strat, Samples: 5000, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.RedemptionRate < im.RedemptionRate {
+			t.Fatalf("S3CA rate %v below IM-%s %v", sol.RedemptionRate, strat, im.RedemptionRate)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package baselines
+
+import (
+	"fmt"
+	"sort"
+
+	"s3crm/internal/diffusion"
+	"s3crm/internal/ris"
+	"s3crm/internal/rng"
+)
+
+// risRank ranks IM seed candidates by reverse-influence sampling instead of
+// forward Monte-Carlo greedy. Unaffordable or capped-out candidates are
+// filtered the same way greedyRank's candidate pool is.
+func risRank(in *diffusion.Instance, cfg Config, maxSeeds int) ([]int32, error) {
+	sketches := cfg.RISSketches
+	if sketches <= 0 {
+		sketches = 200 * in.G.NumNodes()
+		if sketches > 200000 {
+			sketches = 200000
+		}
+	}
+	s, err := ris.Generate(in.G, sketches, rng.New(cfg.Seed^0x815))
+	if err != nil {
+		return nil, fmt.Errorf("baselines: RIS ranking: %w", err)
+	}
+	allowed := make(map[int32]bool)
+	for _, v := range seedCandidates(in, cfg) {
+		allowed[v] = true
+	}
+	var ranked []int32
+	budget := 0.0
+	for _, v := range s.TopSeeds(maxSeeds + len(allowed)) {
+		if !allowed[v] {
+			continue
+		}
+		ranked = append(ranked, v)
+		budget += in.SeedCost[v]
+		if len(ranked) >= maxSeeds || budget > in.Budget {
+			break
+		}
+	}
+	return ranked, nil
+}
+
+// Random selects uniformly random affordable seeds under the configured
+// coupon strategy — the sanity-check baseline below every published curve.
+func Random(in *diffusion.Instance, cfg Config) (*Outcome, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	est := diffusion.NewEstimator(in, cfg.Samples, cfg.Seed)
+	est.Workers = cfg.Workers
+	pool := seedCandidates(in, cfg)
+	if len(pool) == 0 {
+		return emptyOutcome("RAND", in, est), nil
+	}
+	src := rng.New(cfg.Seed ^ 0x7a2d)
+	src.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	seeds := budgetFeasiblePrefix(in, cfg, pool)
+	if len(seeds) == 0 {
+		return emptyOutcome("RAND", in, est), nil
+	}
+	d := applyStrategy(in, seeds, cfg.Strategy, cfg.LimitedK)
+	o := measure("RAND", in, est, d)
+	return o, nil
+}
+
+// HighDegree seeds the highest-out-degree affordable users — the classic
+// degree heuristic — under the configured coupon strategy, sweeping sizes
+// like IM and keeping the best-influence feasible configuration.
+func HighDegree(in *diffusion.Instance, cfg Config) (*Outcome, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	est := diffusion.NewEstimator(in, cfg.Samples, cfg.Seed)
+	est.Workers = cfg.Workers
+	ranked := seedCandidates(in, cfg)
+	sort.Slice(ranked, func(a, b int) bool {
+		da, db := in.G.OutDegree(ranked[a]), in.G.OutDegree(ranked[b])
+		if da != db {
+			return da > db
+		}
+		return ranked[a] < ranked[b]
+	})
+	best := selectBySweep(in, est, cfg, ranked, func(o *Outcome) float64 { return o.Influence })
+	if best == nil {
+		return emptyOutcome("DEG", in, est), nil
+	}
+	best.Name = "DEG"
+	return best, nil
+}

@@ -1,0 +1,94 @@
+package baselines
+
+import (
+	"testing"
+)
+
+func TestIMWithRISFindsHub(t *testing.T) {
+	inst := contrast(t)
+	o, err := IM(inst, Config{Strategy: Unlimited, Samples: 300, Seed: 4, UseRIS: true, RISSketches: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Deployment.IsSeed(2) {
+		t.Fatalf("RIS-ranked IM missed the hub: %v", o)
+	}
+	if o.TotalCost > inst.Budget {
+		t.Fatalf("budget violated: %v", o.TotalCost)
+	}
+}
+
+func TestIMRISMatchesGreedyChoice(t *testing.T) {
+	// On the contrast instance both rankings must agree on the hub.
+	inst := contrast(t)
+	greedy, err := IM(inst, Config{Strategy: Unlimited, Samples: 300, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	risBased, err := IM(inst, Config{Strategy: Unlimited, Samples: 300, Seed: 4, UseRIS: true, RISSketches: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.Deployment.IsSeed(2) != risBased.Deployment.IsSeed(2) {
+		t.Fatal("greedy and RIS rankings disagree on the hub")
+	}
+}
+
+func TestRandomBaseline(t *testing.T) {
+	inst := contrast(t)
+	o, err := Random(inst, Config{Strategy: Unlimited, Samples: 200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.TotalCost > inst.Budget {
+		t.Fatalf("budget violated: %v", o.TotalCost)
+	}
+	if o.Name != "RAND" {
+		t.Fatalf("name = %q", o.Name)
+	}
+	// Determinism in the seed.
+	o2, err := Random(inst, Config{Strategy: Unlimited, Samples: 200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Deployment.Equal(o2.Deployment) {
+		t.Fatal("Random not deterministic in seed")
+	}
+}
+
+func TestRandomNoAffordableSeeds(t *testing.T) {
+	inst := contrast(t)
+	inst.Budget = 0.1
+	o, err := Random(inst, Config{Strategy: Unlimited, Samples: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Deployment.NumSeeds() != 0 {
+		t.Fatal("selected unaffordable seeds")
+	}
+}
+
+func TestHighDegreeBaseline(t *testing.T) {
+	inst := contrast(t)
+	o, err := HighDegree(inst, Config{Strategy: Unlimited, Samples: 200, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Deployment.IsSeed(2) {
+		t.Fatalf("degree heuristic missed the 5-degree hub: %v", o)
+	}
+	if o.Name != "DEG" {
+		t.Fatalf("name = %q", o.Name)
+	}
+}
+
+func TestExtraBaselinesRejectInvalid(t *testing.T) {
+	inst := contrast(t)
+	inst.Benefit = inst.Benefit[:1]
+	if _, err := Random(inst, Config{}); err == nil {
+		t.Fatal("Random accepted invalid instance")
+	}
+	if _, err := HighDegree(inst, Config{}); err == nil {
+		t.Fatal("HighDegree accepted invalid instance")
+	}
+}

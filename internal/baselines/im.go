@@ -1,0 +1,239 @@
+package baselines
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"s3crm/internal/diffusion"
+)
+
+// Config parameterizes the baseline runs.
+type Config struct {
+	// Strategy and LimitedK select the coupon policy (LimitedK defaults to
+	// DefaultLimitedK when the strategy is Limited).
+	Strategy Strategy
+	LimitedK int
+	// Samples is the Monte-Carlo sample count (default 1000) and Seed the
+	// estimator seed.
+	Samples int
+	Seed    uint64
+	Workers int
+	// CandidateCap restricts greedy seed candidates to the top-N users by
+	// out-degree; 0 considers everyone. The paper's datasets make full
+	// greedy infeasible, and degree pruning is the standard practical
+	// shortcut.
+	CandidateCap int
+	// MaxSweep bounds the seed-size sweep exponent (paper: n = 0..10).
+	MaxSweep int
+	// UseRIS ranks IM seeds with reverse-influence sampling (the paper's
+	// reverse-greedy speedup [15]) instead of forward Monte-Carlo greedy.
+	// RISSketches sets the RR-set count (0 = 200 × |V| capped at 200000).
+	UseRIS      bool
+	RISSketches int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Samples <= 0 {
+		c.Samples = 1000
+	}
+	if c.MaxSweep <= 0 {
+		c.MaxSweep = 10
+	}
+	if c.Strategy == Limited && c.LimitedK <= 0 {
+		c.LimitedK = DefaultLimitedK
+	}
+	return c
+}
+
+// celfEntry is a lazily re-evaluated marginal gain.
+type celfEntry struct {
+	node  int32
+	gain  float64
+	round int // the greedy round the gain was computed in
+}
+
+type celfHeap []celfEntry
+
+func (h celfHeap) Len() int { return len(h) }
+func (h celfHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	return h[i].node < h[j].node
+}
+func (h celfHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *celfHeap) Push(x interface{}) { *h = append(*h, x.(celfEntry)) }
+func (h *celfHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// greedyRank orders candidate seeds by marginal value under the CELF lazy
+// strategy: each evaluation builds the strategy-consistent deployment for
+// the trial seed set (seeds plus their reachable region's coupon quotas)
+// and measures value(). Ranking stops after maxSeeds selections or when the
+// best marginal value is no longer positive.
+func greedyRank(in *diffusion.Instance, cfg Config,
+	maxSeeds int, value func(seeds []int32) float64) []int32 {
+
+	candidates := seedCandidates(in, cfg)
+	var picked []int32
+	base := 0.0
+
+	h := make(celfHeap, 0, len(candidates))
+	for _, v := range candidates {
+		g := value([]int32{v})
+		h = append(h, celfEntry{node: v, gain: g, round: 0})
+	}
+	heap.Init(&h)
+
+	// Ranking deeper than the budget can ever afford is wasted work: once
+	// the cumulative seed cost alone exceeds Binv, no prefix of that
+	// length is feasible.
+	cumSeedCost := 0.0
+	for len(picked) < maxSeeds && h.Len() > 0 && cumSeedCost <= in.Budget {
+		top := heap.Pop(&h).(celfEntry)
+		if top.round == len(picked) {
+			if top.gain <= 0 {
+				break
+			}
+			picked = append(picked, top.node)
+			cumSeedCost += in.SeedCost[top.node]
+			base = value(picked)
+			continue
+		}
+		// Stale: recompute against the current seed set.
+		g := value(append(append([]int32(nil), picked...), top.node)) - base
+		heap.Push(&h, celfEntry{node: top.node, gain: g, round: len(picked)})
+	}
+	return picked
+}
+
+func seedCandidates(in *diffusion.Instance, cfg Config) []int32 {
+	n := in.G.NumNodes()
+	// A user whose seed cost alone exceeds the budget can never appear in
+	// a feasible deployment, so filter before applying the degree cap —
+	// otherwise a cap of k could select k unaffordable hubs and leave the
+	// greedy with nothing.
+	affordable := make([]int32, 0, n)
+	for v := int32(0); v < int32(n); v++ {
+		if in.SeedCost[v] <= in.Budget {
+			affordable = append(affordable, v)
+		}
+	}
+	if cfg.CandidateCap > 0 && cfg.CandidateCap < len(affordable) {
+		sort.Slice(affordable, func(a, b int) bool {
+			da, db := in.G.OutDegree(affordable[a]), in.G.OutDegree(affordable[b])
+			if da != db {
+				return da > db
+			}
+			return affordable[a] < affordable[b]
+		})
+		affordable = affordable[:cfg.CandidateCap]
+	}
+	return affordable
+}
+
+// IM runs greedy influence maximization with the configured coupon
+// strategy, sweeping seed sizes |V|/2^n for n = 0..MaxSweep and keeping the
+// budget-feasible configuration with the maximum influence (the paper's
+// IM-U / IM-L baselines).
+func IM(in *diffusion.Instance, cfg Config) (*Outcome, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	est := diffusion.NewEstimator(in, cfg.Samples, cfg.Seed)
+	est.Workers = cfg.Workers
+
+	maxSeeds := in.G.NumNodes() // n = 0 means |V| seeds
+	var ranked []int32
+	if cfg.UseRIS {
+		var err error
+		ranked, err = risRank(in, cfg, maxSeeds)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		ranked = greedyRank(in, cfg, maxSeeds, func(seeds []int32) float64 {
+			d := applyStrategy(in, seeds, cfg.Strategy, cfg.LimitedK)
+			return est.Evaluate(d).Activated
+		})
+	}
+
+	best := selectBySweep(in, est, cfg, ranked, func(o *Outcome) float64 { return o.Influence })
+	if best == nil {
+		return emptyOutcome("IM-"+cfg.Strategy.String(), in, est), nil
+	}
+	best.Name = "IM-" + cfg.Strategy.String()
+	return best, nil
+}
+
+// selectBySweep evaluates the ranked prefix at sizes |V|/2^n, drops seeds
+// that break the budget, and keeps the feasible outcome maximizing score.
+func selectBySweep(in *diffusion.Instance, est *diffusion.Estimator, cfg Config,
+	ranked []int32, score func(*Outcome) float64) *Outcome {
+
+	n := in.G.NumNodes()
+	tried := map[int]bool{}
+	var best *Outcome
+	var bestScore float64
+	for exp := 0; exp <= cfg.MaxSweep; exp++ {
+		size := n >> exp
+		if size < 1 {
+			size = 1
+		}
+		if size > len(ranked) {
+			size = len(ranked)
+		}
+		if size == 0 || tried[size] {
+			continue
+		}
+		tried[size] = true
+		seeds := budgetFeasiblePrefix(in, cfg, ranked[:size])
+		if len(seeds) == 0 {
+			continue
+		}
+		d := applyStrategy(in, seeds, cfg.Strategy, cfg.LimitedK)
+		if in.TotalCost(d) > in.Budget {
+			continue
+		}
+		o := measure("", in, est, d)
+		if best == nil || score(o) > bestScore {
+			best = o
+			bestScore = score(o)
+		}
+	}
+	return best
+}
+
+// budgetFeasiblePrefix keeps the longest prefix of seeds whose seed cost
+// fits the budget, dropping later (lower-ranked) seeds first. The coupon
+// hand-out is budget-capped by construction (applyStrategy), so only the
+// seed cost can break feasibility.
+func budgetFeasiblePrefix(in *diffusion.Instance, cfg Config, seeds []int32) []int32 {
+	cost := 0.0
+	for i, s := range seeds {
+		cost += in.SeedCost[s]
+		if cost > in.Budget {
+			return seeds[:i]
+		}
+	}
+	return seeds
+}
+
+func emptyOutcome(name string, in *diffusion.Instance, est *diffusion.Estimator) *Outcome {
+	d := diffusion.NewDeployment(in.G.NumNodes())
+	o := measure(name, in, est, d)
+	return o
+}
+
+// String implements fmt.Stringer.
+func (o *Outcome) String() string {
+	return fmt.Sprintf("%s{rate=%.4g, benefit=%.4g, cost=%.4g, seeds=%d}",
+		o.Name, o.RedemptionRate, o.Benefit, o.TotalCost, o.Deployment.NumSeeds())
+}

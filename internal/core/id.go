@@ -1,0 +1,234 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"s3crm/internal/diffusion"
+)
+
+// investmentDeployment runs phase 2 of S3CA (Alg. 1 lines 9–24): starting
+// from the best pivot source, iteratively invest one SC in the user with
+// the highest marginal redemption — broadening the spread (an SC to a user
+// already holding coupons), deepening it (a first SC to an influenced
+// user), or starting a new spread (activating the next pivot source as a
+// seed) — until the budget is exhausted. Every intermediate deployment is a
+// candidate; the one with the highest redemption rate wins.
+func (s *solver) investmentDeployment(queue []pivotEntry) *diffusion.Deployment {
+	in := s.inst
+	n := in.G.NumNodes()
+
+	d := diffusion.NewDeployment(n)
+	next := 0
+	applyPivot := func(p pivotEntry) {
+		d.AddSeed(p.node)
+		if p.k > 0 && d.K(p.node) < p.k {
+			d.SetK(p.node, p.k)
+		}
+		s.touch(p.node)
+	}
+	applyPivot(queue[next])
+	next++
+
+	curBenefit := s.benefit(d)
+	curSC := in.SCCostOf(d)
+	curSeedCost := in.SeedCostOf(d)
+	s.record("seed", queue[0].node, curBenefit, curSeedCost+curSC)
+
+	// Candidate deployments D of Alg. 1: one snapshot per investment. The
+	// final selection re-scores them with an independent estimator —
+	// choosing argmax over the same noisy estimates that guided the greedy
+	// would systematically favour lucky early snapshots and starve the
+	// budget (selection bias), shrinking the spread the paper's Table III
+	// reports.
+	snapshots := []*diffusion.Deployment{d.Clone()}
+
+	for iter := 0; iter < s.opts.MaxIterations; iter++ {
+		s.stats.IDIterations = iter + 1
+
+		// Strategy 2/3 candidates: one more SC for an internal node, or a
+		// first SC for an influenced user.
+		influenced := s.influenced(d)
+		candidates := make([]int32, 0, 64)
+		for v := int32(0); v < int32(n); v++ {
+			if !influenced[v] {
+				continue
+			}
+			s.touch(v)
+			if d.K(v) >= in.G.OutDegree(v) {
+				continue // SC constraint: ki <= |N(vi)|
+			}
+			dCost := in.NodeSCCost(v, d.K(v)+1) - in.NodeSCCost(v, d.K(v))
+			if curSeedCost+curSC+dCost > in.Budget {
+				continue // infeasible under the investment budget
+			}
+			candidates = append(candidates, v)
+		}
+
+		// Evaluate the marginal benefit of every candidate; candidates are
+		// independent, so this parallelizes across workers (the estimator
+		// shares possible worlds, keeping results identical to sequential
+		// evaluation).
+		benefits := s.evalCandidates(d, candidates)
+
+		bestNode := int32(-1)
+		bestMR := 0.0
+		var bestNewBenefit, bestNewSC float64
+		for i, v := range candidates {
+			dCost := in.NodeSCCost(v, d.K(v)+1) - in.NodeSCCost(v, d.K(v))
+			mr := safeRatio(benefits[i]-curBenefit, dCost)
+			if mr > bestMR {
+				bestMR = mr
+				bestNode = v
+				bestNewBenefit = benefits[i]
+				bestNewSC = curSC + dCost
+			}
+		}
+
+		// Pivot comparison (strategy 1): the redemption rate of the next
+		// pivot source.
+		pivotOK := false
+		var pivot pivotEntry
+		for next < len(queue) {
+			p := queue[next]
+			if d.IsSeed(p.node) {
+				next++ // already part of the spread as a seed
+				continue
+			}
+			pCost := in.SeedCost[p.node] + in.NodeSCCost(p.node, maxInt(p.k, d.K(p.node))) - in.NodeSCCost(p.node, d.K(p.node))
+			if curSeedCost+curSC+pCost > in.Budget {
+				next++ // unaffordable now; budget only shrinks, so skip for good
+				continue
+			}
+			pivot = p
+			pivotOK = true
+			break
+		}
+
+		investSC := bestNode >= 0 && bestMR > 0
+		if s.opts.DisablePivot {
+			// Ablation: never compare against the pivot; only fall back to
+			// a new seed when no SC investment is possible.
+			if !investSC && !pivotOK {
+				break
+			}
+		} else {
+			if investSC && pivotOK && pivot.rate >= bestMR {
+				investSC = false // the pivot wins the comparison
+			}
+			if !investSC && !pivotOK {
+				break // nothing feasible remains
+			}
+		}
+
+		if investSC {
+			d.AddK(bestNode, 1)
+			curBenefit = bestNewBenefit
+			curSC = bestNewSC
+			s.record("coupon", bestNode, curBenefit, curSeedCost+curSC)
+		} else {
+			if !pivotOK {
+				break
+			}
+			applyPivot(pivot)
+			next++
+			curBenefit = s.benefit(d)
+			curSC = in.SCCostOf(d)
+			curSeedCost = in.SeedCostOf(d)
+			s.record("seed", pivot.node, curBenefit, curSeedCost+curSC)
+		}
+
+		snapshots = append(snapshots, d.Clone())
+	}
+	return s.selectSnapshot(snapshots)
+}
+
+// selectSnapshot picks D* = argmax redemption rate over the candidate
+// deployments (Alg. 1 line 24), re-scoring every snapshot with a fresh
+// estimator stream so the selection is unbiased by the greedy's own noise.
+// Rates within RateTolerance of the maximum are ties, and ties prefer the
+// later — larger — deployment (the paper reports every algorithm's total
+// cost ≈ Binv, which requires spending through rate plateaus).
+func (s *solver) selectSnapshot(snapshots []*diffusion.Deployment) *diffusion.Deployment {
+	if len(snapshots) == 1 {
+		return snapshots[0]
+	}
+	if s.opts.SpendBudget {
+		return snapshots[len(snapshots)-1]
+	}
+	scorer := diffusion.NewEstimator(s.inst, s.opts.Samples, s.opts.Seed^0x5c04e)
+	scorer.Workers = s.opts.Workers
+	score := func(d *diffusion.Deployment) float64 {
+		cost := s.inst.TotalCost(d)
+		if cost <= 0 {
+			return 0
+		}
+		if s.opts.UseExactTree {
+			if b, err := diffusion.ExactTreeBenefit(s.inst, d); err == nil {
+				return b / cost
+			}
+		}
+		return scorer.Benefit(d) / cost
+	}
+	best := snapshots[0]
+	maxRate := score(best)
+	for _, d := range snapshots[1:] {
+		r := score(d)
+		if r > maxRate {
+			maxRate = r
+		}
+		if r >= maxRate*(1-s.opts.RateTolerance) {
+			best = d
+		}
+	}
+	return best
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// evalCandidates returns, for each candidate, the expected benefit of the
+// deployment with one extra coupon at that candidate. With multiple workers
+// the evaluations run concurrently on cloned deployments; results are
+// identical to sequential evaluation because the estimator's possible
+// worlds are stateless.
+func (s *solver) evalCandidates(d *diffusion.Deployment, candidates []int32) []float64 {
+	out := make([]float64, len(candidates))
+	workers := s.opts.Workers
+	if workers <= 1 || len(candidates) < 4 {
+		for i, v := range candidates {
+			d.AddK(v, 1)
+			out[i] = s.benefit(d)
+			d.AddK(v, -1)
+		}
+		return out
+	}
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+	var wg sync.WaitGroup
+	next := int64(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := d.Clone()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(candidates) {
+					return
+				}
+				v := candidates[i]
+				local.AddK(v, 1)
+				out[i] = s.benefit(local)
+				local.AddK(v, -1)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

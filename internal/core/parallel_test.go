@@ -1,0 +1,18 @@
+package core
+
+import "testing"
+
+func TestSolveParallelMatchesSequential(t *testing.T) {
+	inst := treasure(t)
+	seq, err := Solve(inst, Options{Samples: 3000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Solve(inst, Options{Samples: 3000, Seed: 5, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Deployment.Equal(par.Deployment) {
+		t.Fatalf("parallel found different deployment:\nseq: %v\npar: %v", seq.Deployment, par.Deployment)
+	}
+}

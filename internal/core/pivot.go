@@ -1,0 +1,64 @@
+package core
+
+import (
+	"sort"
+)
+
+// pivotEntry is one pivot source: a user evaluated standalone, with the
+// coupon count phase 1 assigned (0 or 1) and the resulting standalone
+// redemption rate (the queue priority).
+type pivotEntry struct {
+	node int32
+	k    int
+	rate float64
+}
+
+// buildPivotQueue runs phase 1 of S3CA (Alg. 1 lines 1–8).
+//
+// The pseudocode iteratively selects the user with the highest positive
+// marginal redemption: first as a seed (MR = b(vi)/cseed(vi)), then — once
+// enqueued — as a seed holding one SC (MR = ΔB/ΔCsc of the first coupon).
+// Because each user is evaluated standalone (Ŝ and Î stay empty during this
+// phase), every MR is a static closed-form quantity and the iterative
+// selection is equivalent to the direct construction below: a user joins
+// the queue when its seed MR is positive and affordable, and additionally
+// gets one coupon when the coupon's MR is positive and still affordable
+// (DESIGN.md fidelity note 5). A one-coupon single-seed spread has depth
+// one, so both quantities need no Monte Carlo.
+func (s *solver) buildPivotQueue() []pivotEntry {
+	in := s.inst
+	n := in.G.NumNodes()
+	entries := make([]pivotEntry, 0, 64)
+	for v := int32(0); v < int32(n); v++ {
+		seedCost := in.SeedCost[v]
+		if seedCost > in.Budget {
+			continue // never affordable as a seed
+		}
+		seedMR := safeRatio(in.Benefit[v], seedCost)
+		if seedMR <= 0 {
+			continue
+		}
+		s.touch(v)
+		k := 0
+		couponCost := in.NodeSCCost(v, 1)
+		gain := in.StandaloneBenefit(v, 1) - in.Benefit[v]
+		if couponCost > 0 && seedCost+couponCost <= in.Budget && safeRatio(gain, couponCost) > 0 {
+			k = 1
+		}
+		totalCost := seedCost + in.NodeSCCost(v, k)
+		entries = append(entries, pivotEntry{
+			node: v,
+			k:    k,
+			rate: safeRatio(in.StandaloneBenefit(v, k), totalCost),
+		})
+	}
+	// Priority queue ordered by standalone redemption rate, descending;
+	// ties broken by node id for determinism.
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].rate != entries[j].rate {
+			return entries[i].rate > entries[j].rate
+		}
+		return entries[i].node < entries[j].node
+	})
+	return entries
+}

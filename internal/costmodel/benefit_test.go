@@ -1,0 +1,115 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"s3crm/internal/graph"
+	"s3crm/internal/rng"
+)
+
+func TestDrawBenefitsNormalMean(t *testing.T) {
+	g := testGraph(t)
+	bs, err := DrawBenefits(g, BenefitNormal, 20, 4, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := 0.0
+	for _, b := range bs {
+		if b <= 0 {
+			t.Fatalf("non-positive benefit %v", b)
+		}
+		mean += b
+	}
+	mean /= float64(len(bs))
+	if math.Abs(mean-20) > 1.5 {
+		t.Fatalf("normal mean = %v, want ~20", mean)
+	}
+}
+
+func TestDrawBenefitsUniformRange(t *testing.T) {
+	g := testGraph(t)
+	bs, err := DrawBenefits(g, BenefitUniform, 20, 5, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bs {
+		if b < 15-1e-9 || b > 25+1e-9 {
+			t.Fatalf("uniform benefit %v outside [15, 25]", b)
+		}
+	}
+}
+
+func TestDrawBenefitsDegreeProportional(t *testing.T) {
+	g, err := graph.FromEdges(3, []graph.Edge{
+		{From: 0, To: 1, P: 0.5}, {From: 0, To: 2, P: 0.5}, {From: 1, To: 2, P: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := DrawBenefits(g, BenefitDegree, 10, 0, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 has twice node 1's degree.
+	if math.Abs(bs[0]/bs[1]-2) > 1e-9 {
+		t.Fatalf("benefit ratio %v, want 2", bs[0]/bs[1])
+	}
+	// Mean must be Mu.
+	if mean := (bs[0] + bs[1] + bs[2]) / 3; math.Abs(mean-10) > 1e-9 {
+		t.Fatalf("degree-benefit mean %v, want 10", mean)
+	}
+}
+
+func TestDrawBenefitsErrors(t *testing.T) {
+	g := testGraph(t)
+	if _, err := DrawBenefits(g, BenefitNormal, 0, 1, rng.New(1)); err == nil {
+		t.Fatal("mu=0 accepted")
+	}
+	if _, err := DrawBenefits(g, BenefitNormal, 10, -1, rng.New(1)); err == nil {
+		t.Fatal("negative sigma accepted")
+	}
+	if _, err := DrawBenefits(g, BenefitModel(99), 10, 1, rng.New(1)); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	empty, err := graph.FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DrawBenefits(empty, BenefitNormal, 10, 1, rng.New(1)); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestAssignWithModelCalibrates(t *testing.T) {
+	g := testGraph(t)
+	for _, model := range []BenefitModel{BenefitNormal, BenefitUniform, BenefitDegree} {
+		m, err := AssignWithModel(g, Params{Mu: 10, Sigma: 2, Lambda: 2, Kappa: 5}, model, rng.New(4))
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if math.Abs(m.Lambda()-2) > 1e-9 {
+			t.Fatalf("%v: lambda = %v, want 2", model, m.Lambda())
+		}
+		if math.Abs(m.Kappa()-5) > 1e-9 {
+			t.Fatalf("%v: kappa = %v, want 5", model, m.Kappa())
+		}
+	}
+}
+
+func TestAssignWithModelErrors(t *testing.T) {
+	g := testGraph(t)
+	if _, err := AssignWithModel(g, Params{Mu: 10, Sigma: 1, Lambda: -1}, BenefitNormal, rng.New(1)); err == nil {
+		t.Fatal("negative lambda accepted")
+	}
+}
+
+func TestBenefitModelString(t *testing.T) {
+	if BenefitNormal.String() != "normal" || BenefitUniform.String() != "uniform" ||
+		BenefitDegree.String() != "degree" {
+		t.Fatal("model names wrong")
+	}
+	if BenefitModel(42).String() == "" {
+		t.Fatal("unknown model has empty name")
+	}
+}

@@ -1,0 +1,206 @@
+// Package costmodel assigns the per-user benefit, seed cost and
+// social-coupon cost that define an S3CRM instance, following Section VI-A
+// of the paper:
+//
+//   - benefit b(vi) is drawn from a normal distribution N(mu, sigma)
+//     (truncated at a small positive floor so benefits stay meaningful);
+//   - seed cost cseed(vi) is proportional to the user's friend count
+//     (out-degree), calibrated so that κ = ΣCseed / ΣB matches the target
+//     (paper default κ = 10);
+//   - SC cost csc(vi) is uniform across users, calibrated so that
+//     λ = ΣB / ΣCsc matches the target (paper default λ = 1).
+//
+// It also implements the Section VI-C case-study machinery: the coupon
+// adoption model of [30] (85%/10%/5% of users weighted by csc^(1/3), csc,
+// csc², normalized), gross-margin benefits from accounting research [31],
+// and the Airbnb / Booking.com coupon policies.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+
+	"s3crm/internal/graph"
+	"s3crm/internal/rng"
+)
+
+// Params configures Assign. Zero values select the paper defaults where a
+// default exists (λ=1, κ=10); Mu and Sigma must be set explicitly.
+type Params struct {
+	Mu     float64 // benefit mean
+	Sigma  float64 // benefit standard deviation
+	Lambda float64 // target ΣB / ΣCsc; 0 means 1 (paper default)
+	Kappa  float64 // target ΣCseed / ΣB; 0 means 10 (paper default)
+}
+
+func (p Params) withDefaults() Params {
+	if p.Lambda == 0 {
+		p.Lambda = 1
+	}
+	if p.Kappa == 0 {
+		p.Kappa = 10
+	}
+	return p
+}
+
+// Model is the per-user cost assignment for one instance.
+type Model struct {
+	Benefit  []float64
+	SeedCost []float64
+	SCCost   []float64
+}
+
+// Assign draws an instance for g under params.
+//
+// Zero-out-degree users get seed cost as if they had one friend: a strictly
+// zero seed cost would make such users free infinite-marginal-redemption
+// seeds and degenerate the objective (see DESIGN.md, fidelity notes).
+func Assign(g *graph.Graph, params Params, src *rng.Source) (*Model, error) {
+	p := params.withDefaults()
+	if p.Mu <= 0 {
+		return nil, fmt.Errorf("costmodel: benefit mean must be positive, got %v", p.Mu)
+	}
+	if p.Sigma < 0 {
+		return nil, fmt.Errorf("costmodel: benefit sigma must be non-negative, got %v", p.Sigma)
+	}
+	if p.Lambda <= 0 || p.Kappa <= 0 {
+		return nil, fmt.Errorf("costmodel: lambda and kappa must be positive, got %v, %v", p.Lambda, p.Kappa)
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("costmodel: empty graph")
+	}
+	m := &Model{
+		Benefit:  make([]float64, n),
+		SeedCost: make([]float64, n),
+		SCCost:   make([]float64, n),
+	}
+	floor := p.Mu / 100 // truncation floor keeps benefits positive
+	totalBenefit := 0.0
+	for i := 0; i < n; i++ {
+		b := p.Mu + p.Sigma*src.NormFloat64()
+		if b < floor {
+			b = floor
+		}
+		m.Benefit[i] = b
+		totalBenefit += b
+	}
+	// Seed cost ∝ max(out-degree, 1), scaled to hit κ.
+	totalDeg := 0.0
+	for v := 0; v < n; v++ {
+		d := g.OutDegree(int32(v))
+		if d < 1 {
+			d = 1
+		}
+		totalDeg += float64(d)
+	}
+	seedScale := p.Kappa * totalBenefit / totalDeg
+	for v := 0; v < n; v++ {
+		d := g.OutDegree(int32(v))
+		if d < 1 {
+			d = 1
+		}
+		m.SeedCost[v] = seedScale * float64(d)
+	}
+	// Uniform SC cost scaled to hit λ.
+	sc := totalBenefit / (p.Lambda * float64(n))
+	for v := 0; v < n; v++ {
+		m.SCCost[v] = sc
+	}
+	return m, nil
+}
+
+// Lambda reports the realized ΣB / ΣCsc of a model.
+func (m *Model) Lambda() float64 {
+	return sum(m.Benefit) / sum(m.SCCost)
+}
+
+// Kappa reports the realized ΣCseed / ΣB of a model.
+func (m *Model) Kappa() float64 {
+	return sum(m.SeedCost) / sum(m.Benefit)
+}
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// AdoptionProbs implements the coupon adoption model [30]: uniformly select
+// 85%, 10% and 5% of users and give them adoption probability csc^(1/3),
+// csc and csc² respectively, all normalized by csc^(1/3)+csc+csc². The
+// returned slice has one probability per user.
+func AdoptionProbs(n int, csc float64, src *rng.Source) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("costmodel: AdoptionProbs needs n > 0, got %d", n)
+	}
+	if csc <= 0 {
+		return nil, fmt.Errorf("costmodel: AdoptionProbs needs csc > 0, got %v", csc)
+	}
+	root := math.Cbrt(csc)
+	square := csc * csc
+	z := root + csc + square
+	probs := make([]float64, n)
+	perm := src.Perm(n)
+	cut85 := n * 85 / 100
+	cut95 := n * 95 / 100
+	for i, v := range perm {
+		switch {
+		case i < cut85:
+			probs[v] = root / z
+		case i < cut95:
+			probs[v] = csc / z
+		default:
+			probs[v] = square / z
+		}
+	}
+	return probs, nil
+}
+
+// ApplyAdoption returns a re-weighted copy of g where each edge probability
+// is multiplied by the target user's adoption probability — the probability
+// an offered SC is actually accepted.
+func ApplyAdoption(g *graph.Graph, adoption []float64) (*graph.Graph, error) {
+	if len(adoption) != g.NumNodes() {
+		return nil, fmt.Errorf("costmodel: adoption slice has %d entries for %d nodes", len(adoption), g.NumNodes())
+	}
+	edges := g.Edges()
+	for i := range edges {
+		a := adoption[edges[i].To]
+		if a < 0 || a > 1 {
+			return nil, fmt.Errorf("costmodel: adoption probability %v for user %d outside [0,1]", a, edges[i].To)
+		}
+		edges[i].P *= a
+	}
+	return graph.FromEdges(g.NumNodes(), edges)
+}
+
+// GrossMarginBenefit converts an SC cost and a gross margin percentage into
+// the benefit that yields that margin: margin% = (b - csc)/b × 100, so
+// b = csc / (1 - margin/100).
+func GrossMarginBenefit(csc, marginPct float64) (float64, error) {
+	if csc <= 0 {
+		return 0, fmt.Errorf("costmodel: csc must be positive, got %v", csc)
+	}
+	if marginPct < 0 || marginPct >= 100 {
+		return 0, fmt.Errorf("costmodel: gross margin %v%% outside [0,100)", marginPct)
+	}
+	return csc / (1 - marginPct/100), nil
+}
+
+// Policy is a real-world referral program profile used by the case study
+// (Section VI-C).
+type Policy struct {
+	Name   string
+	SCCost float64 // reward per redeemed coupon
+	Alloc  int     // SC allocation cap per user
+}
+
+// The two case-study policies. Booking.com's coupon cost is not public; the
+// paper substitutes the Hotels.com value, and so do we.
+var (
+	Airbnb  = Policy{Name: "Airbnb", SCCost: 50, Alloc: 100}
+	Booking = Policy{Name: "Booking.com", SCCost: 100, Alloc: 10}
+)

@@ -1,0 +1,244 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"s3crm/internal/gen"
+	"s3crm/internal/graph"
+	"s3crm/internal/rng"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.ErdosRenyi(500, 2500, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestAssignCalibration(t *testing.T) {
+	g := testGraph(t)
+	m, err := Assign(g, Params{Mu: 10, Sigma: 2, Lambda: 1, Kappa: 10}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Lambda(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("lambda = %v, want 1", got)
+	}
+	if got := m.Kappa(); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("kappa = %v, want 10", got)
+	}
+}
+
+func TestAssignDefaults(t *testing.T) {
+	g := testGraph(t)
+	m, err := Assign(g, Params{Mu: 10, Sigma: 2}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Lambda()-1) > 1e-9 || math.Abs(m.Kappa()-10) > 1e-9 {
+		t.Fatalf("defaults not applied: λ=%v κ=%v", m.Lambda(), m.Kappa())
+	}
+}
+
+func TestAssignBenefitDistribution(t *testing.T) {
+	g := testGraph(t)
+	m, err := Assign(g, Params{Mu: 50, Sigma: 10}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, b := range m.Benefit {
+		if b <= 0 {
+			t.Fatalf("non-positive benefit %v", b)
+		}
+		sum += b
+	}
+	mean := sum / float64(len(m.Benefit))
+	if math.Abs(mean-50) > 2.5 {
+		t.Fatalf("benefit mean %v far from 50", mean)
+	}
+}
+
+func TestAssignSeedCostProportionalToDegree(t *testing.T) {
+	g := testGraph(t)
+	m, err := Assign(g, Params{Mu: 10, Sigma: 0}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cost ratio must equal degree ratio for any two nodes with degree >= 1
+	var a, b int32 = -1, -1
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		if g.OutDegree(v) >= 1 {
+			if a == -1 {
+				a = v
+			} else if g.OutDegree(v) != g.OutDegree(a) {
+				b = v
+				break
+			}
+		}
+	}
+	if a == -1 || b == -1 {
+		t.Skip("graph lacks two nodes of distinct degree")
+	}
+	got := m.SeedCost[a] / m.SeedCost[b]
+	want := float64(g.OutDegree(a)) / float64(g.OutDegree(b))
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("seed cost ratio %v, want degree ratio %v", got, want)
+	}
+}
+
+func TestAssignUniformSCCost(t *testing.T) {
+	g := testGraph(t)
+	m, err := Assign(g, Params{Mu: 10, Sigma: 2}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range m.SCCost {
+		if c != m.SCCost[0] {
+			t.Fatalf("SC cost not uniform: %v vs %v", c, m.SCCost[0])
+		}
+	}
+}
+
+func TestAssignZeroDegreeSeedCostPositive(t *testing.T) {
+	// A graph with an isolated node: its seed cost must be positive.
+	g, err := graph.FromEdges(3, []graph.Edge{{From: 0, To: 1, P: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Assign(g, Params{Mu: 10, Sigma: 0}, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SeedCost[2] <= 0 {
+		t.Fatalf("isolated node seed cost = %v, want > 0", m.SeedCost[2])
+	}
+}
+
+func TestAssignErrors(t *testing.T) {
+	g := testGraph(t)
+	cases := []Params{
+		{Mu: 0, Sigma: 1},
+		{Mu: -5, Sigma: 1},
+		{Mu: 10, Sigma: -1},
+		{Mu: 10, Sigma: 1, Lambda: -2},
+		{Mu: 10, Sigma: 1, Kappa: -3},
+	}
+	for i, p := range cases {
+		if _, err := Assign(g, p, rng.New(1)); err == nil {
+			t.Fatalf("bad params %d accepted: %+v", i, p)
+		}
+	}
+	empty, err := graph.FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Assign(empty, Params{Mu: 10, Sigma: 1}, rng.New(1)); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestAdoptionProbsShares(t *testing.T) {
+	const n = 10000
+	probs, err := AdoptionProbs(n, 50, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := math.Cbrt(50.0)
+	z := root + 50 + 2500
+	counts := map[float64]int{}
+	for _, p := range probs {
+		counts[p]++
+		if p < 0 || p > 1 {
+			t.Fatalf("adoption prob %v outside [0,1]", p)
+		}
+	}
+	if got := counts[root/z]; got != n*85/100 {
+		t.Fatalf("cbrt share = %d, want %d", got, n*85/100)
+	}
+	if got := counts[50/z]; got != n*10/100 {
+		t.Fatalf("linear share = %d, want %d", got, n*10/100)
+	}
+	if got := counts[2500/z]; got != n-n*85/100-n*10/100 {
+		t.Fatalf("square share = %d, want %d", got, n-n*85/100-n*10/100)
+	}
+}
+
+func TestAdoptionProbsErrors(t *testing.T) {
+	if _, err := AdoptionProbs(0, 50, rng.New(1)); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := AdoptionProbs(10, 0, rng.New(1)); err == nil {
+		t.Fatal("csc=0 accepted")
+	}
+}
+
+func TestApplyAdoption(t *testing.T) {
+	g, err := graph.FromEdges(2, []graph.Edge{{From: 0, To: 1, P: 0.8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad := []float64{1, 0.5}
+	g2, err := ApplyAdoption(g, ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := g2.EdgeProb(0, 1)
+	if math.Abs(p-0.4) > 1e-12 {
+		t.Fatalf("adopted edge prob %v, want 0.4", p)
+	}
+	// Original untouched.
+	p, _ = g.EdgeProb(0, 1)
+	if p != 0.8 {
+		t.Fatal("ApplyAdoption mutated input graph")
+	}
+}
+
+func TestApplyAdoptionErrors(t *testing.T) {
+	g, err := graph.FromEdges(2, []graph.Edge{{From: 0, To: 1, P: 0.8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApplyAdoption(g, []float64{1}); err == nil {
+		t.Fatal("wrong-length adoption accepted")
+	}
+	if _, err := ApplyAdoption(g, []float64{1, 1.5}); err == nil {
+		t.Fatal("out-of-range adoption accepted")
+	}
+}
+
+func TestGrossMarginBenefit(t *testing.T) {
+	b, err := GrossMarginBenefit(50, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b-125) > 1e-9 {
+		t.Fatalf("benefit = %v, want 125", b)
+	}
+	// margin check: (125-50)/125 = 0.6
+	margin := (b - 50) / b * 100
+	if math.Abs(margin-60) > 1e-9 {
+		t.Fatalf("realized margin %v%%, want 60%%", margin)
+	}
+	if _, err := GrossMarginBenefit(0, 50); err == nil {
+		t.Fatal("csc=0 accepted")
+	}
+	if _, err := GrossMarginBenefit(50, 100); err == nil {
+		t.Fatal("margin=100%% accepted")
+	}
+	if _, err := GrossMarginBenefit(50, -1); err == nil {
+		t.Fatal("negative margin accepted")
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	if Airbnb.SCCost != 50 || Airbnb.Alloc != 100 {
+		t.Fatalf("Airbnb policy wrong: %+v", Airbnb)
+	}
+	if Booking.SCCost != 100 || Booking.Alloc != 10 {
+		t.Fatalf("Booking policy wrong: %+v", Booking)
+	}
+}

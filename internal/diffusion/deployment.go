@@ -1,0 +1,144 @@
+package diffusion
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Deployment is a candidate solution: the seed set S and the SC allocation
+// K. The internal node set I of the paper is implicit — it is exactly the
+// users with K > 0 (plus the seeds).
+//
+// Deployments are mutable scratch objects: the search algorithms apply a
+// change, evaluate, and either keep or revert it. Use Clone to snapshot.
+type Deployment struct {
+	n     int
+	seed  []bool
+	seeds []int32 // sorted list, kept in sync with seed
+	k     []int32
+}
+
+// NewDeployment returns an empty deployment over n users.
+func NewDeployment(n int) *Deployment {
+	return &Deployment{n: n, seed: make([]bool, n), k: make([]int32, n)}
+}
+
+// NumUsers returns the instance size the deployment was created for.
+func (d *Deployment) NumUsers() int { return d.n }
+
+// AddSeed marks v as a seed. Adding an existing seed is a no-op.
+func (d *Deployment) AddSeed(v int32) {
+	if d.seed[v] {
+		return
+	}
+	d.seed[v] = true
+	i := sort.Search(len(d.seeds), func(i int) bool { return d.seeds[i] >= v })
+	d.seeds = append(d.seeds, 0)
+	copy(d.seeds[i+1:], d.seeds[i:])
+	d.seeds[i] = v
+}
+
+// RemoveSeed unmarks v. Removing a non-seed is a no-op.
+func (d *Deployment) RemoveSeed(v int32) {
+	if !d.seed[v] {
+		return
+	}
+	d.seed[v] = false
+	i := sort.Search(len(d.seeds), func(i int) bool { return d.seeds[i] >= v })
+	d.seeds = append(d.seeds[:i], d.seeds[i+1:]...)
+}
+
+// IsSeed reports whether v is a seed.
+func (d *Deployment) IsSeed(v int32) bool { return d.seed[v] }
+
+// Seeds returns the sorted seed list. The slice aliases internal state and
+// must not be modified; it is invalidated by AddSeed/RemoveSeed.
+func (d *Deployment) Seeds() []int32 { return d.seeds }
+
+// NumSeeds returns |S|.
+func (d *Deployment) NumSeeds() int { return len(d.seeds) }
+
+// K returns the coupon allocation of v.
+func (d *Deployment) K(v int32) int { return int(d.k[v]) }
+
+// SetK sets the coupon allocation of v. Negative values are rejected.
+func (d *Deployment) SetK(v int32, k int) {
+	if k < 0 {
+		panic(fmt.Sprintf("diffusion: SetK(%d, %d) with negative k", v, k))
+	}
+	d.k[v] = int32(k)
+}
+
+// AddK adds delta coupons to v (delta may be negative); the result is
+// clamped at zero.
+func (d *Deployment) AddK(v int32, delta int) {
+	nk := int(d.k[v]) + delta
+	if nk < 0 {
+		nk = 0
+	}
+	d.k[v] = int32(nk)
+}
+
+// TotalK returns the total number of allocated coupons.
+func (d *Deployment) TotalK() int {
+	t := 0
+	for _, k := range d.k {
+		t += int(k)
+	}
+	return t
+}
+
+// Allocated returns the users with at least one coupon, ascending.
+func (d *Deployment) Allocated() []int32 {
+	var out []int32
+	for v, k := range d.k {
+		if k > 0 {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy.
+func (d *Deployment) Clone() *Deployment {
+	c := &Deployment{
+		n:     d.n,
+		seed:  append([]bool(nil), d.seed...),
+		seeds: append([]int32(nil), d.seeds...),
+		k:     append([]int32(nil), d.k...),
+	}
+	return c
+}
+
+// Equal reports whether two deployments select the same seeds and
+// allocation.
+func (d *Deployment) Equal(o *Deployment) bool {
+	if d.n != o.n || len(d.seeds) != len(o.seeds) {
+		return false
+	}
+	for i, s := range d.seeds {
+		if o.seeds[i] != s {
+			return false
+		}
+	}
+	for v := range d.k {
+		if d.k[v] != o.k[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact human-readable description.
+func (d *Deployment) String() string {
+	return fmt.Sprintf("Deployment{seeds: %v, coupons: %d}", d.seeds, d.TotalK())
+}
+
+// SeedCostOf returns Cseed(S) under the instance's seed costs.
+func (in *Instance) SeedCostOf(d *Deployment) float64 {
+	t := 0.0
+	for _, s := range d.Seeds() {
+		t += in.SeedCost[s]
+	}
+	return t
+}

@@ -1,0 +1,129 @@
+package diffusion
+
+import (
+	"fmt"
+)
+
+// maxExactEdges bounds ExactBenefit's enumeration: 2^24 possible worlds is
+// the most the exhaustive ground-truth evaluator will attempt.
+const maxExactEdges = 24
+
+// ExactBenefit computes B(S, K) exactly by enumerating every possible
+// world over the edges reachable from the deployment — the brute-force
+// ground truth the Monte-Carlo estimator is validated against on small
+// non-tree graphs (ExactTreeBenefit covers forests of any size).
+//
+// Only edges leaving users that hold coupons and are reachable from the
+// seeds can influence the outcome, so the enumeration is restricted to
+// those; an error is returned when more than 24 such edges exist.
+func ExactBenefit(in *Instance, d *Deployment) (float64, error) {
+	g := in.G
+	// Collect the edges that can matter: out-edges of coupon-holding
+	// users reachable from the seeds (over all edges — superset of the
+	// true spread, which is safe).
+	reach := make([]bool, g.NumNodes())
+	queue := make([]int32, 0, 16)
+	for _, s := range d.Seeds() {
+		if !reach[s] {
+			reach[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		if d.K(v) == 0 {
+			continue
+		}
+		ts, _ := g.OutEdges(v)
+		for _, t := range ts {
+			if !reach[t] {
+				reach[t] = true
+				queue = append(queue, t)
+			}
+		}
+	}
+	type edge struct {
+		from int32
+		pos  int
+		p    float64
+	}
+	var edges []edge
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		if !reach[v] || d.K(v) == 0 {
+			continue
+		}
+		_, probs := g.OutEdges(v)
+		for j, p := range probs {
+			if p > 0 {
+				edges = append(edges, edge{from: v, pos: j, p: p})
+			}
+		}
+	}
+	if len(edges) > maxExactEdges {
+		return 0, fmt.Errorf("diffusion: exact enumeration over %d edges exceeds the %d-edge bound", len(edges), maxExactEdges)
+	}
+
+	// live[v][j] tells the propagation whether v's j-th strongest edge is
+	// live in the current world.
+	live := make(map[int64]bool, len(edges))
+	key := func(v int32, j int) int64 { return int64(v)<<32 | int64(j) }
+
+	active := make([]bool, g.NumNodes())
+	var propagate func() float64
+	propagate = func() float64 {
+		for i := range active {
+			active[i] = false
+		}
+		q := make([]int32, 0, 16)
+		for _, s := range d.Seeds() {
+			if !active[s] {
+				active[s] = true
+				q = append(q, s)
+			}
+		}
+		total := 0.0
+		for head := 0; head < len(q); head++ {
+			v := q[head]
+			total += in.Benefit[v]
+			coupons := d.K(v)
+			if coupons == 0 {
+				continue
+			}
+			targets, _ := g.OutEdges(v)
+			redeemed := 0
+			for j, t := range targets {
+				if redeemed >= coupons {
+					break
+				}
+				if active[t] {
+					continue
+				}
+				if live[key(v, j)] {
+					active[t] = true
+					q = append(q, t)
+					redeemed++
+				}
+			}
+		}
+		return total
+	}
+
+	total := 0.0
+	var walk func(i int, prob float64)
+	walk = func(i int, prob float64) {
+		if prob == 0 {
+			return
+		}
+		if i == len(edges) {
+			total += prob * propagate()
+			return
+		}
+		e := edges[i]
+		live[key(e.from, e.pos)] = true
+		walk(i+1, prob*e.p)
+		live[key(e.from, e.pos)] = false
+		walk(i+1, prob*(1-e.p))
+	}
+	walk(0, 1)
+	return total, nil
+}

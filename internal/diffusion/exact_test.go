@@ -1,0 +1,197 @@
+package diffusion
+
+import (
+	"math"
+	"testing"
+
+	"s3crm/internal/graph"
+	"s3crm/internal/rng"
+)
+
+func TestExactMatchesTreeEvaluator(t *testing.T) {
+	inst := example1(t)
+	d := NewDeployment(8)
+	d.AddSeed(1)
+	d.SetK(1, 2)
+	d.SetK(2, 1)
+	d.SetK(3, 2)
+	tree, err := ExactTreeBenefit(inst, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute, err := ExactBenefit(inst, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tree-brute) > 1e-9 {
+		t.Fatalf("tree evaluator %v vs brute force %v", tree, brute)
+	}
+}
+
+// diamondInstance builds a non-tree graph: 0→1, 0→2, 1→3, 2→3. The two
+// paths to 3 interact, which the tree evaluator rejects but the brute-force
+// and Monte-Carlo evaluators must agree on.
+func diamondInstance(t testing.TB) *Instance {
+	t.Helper()
+	g, err := graph.FromEdges(4, []graph.Edge{
+		{From: 0, To: 1, P: 0.9}, {From: 0, To: 2, P: 0.6},
+		{From: 1, To: 3, P: 0.7}, {From: 2, To: 3, P: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := []float64{1, 1, 1, 1}
+	return &Instance{G: g, Benefit: ones, SeedCost: ones, SCCost: ones, Budget: 10}
+}
+
+func TestExactOnDiamond(t *testing.T) {
+	inst := diamondInstance(t)
+	d := NewDeployment(4)
+	d.AddSeed(0)
+	d.SetK(0, 2)
+	d.SetK(1, 1)
+	d.SetK(2, 1)
+	got, err := ExactBenefit(inst, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand computation: P(1)=0.9, P(2)=0.6.
+	// 3 activates if (1 active and e13 live) or (2 active and e23 live):
+	// P(3) = 1 - (1 - 0.9·0.7)(1 - 0.6·0.5) = 1 - 0.37·0.7 = 0.741
+	want := 1 + 0.9 + 0.6 + 0.741
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("exact benefit = %v, want %v", got, want)
+	}
+}
+
+func TestMCMatchesExactOnDiamond(t *testing.T) {
+	inst := diamondInstance(t)
+	d := NewDeployment(4)
+	d.AddSeed(0)
+	d.SetK(0, 2)
+	d.SetK(1, 1)
+	d.SetK(2, 1)
+	exact, err := ExactBenefit(inst, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := NewEstimator(inst, 300000, 21)
+	got := est.Benefit(d)
+	if math.Abs(got-exact)/exact > 0.01 {
+		t.Fatalf("MC %v vs exact %v (> 1%% off)", got, exact)
+	}
+}
+
+func TestMCMatchesExactWithCapacityOnDiamond(t *testing.T) {
+	// K(0)=1 makes 0→2 a dependent edge; capacity must be enforced
+	// identically by both evaluators.
+	inst := diamondInstance(t)
+	d := NewDeployment(4)
+	d.AddSeed(0)
+	d.SetK(0, 1)
+	d.SetK(1, 1)
+	d.SetK(2, 1)
+	exact, err := ExactBenefit(inst, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand check: e01 (0.9) tried first. 1 active iff e01 live (0.9).
+	// 2 active iff e01 blocked and e02 live: 0.1·0.6 = 0.06.
+	// 3 active: P(1)·0.7 + P(2)·0.5 = 0.63 + 0.03 (disjoint events) = 0.66
+	want := 1 + 0.9 + 0.06 + 0.66
+	if math.Abs(exact-want) > 1e-9 {
+		t.Fatalf("exact = %v, want %v", exact, want)
+	}
+	est := NewEstimator(inst, 300000, 22)
+	got := est.Benefit(d)
+	if math.Abs(got-exact)/exact > 0.01 {
+		t.Fatalf("MC %v vs exact %v", got, exact)
+	}
+}
+
+func TestMCMatchesExactOnRandomSmallGraphs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive Monte-Carlo comparison")
+	}
+	src := rng.New(33)
+	for trial := 0; trial < 5; trial++ {
+		n := 5 + src.Intn(3)
+		var edges []graph.Edge
+		seen := map[[2]int32]bool{}
+		for len(edges) < n+3 {
+			u, v := int32(src.Intn(n)), int32(src.Intn(n))
+			if u == v || seen[[2]int32{u, v}] {
+				continue
+			}
+			seen[[2]int32{u, v}] = true
+			edges = append(edges, graph.Edge{From: u, To: v, P: 0.2 + 0.6*src.Float64()})
+		}
+		g, err := graph.FromEdges(n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst := &Instance{
+			G:        g,
+			Benefit:  make([]float64, n),
+			SeedCost: make([]float64, n),
+			SCCost:   make([]float64, n),
+			Budget:   100,
+		}
+		for i := 0; i < n; i++ {
+			inst.Benefit[i] = 0.5 + src.Float64()
+			inst.SeedCost[i] = 1
+			inst.SCCost[i] = 1
+		}
+		d := NewDeployment(n)
+		d.AddSeed(int32(src.Intn(n)))
+		for v := int32(0); v < int32(n); v++ {
+			if deg := g.OutDegree(v); deg > 0 {
+				d.SetK(v, 1+src.Intn(deg))
+			}
+		}
+		exact, err := ExactBenefit(inst, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := NewEstimator(inst, 200000, uint64(trial))
+		got := est.Benefit(d)
+		if math.Abs(got-exact) > 0.02*exact+0.01 {
+			t.Fatalf("trial %d: MC %v vs exact %v", trial, got, exact)
+		}
+	}
+}
+
+func TestExactEdgeBoundTripwire(t *testing.T) {
+	// A 30-edge star exceeds the enumeration bound.
+	edges := make([]graph.Edge, 0, 30)
+	for to := int32(1); to <= 30; to++ {
+		edges = append(edges, graph.Edge{From: 0, To: to, P: 0.5})
+	}
+	g, err := graph.FromEdges(31, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float64, 31)
+	for i := range vals {
+		vals[i] = 1
+	}
+	inst := &Instance{G: g, Benefit: vals, SeedCost: vals, SCCost: vals, Budget: 100}
+	d := NewDeployment(31)
+	d.AddSeed(0)
+	d.SetK(0, 30)
+	if _, err := ExactBenefit(inst, d); err == nil {
+		t.Fatal("30-edge enumeration accepted")
+	}
+}
+
+func TestExactEmptyDeployment(t *testing.T) {
+	inst := diamondInstance(t)
+	d := NewDeployment(4)
+	got, err := ExactBenefit(inst, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("empty deployment benefit = %v", got)
+	}
+}

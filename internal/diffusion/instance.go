@@ -1,0 +1,96 @@
+// Package diffusion implements the paper's propagation model and its
+// estimators.
+//
+// The model extends the independent cascade (IC) model with a social-coupon
+// (SC) constraint: influence starts from the seed set; every activated user
+// vi holding K[vi] coupons offers them to out-neighbours in descending
+// order of influence probability, and at most K[vi] neighbours redeem. A
+// neighbour at adjacency position j (0-based) therefore redeems with
+// probability P(e(i,j)) when j < K[vi] (an "independent" edge) and with
+// probability P(e(i,j))·P(k̄i) when j >= K[vi] (a "dependent" edge), where
+// P(k̄i) is the probability that fewer than K[vi] earlier neighbours
+// redeemed. A user activates at most once; an already-active neighbour is
+// skipped without consuming a coupon.
+//
+// Three quantities drive the S3CRM objective:
+//
+//   - B(S, K): expected total benefit of activated users — estimated by
+//     Monte-Carlo sampling (Estimator) or computed exactly on forests
+//     (ExactTreeBenefit);
+//   - Cseed(S): the modular seed cost;
+//   - Csc(K): the paper's closed-form expected SC cost, summing
+//     E[ki, csc(vj)] over every allocated node's neighbours regardless of
+//     the allocator's own activation probability (see DESIGN.md, fidelity
+//     note 1 — this matches the paper's worked examples exactly).
+package diffusion
+
+import (
+	"fmt"
+
+	"s3crm/internal/graph"
+)
+
+// Instance bundles one S3CRM problem: the weighted graph, the per-user
+// benefit and costs, and the investment budget Binv.
+type Instance struct {
+	G        *graph.Graph
+	Benefit  []float64
+	SeedCost []float64
+	SCCost   []float64
+	Budget   float64
+}
+
+// Validate checks the arrays are consistent with the graph.
+func (in *Instance) Validate() error {
+	if in.G == nil {
+		return fmt.Errorf("diffusion: instance has nil graph")
+	}
+	n := in.G.NumNodes()
+	if len(in.Benefit) != n || len(in.SeedCost) != n || len(in.SCCost) != n {
+		return fmt.Errorf("diffusion: instance arrays (%d,%d,%d) do not match %d nodes",
+			len(in.Benefit), len(in.SeedCost), len(in.SCCost), n)
+	}
+	for v := 0; v < n; v++ {
+		if in.Benefit[v] < 0 || in.SeedCost[v] < 0 || in.SCCost[v] < 0 {
+			return fmt.Errorf("diffusion: negative benefit or cost at user %d", v)
+		}
+	}
+	if in.Budget < 0 {
+		return fmt.Errorf("diffusion: negative budget %v", in.Budget)
+	}
+	return nil
+}
+
+// BenefitRatio returns b0 = max benefit / min benefit, the constant in the
+// paper's approximation bound. Returns 0 for an empty instance.
+func (in *Instance) BenefitRatio() float64 {
+	return ratio(in.Benefit)
+}
+
+// CostRatio returns c0 = max cost / min cost over the union of seed and SC
+// costs, the second constant in the approximation bound.
+func (in *Instance) CostRatio() float64 {
+	all := make([]float64, 0, len(in.SeedCost)+len(in.SCCost))
+	all = append(all, in.SeedCost...)
+	all = append(all, in.SCCost...)
+	return ratio(all)
+}
+
+func ratio(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	min, max := xs[0], xs[0]
+	for _, x := range xs {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	if min <= 0 {
+		return 0 // unbounded ratio; the bound degenerates
+	}
+	return max / min
+}

@@ -1,0 +1,239 @@
+package diffusion
+
+import (
+	"fmt"
+	"sync"
+
+	"s3crm/internal/rng"
+)
+
+// Estimator estimates B(S, K) by Monte-Carlo simulation of the
+// capacity-constrained IC model.
+//
+// Edge liveness is decided by a stateless hash of (seed, world, edge), so
+// two deployments evaluated by the same Estimator see identical possible
+// worlds — common random numbers. Marginal gains B(D') − B(D) computed from
+// the same Estimator are therefore far less noisy than with independent
+// sampling, which is what makes the greedy marginal-redemption comparisons
+// of S3CA stable at modest sample counts.
+type Estimator struct {
+	Inst    *Instance
+	Samples int // number of possible worlds; must be > 0
+	Coin    rng.Coin
+	Workers int // parallel workers; <= 1 means sequential
+
+	mu      sync.Mutex
+	scratch []*simScratch // reusable per-worker propagation state
+
+	evals int64 // number of Benefit calls, for instrumentation
+}
+
+// NewEstimator returns an estimator over inst with the given sample count
+// and coin seed.
+func NewEstimator(inst *Instance, samples int, seed uint64) *Estimator {
+	return &Estimator{Inst: inst, Samples: samples, Coin: rng.NewCoin(seed)}
+}
+
+// simScratch holds per-world propagation state, reused across worlds via
+// epoch stamping so large arrays are never cleared.
+type simScratch struct {
+	epoch   int32
+	stamp   []int32 // stamp[v] == epoch ⇒ v active in current world
+	hop     []int32
+	queue   []int32
+	touched []int32 // nodes examined this world (for explored-ratio metrics)
+}
+
+func newSimScratch(n int) *simScratch {
+	return &simScratch{
+		stamp: make([]int32, n),
+		hop:   make([]int32, n),
+		queue: make([]int32, 0, 256),
+	}
+}
+
+func (s *simScratch) reset() {
+	s.epoch++
+	if s.epoch == 0 { // wrapped; clear stamps once per 2^31 worlds
+		for i := range s.stamp {
+			s.stamp[i] = -1
+		}
+		s.epoch = 1
+	}
+	s.queue = s.queue[:0]
+	s.touched = s.touched[:0]
+}
+
+func (s *simScratch) active(v int32) bool { return s.stamp[v] == s.epoch }
+
+func (s *simScratch) activate(v, hop int32) {
+	s.stamp[v] = s.epoch
+	s.hop[v] = hop
+	s.queue = append(s.queue, v)
+}
+
+// Result aggregates one deployment's Monte-Carlo outcome.
+type Result struct {
+	Benefit      float64 // expected total benefit of activated users
+	RealizedCost float64 // expected SC cost actually paid for redemptions
+	Activated    float64 // expected number of activated users
+	FarthestHop  float64 // expected maximum hop distance from the seeds
+	Explored     float64 // expected number of nodes examined per world
+
+	// weight is the fraction of the full sample count a partial result
+	// covers; used when combining per-worker results.
+	weight float64
+}
+
+// Benefit estimates B(S, K).
+func (e *Estimator) Benefit(d *Deployment) float64 {
+	return e.Evaluate(d).Benefit
+}
+
+// RedemptionRate estimates the S3CRM objective B/(Cseed+Csc); it returns 0
+// when the total cost is zero (the empty deployment).
+func (e *Estimator) RedemptionRate(d *Deployment) float64 {
+	cost := e.Inst.TotalCost(d)
+	if cost <= 0 {
+		return 0
+	}
+	return e.Benefit(d) / cost
+}
+
+// Evals returns the number of Evaluate calls made so far.
+func (e *Estimator) Evals() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.evals
+}
+
+// Evaluate runs the full simulation and returns all aggregate metrics.
+func (e *Estimator) Evaluate(d *Deployment) Result {
+	if e.Samples <= 0 {
+		panic("diffusion: Estimator with non-positive sample count")
+	}
+	e.mu.Lock()
+	e.evals++
+	e.mu.Unlock()
+	workers := e.Workers
+	if workers <= 1 || e.Samples < 4*workers {
+		return e.run(d, 0, e.Samples)
+	}
+	results := make([]Result, workers)
+	var wg sync.WaitGroup
+	per := e.Samples / workers
+	extra := e.Samples % workers
+	start := 0
+	for w := 0; w < workers; w++ {
+		count := per
+		if w < extra {
+			count++
+		}
+		lo, hi := start, start+count
+		start = hi
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			results[w] = e.run(d, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var total Result
+	for w := 0; w < workers; w++ {
+		total.Benefit += results[w].Benefit * results[w].weight
+		total.RealizedCost += results[w].RealizedCost * results[w].weight
+		total.Activated += results[w].Activated * results[w].weight
+		total.FarthestHop += results[w].FarthestHop * results[w].weight
+		total.Explored += results[w].Explored * results[w].weight
+	}
+	total.weight = 1
+	return total
+}
+
+func (e *Estimator) getScratch() *simScratch {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n := len(e.scratch); n > 0 {
+		s := e.scratch[n-1]
+		e.scratch = e.scratch[:n-1]
+		return s
+	}
+	return newSimScratch(e.Inst.G.NumNodes())
+}
+
+func (e *Estimator) putScratch(s *simScratch) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.scratch = append(e.scratch, s)
+}
+
+// run simulates worlds [lo, hi) and returns means over that slice tagged
+// with its weight relative to the full sample count.
+func (e *Estimator) run(d *Deployment, lo, hi int) Result {
+	s := e.getScratch()
+	defer e.putScratch(s)
+	g := e.Inst.G
+	var sumB, sumC, sumA, sumH, sumX float64
+	for w := lo; w < hi; w++ {
+		s.reset()
+		world := uint64(w)
+		for _, seed := range d.Seeds() {
+			if !s.active(seed) {
+				s.activate(seed, 0)
+			}
+		}
+		var worldB, worldC float64
+		var maxHop int32
+		for head := 0; head < len(s.queue); head++ {
+			v := s.queue[head]
+			worldB += e.Inst.Benefit[v]
+			if s.hop[v] > maxHop {
+				maxHop = s.hop[v]
+			}
+			coupons := d.K(v)
+			if coupons == 0 {
+				continue
+			}
+			targets, probs := g.OutEdges(v)
+			base := uint64(g.EdgeIndexBase(v))
+			redeemed := 0
+			for j, t := range targets {
+				if redeemed >= coupons {
+					break
+				}
+				if s.active(t) {
+					continue // already active: no coupon consumed
+				}
+				if e.Coin.Live(world, base+uint64(j), probs[j]) {
+					s.activate(t, s.hop[v]+1)
+					worldC += e.Inst.SCCost[t]
+					redeemed++
+				}
+			}
+		}
+		sumB += worldB
+		sumC += worldC
+		sumA += float64(len(s.queue))
+		sumH += float64(maxHop)
+		sumX += float64(len(s.queue)) // examined == activated frontier here
+	}
+	count := float64(hi - lo)
+	if count == 0 {
+		return Result{}
+	}
+	r := Result{
+		Benefit:      sumB / count,
+		RealizedCost: sumC / count,
+		Activated:    sumA / count,
+		FarthestHop:  sumH / count,
+		Explored:     sumX / count,
+	}
+	r.weight = count / float64(e.Samples)
+	return r
+}
+
+// String implements fmt.Stringer for debugging.
+func (r Result) String() string {
+	return fmt.Sprintf("Result{B=%.4g, Creal=%.4g, act=%.3g, hop=%.3g}",
+		r.Benefit, r.RealizedCost, r.Activated, r.FarthestHop)
+}

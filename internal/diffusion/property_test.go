@@ -1,0 +1,237 @@
+package diffusion
+
+import (
+	"testing"
+	"testing/quick"
+
+	"s3crm/internal/graph"
+	"s3crm/internal/rng"
+)
+
+// clampProbs converts arbitrary quick-generated floats into a valid
+// probability vector.
+func clampProbs(raw []float64) []float64 {
+	out := make([]float64, 0, len(raw))
+	for _, x := range raw {
+		if x != x { // NaN
+			continue
+		}
+		if x < 0 {
+			x = -x
+		}
+		for x > 1 {
+			x /= 2
+		}
+		out = append(out, x)
+	}
+	// Descending order, as the adjacency invariant requires.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] > out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func TestQuickRedeemProbsBounds(t *testing.T) {
+	f := func(raw []float64, kRaw uint8) bool {
+		probs := clampProbs(raw)
+		k := int(kRaw % 16)
+		rp := RedeemProbs(probs, k)
+		if len(rp) != len(probs) {
+			return false
+		}
+		sum := 0.0
+		for j := range rp {
+			if rp[j] < -1e-12 || rp[j] > probs[j]+1e-12 {
+				return false
+			}
+			sum += rp[j]
+		}
+		return sum <= float64(k)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRedeemProbsMonotoneInK(t *testing.T) {
+	f := func(raw []float64, kRaw uint8) bool {
+		probs := clampProbs(raw)
+		k := int(kRaw % 15)
+		lo := RedeemProbs(probs, k)
+		hi := RedeemProbs(probs, k+1)
+		for j := range lo {
+			if hi[j]+1e-12 < lo[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRedeemProbsFullCapacityIsIdentity(t *testing.T) {
+	f := func(raw []float64) bool {
+		probs := clampProbs(raw)
+		rp := RedeemProbs(probs, len(probs))
+		for j := range rp {
+			if diff := rp[j] - probs[j]; diff > 1e-12 || diff < -1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeploymentInvariants(t *testing.T) {
+	// Arbitrary operation sequences keep the seed list sorted and unique
+	// and TotalK equal to the sum of allocations.
+	f := func(ops []uint16) bool {
+		const n = 20
+		d := NewDeployment(n)
+		for _, op := range ops {
+			v := int32(op % n)
+			switch (op / n) % 4 {
+			case 0:
+				d.AddSeed(v)
+			case 1:
+				d.RemoveSeed(v)
+			case 2:
+				d.AddK(v, int(op%5))
+			case 3:
+				d.AddK(v, -int(op%3))
+			}
+		}
+		seeds := d.Seeds()
+		for i := 1; i < len(seeds); i++ {
+			if seeds[i] <= seeds[i-1] {
+				return false
+			}
+		}
+		total := 0
+		for v := int32(0); v < n; v++ {
+			if d.K(v) < 0 {
+				return false
+			}
+			if d.IsSeed(v) != containsInt32(seeds, v) {
+				return false
+			}
+			total += d.K(v)
+		}
+		return total == d.TotalK()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func containsInt32(xs []int32, x int32) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func TestQuickSCCostAdditiveOverNodes(t *testing.T) {
+	// Csc is a per-node sum: the cost of a combined allocation over
+	// disjoint node sets equals the sum of the parts.
+	inst := example1(t)
+	f := func(k1, k2, k3 uint8) bool {
+		a := NewDeployment(8)
+		a.SetK(1, int(k1%3))
+		b := NewDeployment(8)
+		b.SetK(2, int(k2%3))
+		b.SetK(3, int(k3%3))
+		both := NewDeployment(8)
+		both.SetK(1, int(k1%3))
+		both.SetK(2, int(k2%3))
+		both.SetK(3, int(k3%3))
+		diff := inst.SCCostOf(both) - inst.SCCostOf(a) - inst.SCCostOf(b)
+		return diff < 1e-12 && diff > -1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBenefitBounds(t *testing.T) {
+	// Estimated benefit is bounded below by the seeds' own benefit and
+	// above by the whole population's.
+	inst := example1(t)
+	totalBenefit := 0.0
+	for _, b := range inst.Benefit {
+		totalBenefit += b
+	}
+	est := NewEstimator(inst, 500, 77)
+	src := rng.New(4)
+	for trial := 0; trial < 30; trial++ {
+		d := NewDeployment(8)
+		seed := int32(src.Intn(8))
+		d.AddSeed(seed)
+		for v := int32(0); v < 8; v++ {
+			if deg := inst.G.OutDegree(v); deg > 0 {
+				d.SetK(v, src.Intn(deg+1))
+			}
+		}
+		got := est.Benefit(d)
+		if got < inst.Benefit[seed]-1e-9 {
+			t.Fatalf("benefit %v below seed's own %v", got, inst.Benefit[seed])
+		}
+		if got > totalBenefit+1e-9 {
+			t.Fatalf("benefit %v above population total %v", got, totalBenefit)
+		}
+	}
+}
+
+func TestQuickMCWithinExactOnRandomTrees(t *testing.T) {
+	// Random trees: the MC estimate must stay within a few standard
+	// errors of the exact tree value.
+	src := rng.New(90)
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + src.Intn(8)
+		edges := make([]graph.Edge, 0, n-1)
+		for v := 1; v < n; v++ {
+			parent := int32(src.Intn(v))
+			edges = append(edges, graph.Edge{From: parent, To: int32(v), P: 0.2 + 0.7*src.Float64()})
+		}
+		g, err := graph.FromEdges(n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst := &Instance{
+			G:        g,
+			Benefit:  make([]float64, n),
+			SeedCost: make([]float64, n),
+			SCCost:   make([]float64, n),
+			Budget:   100,
+		}
+		for i := 0; i < n; i++ {
+			inst.Benefit[i] = 0.5 + 2*src.Float64()
+			inst.SeedCost[i] = 1
+			inst.SCCost[i] = 1
+		}
+		d := NewDeployment(n)
+		d.AddSeed(0)
+		for v := int32(0); v < int32(n); v++ {
+			if deg := g.OutDegree(v); deg > 0 {
+				d.SetK(v, 1+src.Intn(deg))
+			}
+		}
+		exact, err := ExactTreeBenefit(inst, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := NewEstimator(inst, 100000, uint64(trial)).Benefit(d)
+		if rel := (got - exact) / exact; rel > 0.03 || rel < -0.03 {
+			t.Fatalf("trial %d: MC %v vs exact %v", trial, got, exact)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"s3crm/internal/gen"
+)
+
+// RenderTable renders an aligned plain-text table.
+func RenderTable(title string, headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// PresetStatistics renders Table II: the dataset profiles the synthetic
+// generators target.
+func PresetStatistics() string {
+	headers := []string{"Dataset", "Nodes", "Edges", "Binv", "mu", "sigma"}
+	var rows [][]string
+	for _, p := range gen.Presets() {
+		rows = append(rows, []string{
+			p.Name,
+			fmt.Sprintf("%d", p.Nodes),
+			fmt.Sprintf("%d", p.Edges),
+			fmt.Sprintf("%.0f", p.Binv),
+			fmt.Sprintf("%.0f", p.Mu),
+			fmt.Sprintf("%.0f", p.Sigma),
+		})
+	}
+	return RenderTable("Table II — datasets", headers, rows)
+}
+
+// FarthestHops runs Table III: the average farthest hop from seeds per
+// dataset and algorithm.
+func FarthestHops(setups []Setup, algos []string, p RunParams) (string, error) {
+	headers := append([]string{"Dataset"}, algos...)
+	var rows [][]string
+	for _, s := range setups {
+		inst, err := BuildInstance(s)
+		if err != nil {
+			return "", err
+		}
+		ms, err := runAll(inst, algos, p)
+		if err != nil {
+			return "", err
+		}
+		row := []string{s.Preset.Name}
+		for _, m := range ms {
+			row = append(row, fmt.Sprintf("%.3f", m.FarthestHop))
+		}
+		rows = append(rows, row)
+	}
+	return RenderTable("Table III — average farthest hops from seeds", headers, rows), nil
+}
+
+// RunningTime runs Table IV: S3CA's running time across budgets for one
+// dataset.
+func RunningTime(s Setup, budgets []float64, p RunParams) (string, error) {
+	pts, err := BudgetSweep(s, budgets, []string{"S3CA"}, p)
+	if err != nil {
+		return "", err
+	}
+	headers := []string{"Binv", "seconds"}
+	var rows [][]string
+	for _, pt := range pts {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f", pt.X),
+			fmt.Sprintf("%.2f", pt.Measures[0].RuntimeSeconds),
+		})
+	}
+	title := fmt.Sprintf("Table IV — S3CA running time (%s)", s.Preset.Name)
+	return RenderTable(title, headers, rows), nil
+}
+
+// MetricColumn extracts one metric across a sweep for figure-style output.
+type MetricColumn func(Measure) float64
+
+// Standard metric selectors for the figures.
+var (
+	Redemption  MetricColumn = func(m Measure) float64 { return m.Redemption }
+	Benefit     MetricColumn = func(m Measure) float64 { return m.Benefit }
+	SeedSCRate  MetricColumn = func(m Measure) float64 { return m.SeedSCRate }
+	Runtime     MetricColumn = func(m Measure) float64 { return m.RuntimeSeconds }
+	FarthestHop MetricColumn = func(m Measure) float64 { return m.FarthestHop }
+)
+
+// RenderSweep renders a figure-style series table: one row per x value, one
+// column per algorithm, cells holding the selected metric.
+func RenderSweep(title, xLabel string, pts []Point, metric MetricColumn) string {
+	if len(pts) == 0 {
+		return title + " (no data)\n"
+	}
+	headers := []string{xLabel}
+	for _, m := range pts[0].Measures {
+		headers = append(headers, m.Algo)
+	}
+	var rows [][]string
+	for _, pt := range pts {
+		row := []string{fmt.Sprintf("%g", pt.X)}
+		for _, m := range pt.Measures {
+			row = append(row, fmt.Sprintf("%.4g", metric(m)))
+		}
+		rows = append(rows, row)
+	}
+	return RenderTable(title, headers, rows)
+}
+
+// RenderScale renders Fig. 9 series.
+func RenderScale(title string, rows []ScaleRow) string {
+	headers := []string{"nodes", "Binv", "seconds", "explored", "redemption"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprintf("%d", r.Nodes),
+			fmt.Sprintf("%g", r.Budget),
+			fmt.Sprintf("%.3f", r.RuntimeSeconds),
+			fmt.Sprintf("%.4f", r.ExploredRatio),
+			fmt.Sprintf("%.4g", r.Redemption),
+		})
+	}
+	return RenderTable(title, headers, cells)
+}
+
+// RenderApprox renders the Fig. 10 series.
+func RenderApprox(title string, rows []ApproxRow) string {
+	headers := []string{"margin%", "S3CA", "OPT", "worst-case"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprintf("%g", r.Margin),
+			fmt.Sprintf("%.4g", r.S3CA),
+			fmt.Sprintf("%.4g", r.Opt),
+			fmt.Sprintf("%.4g", r.WorstCase),
+		})
+	}
+	return RenderTable(title, headers, cells)
+}

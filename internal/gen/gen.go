@@ -1,0 +1,186 @@
+// Package gen generates the synthetic online social networks used by the
+// experiments.
+//
+// The paper evaluates on four SNAP/KDD datasets (Table II) and on synthetic
+// "Facebook-like" graphs produced by PPGG, a pattern-preserving generator
+// (ICDM'13) parameterized by a power-law exponent η, a clustering
+// coefficient and a pattern support. Both the datasets and PPGG are
+// unavailable offline, so this package builds the closest synthetic
+// equivalents:
+//
+//   - ErdosRenyi and BarabasiAlbert for baseline topologies;
+//   - HolmeKim — preferential attachment with triad closure, giving
+//     power-law degrees plus tunable clustering;
+//   - PatternPreserving — the PPGG substitute: a truncated power-law degree
+//     sequence with exact exponent control (η < 2 included, which growth
+//     models cannot reach), wired by a configuration model, clustered by
+//     triad closure, and stamped with frequent motifs (triangles, stars,
+//     chains) at a given support;
+//   - Preset — Table II dataset profiles (node/edge counts, budget, benefit
+//     distribution) at a configurable down-scale.
+//
+// All generators take an explicit *rng.Source so experiments are exactly
+// reproducible, and all return graphs whose influence probabilities are the
+// paper's standard P(e(i,j)) = 1/indegree(j).
+package gen
+
+import (
+	"fmt"
+
+	"s3crm/internal/graph"
+	"s3crm/internal/rng"
+)
+
+// ErdosRenyi returns a directed G(n, m) graph: m distinct directed edges
+// (no self loops) chosen uniformly, weighted by in-degree.
+func ErdosRenyi(n, m int, src *rng.Source) (*graph.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: ErdosRenyi needs n >= 2, got %d", n)
+	}
+	maxEdges := n * (n - 1)
+	if m > maxEdges {
+		return nil, fmt.Errorf("gen: ErdosRenyi m=%d exceeds n(n-1)=%d", m, maxEdges)
+	}
+	seen := make(map[int64]struct{}, m)
+	edges := make([]graph.Edge, 0, m)
+	for len(edges) < m {
+		u := int32(src.Intn(n))
+		v := int32(src.Intn(n))
+		if u == v {
+			continue
+		}
+		key := int64(u)*int64(n) + int64(v)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		edges = append(edges, graph.Edge{From: u, To: v})
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	return g.WeightByInDegree(), nil
+}
+
+// BarabasiAlbert grows a preferential-attachment graph: each new node
+// attaches to mPerNode existing nodes chosen proportionally to degree. When
+// mutual is true each attachment adds both directions (SNAP's Facebook graph
+// is undirected); otherwise the new node points at its targets.
+func BarabasiAlbert(n, mPerNode int, mutual bool, src *rng.Source) (*graph.Graph, error) {
+	if mPerNode < 1 || n <= mPerNode {
+		return nil, fmt.Errorf("gen: BarabasiAlbert needs 1 <= m < n, got m=%d n=%d", mPerNode, n)
+	}
+	// repeated-nodes trick: attachment targets drawn uniformly from a list
+	// where each node appears once per incident attachment.
+	repeated := make([]int32, 0, 2*n*mPerNode)
+	var edges []graph.Edge
+	addEdge := func(u, v int32) {
+		edges = append(edges, graph.Edge{From: u, To: v})
+		if mutual {
+			edges = append(edges, graph.Edge{From: v, To: u})
+		}
+	}
+	// seed clique among the first mPerNode+1 nodes
+	for u := int32(0); u <= int32(mPerNode); u++ {
+		for v := int32(0); v <= int32(mPerNode); v++ {
+			if u != v && u < v {
+				addEdge(u, v)
+				repeated = append(repeated, u, v)
+			}
+		}
+	}
+	for v := int32(mPerNode) + 1; v < int32(n); v++ {
+		chosen := make(map[int32]struct{}, mPerNode)
+		for len(chosen) < mPerNode {
+			t := repeated[src.Intn(len(repeated))]
+			if t == v {
+				continue
+			}
+			chosen[t] = struct{}{}
+		}
+		for t := range chosen {
+			addEdge(v, t)
+			repeated = append(repeated, v, t)
+		}
+	}
+	g, err := graph.FromEdges(n, dedupEdges(edges))
+	if err != nil {
+		return nil, err
+	}
+	return g.WeightByInDegree(), nil
+}
+
+// HolmeKim is BarabasiAlbert with triad closure: after a preferential
+// attachment step, with probability pTriad the next attachment goes to a
+// random neighbour of the previous target, forming a triangle. Larger
+// pTriad raises the clustering coefficient.
+func HolmeKim(n, mPerNode int, pTriad float64, mutual bool, src *rng.Source) (*graph.Graph, error) {
+	if mPerNode < 1 || n <= mPerNode {
+		return nil, fmt.Errorf("gen: HolmeKim needs 1 <= m < n, got m=%d n=%d", mPerNode, n)
+	}
+	if pTriad < 0 || pTriad > 1 {
+		return nil, fmt.Errorf("gen: HolmeKim pTriad %v outside [0,1]", pTriad)
+	}
+	repeated := make([]int32, 0, 2*n*mPerNode)
+	neighbours := make([][]int32, n) // undirected adjacency for triad steps
+	var edges []graph.Edge
+	addEdge := func(u, v int32) {
+		edges = append(edges, graph.Edge{From: u, To: v})
+		if mutual {
+			edges = append(edges, graph.Edge{From: v, To: u})
+		}
+		neighbours[u] = append(neighbours[u], v)
+		neighbours[v] = append(neighbours[v], u)
+		repeated = append(repeated, u, v)
+	}
+	for u := int32(0); u <= int32(mPerNode); u++ {
+		for v := u + 1; v <= int32(mPerNode); v++ {
+			addEdge(u, v)
+		}
+	}
+	for v := int32(mPerNode) + 1; v < int32(n); v++ {
+		chosen := make(map[int32]struct{}, mPerNode)
+		var last int32 = -1
+		for len(chosen) < mPerNode {
+			var t int32
+			if last >= 0 && len(neighbours[last]) > 0 && src.Float64() < pTriad {
+				t = neighbours[last][src.Intn(len(neighbours[last]))]
+			} else {
+				t = repeated[src.Intn(len(repeated))]
+			}
+			if t == v {
+				continue
+			}
+			if _, dup := chosen[t]; dup {
+				last = t
+				continue
+			}
+			chosen[t] = struct{}{}
+			last = t
+			addEdge(v, t)
+		}
+	}
+	g, err := graph.FromEdges(n, dedupEdges(edges))
+	if err != nil {
+		return nil, err
+	}
+	return g.WeightByInDegree(), nil
+}
+
+// dedupEdges removes duplicate (from,to) pairs, keeping the first
+// occurrence. Generators that add mutual edges can produce duplicates when
+// two attachment steps pick the same pair in both directions.
+func dedupEdges(edges []graph.Edge) []graph.Edge {
+	seen := make(map[int64]struct{}, len(edges))
+	out := edges[:0]
+	for _, e := range edges {
+		key := int64(e.From)<<32 | int64(uint32(e.To))
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		out = append(out, e)
+	}
+	return out
+}

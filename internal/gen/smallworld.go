@@ -1,0 +1,102 @@
+package gen
+
+import (
+	"fmt"
+
+	"s3crm/internal/graph"
+	"s3crm/internal/rng"
+)
+
+// WattsStrogatz generates a small-world network: a ring lattice where every
+// node connects to its k nearest neighbours (k even), with each edge
+// rewired to a uniform random target with probability beta. Low beta keeps
+// the lattice's high clustering; raising beta shortens path lengths — the
+// classic small-world interpolation, useful as an ablation topology
+// alongside the power-law generators.
+//
+// Edges are emitted in both directions (friendship graphs) and weighted by
+// in-degree as usual.
+func WattsStrogatz(n, k int, beta float64, src *rng.Source) (*graph.Graph, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("gen: WattsStrogatz needs even k >= 2, got %d", k)
+	}
+	if n <= k {
+		return nil, fmt.Errorf("gen: WattsStrogatz needs n > k, got n=%d k=%d", n, k)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("gen: WattsStrogatz beta %v outside [0,1]", beta)
+	}
+	type key struct{ u, v int32 }
+	seen := make(map[key]bool, n*k)
+	var undirected [][2]int32
+	addUndirected := func(u, v int32) bool {
+		if u == v {
+			return false
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[key{u, v}] {
+			return false
+		}
+		seen[key{u, v}] = true
+		undirected = append(undirected, [2]int32{u, v})
+		return true
+	}
+	// Ring lattice.
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k/2; j++ {
+			addUndirected(int32(u), int32((u+j)%n))
+		}
+	}
+	// Rewiring pass.
+	for i := range undirected {
+		if src.Float64() >= beta {
+			continue
+		}
+		u := undirected[i][0]
+		old := undirected[i]
+		for attempt := 0; attempt < 20; attempt++ {
+			w := int32(src.Intn(n))
+			if w == u {
+				continue
+			}
+			a, b := u, w
+			if a > b {
+				a, b = b, a
+			}
+			if seen[key{a, b}] {
+				continue
+			}
+			delete(seen, key{minI32(old[0], old[1]), maxI32(old[0], old[1])})
+			seen[key{a, b}] = true
+			undirected[i] = [2]int32{u, w}
+			break
+		}
+	}
+	edges := make([]graph.Edge, 0, 2*len(undirected))
+	for _, uv := range undirected {
+		edges = append(edges,
+			graph.Edge{From: uv[0], To: uv[1]},
+			graph.Edge{From: uv[1], To: uv[0]})
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	return g.WeightByInDegree(), nil
+}
+
+func minI32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,74 @@
+package gen
+
+import (
+	"testing"
+
+	"s3crm/internal/rng"
+)
+
+func TestWattsStrogatzLattice(t *testing.T) {
+	// beta = 0: a pure ring lattice — every node has out-degree k.
+	g, err := WattsStrogatz(50, 4, 0, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 50 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	for v := int32(0); v < 50; v++ {
+		if g.OutDegree(v) != 4 {
+			t.Fatalf("lattice degree at %d = %d, want 4", v, g.OutDegree(v))
+		}
+	}
+	assertInDegreeWeights(t, g)
+	assertNoSelfLoops(t, g)
+}
+
+func TestWattsStrogatzClusteringDropsWithBeta(t *testing.T) {
+	lattice, err := WattsStrogatz(400, 8, 0, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := WattsStrogatz(400, 8, 1, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cLat := lattice.ApproxClustering(rng.New(3), 200)
+	cRnd := random.ApproxClustering(rng.New(3), 200)
+	if cLat <= cRnd {
+		t.Fatalf("rewiring did not reduce clustering: %v <= %v", cLat, cRnd)
+	}
+	// The k=8 ring lattice's clustering coefficient is 0.6429 analytically
+	// (3(k-2)/(4(k-1))).
+	if cLat < 0.55 || cLat > 0.7 {
+		t.Fatalf("lattice clustering = %v, want ≈ 0.64", cLat)
+	}
+}
+
+func TestWattsStrogatzEdgeCountConserved(t *testing.T) {
+	// Rewiring never changes the number of undirected links.
+	for _, beta := range []float64{0, 0.3, 1} {
+		g, err := WattsStrogatz(100, 6, beta, rng.New(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumEdges() != 100*6 {
+			t.Fatalf("beta=%v: edges = %d, want 600", beta, g.NumEdges())
+		}
+	}
+}
+
+func TestWattsStrogatzErrors(t *testing.T) {
+	if _, err := WattsStrogatz(10, 3, 0.1, rng.New(1)); err == nil {
+		t.Fatal("odd k accepted")
+	}
+	if _, err := WattsStrogatz(10, 0, 0.1, rng.New(1)); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := WattsStrogatz(4, 4, 0.1, rng.New(1)); err == nil {
+		t.Fatal("n<=k accepted")
+	}
+	if _, err := WattsStrogatz(10, 4, 1.5, rng.New(1)); err == nil {
+		t.Fatal("beta>1 accepted")
+	}
+}

@@ -1,0 +1,77 @@
+package gio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"s3crm/internal/graph"
+)
+
+// Scenario is the serializable form of a full S3CRM instance: the graph
+// plus per-user costs and the budget. It decouples experiment artifacts
+// from the in-memory types so saved scenarios remain readable across
+// refactors.
+type Scenario struct {
+	Nodes    int          `json:"nodes"`
+	Edges    []graph.Edge `json:"edges"`
+	Benefit  []float64    `json:"benefit"`
+	SeedCost []float64    `json:"seed_cost"`
+	SCCost   []float64    `json:"sc_cost"`
+	Budget   float64      `json:"budget"`
+}
+
+// Validate checks internal consistency without building the graph.
+func (s *Scenario) Validate() error {
+	if s.Nodes < 0 {
+		return fmt.Errorf("gio: scenario has negative node count")
+	}
+	if len(s.Benefit) != s.Nodes || len(s.SeedCost) != s.Nodes || len(s.SCCost) != s.Nodes {
+		return fmt.Errorf("gio: scenario arrays (%d,%d,%d) do not match %d nodes",
+			len(s.Benefit), len(s.SeedCost), len(s.SCCost), s.Nodes)
+	}
+	if s.Budget < 0 {
+		return fmt.Errorf("gio: scenario has negative budget")
+	}
+	for _, e := range s.Edges {
+		if e.From < 0 || int(e.From) >= s.Nodes || e.To < 0 || int(e.To) >= s.Nodes {
+			return fmt.Errorf("gio: scenario edge (%d,%d) out of range", e.From, e.To)
+		}
+		if e.P < 0 || e.P > 1 {
+			return fmt.Errorf("gio: scenario edge (%d,%d) probability %v outside [0,1]", e.From, e.To, e.P)
+		}
+	}
+	return nil
+}
+
+// Graph builds the graph.Graph of the scenario.
+func (s *Scenario) Graph() (*graph.Graph, error) {
+	return graph.FromEdges(s.Nodes, s.Edges)
+}
+
+// WriteScenario writes s as JSON.
+func WriteScenario(w io.Writer, s *Scenario) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("gio: encoding scenario: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadScenario parses a scenario written by WriteScenario and validates it.
+func ReadScenario(r io.Reader) (*Scenario, error) {
+	var s Scenario
+	dec := json.NewDecoder(bufio.NewReader(r))
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("gio: decoding scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

@@ -1,0 +1,87 @@
+package gio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"s3crm/internal/graph"
+)
+
+func sampleScenario() *Scenario {
+	return &Scenario{
+		Nodes: 3,
+		Edges: []graph.Edge{
+			{From: 0, To: 1, P: 0.5},
+			{From: 1, To: 2, P: 0.25},
+		},
+		Benefit:  []float64{1, 2, 3},
+		SeedCost: []float64{4, 5, 6},
+		SCCost:   []float64{1, 1, 1},
+		Budget:   10,
+	}
+}
+
+func TestScenarioRoundTrip(t *testing.T) {
+	s := sampleScenario()
+	var buf bytes.Buffer
+	if err := WriteScenario(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadScenario(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Nodes != s.Nodes || got.Budget != s.Budget {
+		t.Fatalf("scalar fields changed: %+v", got)
+	}
+	if len(got.Edges) != 2 || got.Edges[1].P != 0.25 {
+		t.Fatalf("edges changed: %+v", got.Edges)
+	}
+	for i := range s.Benefit {
+		if got.Benefit[i] != s.Benefit[i] || got.SeedCost[i] != s.SeedCost[i] || got.SCCost[i] != s.SCCost[i] {
+			t.Fatal("cost arrays changed")
+		}
+	}
+}
+
+func TestScenarioGraph(t *testing.T) {
+	g, err := sampleScenario().Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("graph shape wrong: %d/%d", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	bad := []*Scenario{
+		{Nodes: -1},
+		{Nodes: 2, Benefit: []float64{1}, SeedCost: []float64{1, 1}, SCCost: []float64{1, 1}},
+		{Nodes: 1, Benefit: []float64{1}, SeedCost: []float64{1}, SCCost: []float64{1}, Budget: -5},
+		{Nodes: 1, Benefit: []float64{1}, SeedCost: []float64{1}, SCCost: []float64{1},
+			Edges: []graph.Edge{{From: 0, To: 5, P: 0.5}}},
+		{Nodes: 2, Benefit: []float64{1, 1}, SeedCost: []float64{1, 1}, SCCost: []float64{1, 1},
+			Edges: []graph.Edge{{From: 0, To: 1, P: 1.5}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("bad scenario %d accepted", i)
+		}
+		var buf bytes.Buffer
+		if err := WriteScenario(&buf, s); err == nil {
+			t.Fatalf("bad scenario %d written", i)
+		}
+	}
+}
+
+func TestReadScenarioRejectsGarbage(t *testing.T) {
+	if _, err := ReadScenario(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage JSON accepted")
+	}
+	// Valid JSON, invalid scenario.
+	if _, err := ReadScenario(strings.NewReader(`{"nodes": 2, "budget": 1}`)); err == nil {
+		t.Fatal("inconsistent scenario accepted")
+	}
+}

@@ -1,0 +1,150 @@
+package graph
+
+// Reverse returns the transpose graph: every edge (u, v, p) becomes
+// (v, u, p). Reverse adjacency is the substrate of reverse-influence
+// sampling (the paper's reverse-greedy speedup [15]).
+func (g *Graph) Reverse() *Graph {
+	edges := g.Edges()
+	for i := range edges {
+		edges[i].From, edges[i].To = edges[i].To, edges[i].From
+	}
+	rg, err := FromEdges(g.n, edges)
+	if err != nil {
+		// Cannot happen: transposing a valid edge list keeps it valid.
+		panic("graph: Reverse rebuild failed: " + err.Error())
+	}
+	return rg
+}
+
+// StronglyConnectedComponents returns a component label per node and the
+// component count, using Tarjan's algorithm with an explicit stack (safe
+// for deep graphs).
+func (g *Graph) StronglyConnectedComponents() (labels []int32, count int) {
+	const unvisited = -1
+	n := g.n
+	labels = make([]int32, n)
+	index := make([]int32, n)
+	lowlink := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+		labels[i] = unvisited
+	}
+	var (
+		stack   []int32 // Tarjan's component stack
+		counter int32
+		compID  int32
+	)
+	// Explicit DFS frames: node plus position in its adjacency.
+	type frame struct {
+		v   int32
+		pos int
+	}
+	var frames []frame
+	for root := int32(0); root < int32(n); root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		frames = append(frames[:0], frame{v: root})
+		index[root] = counter
+		lowlink[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			ts, _ := g.OutEdges(f.v)
+			advanced := false
+			for f.pos < len(ts) {
+				w := ts[f.pos]
+				f.pos++
+				if index[w] == unvisited {
+					index[w] = counter
+					lowlink[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < lowlink[f.v] {
+					lowlink[f.v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// f.v is finished.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].v
+				if lowlink[v] < lowlink[parent] {
+					lowlink[parent] = lowlink[v]
+				}
+			}
+			if lowlink[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					labels[w] = compID
+					if w == v {
+						break
+					}
+				}
+				compID++
+			}
+		}
+	}
+	return labels, int(compID)
+}
+
+// PageRank computes the PageRank vector with the given damping factor and
+// iteration count, treating edge probabilities as uniform link weights
+// (the classic formulation). Dangling mass is redistributed uniformly.
+// It is used by the evaluation harness to sanity-check generated networks
+// and by the high-degree/centrality baseline seed rankings.
+func (g *Graph) PageRank(damping float64, iterations int) []float64 {
+	n := g.n
+	if n == 0 {
+		return nil
+	}
+	if damping <= 0 || damping >= 1 {
+		damping = 0.85
+	}
+	if iterations <= 0 {
+		iterations = 30
+	}
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	inv := 1 / float64(n)
+	for i := range rank {
+		rank[i] = inv
+	}
+	for it := 0; it < iterations; it++ {
+		dangling := 0.0
+		for i := range next {
+			next[i] = 0
+		}
+		for v := int32(0); v < int32(n); v++ {
+			deg := g.OutDegree(v)
+			if deg == 0 {
+				dangling += rank[v]
+				continue
+			}
+			share := rank[v] / float64(deg)
+			ts, _ := g.OutEdges(v)
+			for _, t := range ts {
+				next[t] += share
+			}
+		}
+		base := (1-damping)*inv + damping*dangling*inv
+		for i := range next {
+			next[i] = base + damping*next[i]
+		}
+		rank, next = next, rank
+	}
+	return rank
+}

@@ -1,0 +1,186 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"s3crm/internal/rng"
+)
+
+func TestReverse(t *testing.T) {
+	g := diamond(t)
+	r := g.Reverse()
+	if r.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count changed: %d vs %d", r.NumEdges(), g.NumEdges())
+	}
+	for _, e := range g.Edges() {
+		p, ok := r.EdgeProb(e.To, e.From)
+		if !ok || p != e.P {
+			t.Fatalf("edge (%d,%d,%g) not reversed", e.From, e.To, e.P)
+		}
+	}
+	// Degrees swap roles.
+	if r.OutDegree(3) != g.InDegree(3) || r.InDegree(0) != g.OutDegree(0) {
+		t.Fatal("degrees not transposed")
+	}
+}
+
+func TestReverseTwiceIsIdentity(t *testing.T) {
+	g := diamond(t)
+	rr := g.Reverse().Reverse()
+	e1, e2 := g.Edges(), rr.Edges()
+	if len(e1) != len(e2) {
+		t.Fatal("double reverse changed size")
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("double reverse changed edge %d", i)
+		}
+	}
+}
+
+func TestSCCOnDAG(t *testing.T) {
+	g := diamond(t) // a DAG: every node its own component
+	labels, count := g.StronglyConnectedComponents()
+	if count != 4 {
+		t.Fatalf("components = %d, want 4", count)
+	}
+	seen := map[int32]bool{}
+	for _, l := range labels {
+		seen[l] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("labels not distinct: %v", labels)
+	}
+}
+
+func TestSCCOnCycle(t *testing.T) {
+	b := NewBuilder(5)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 3-cycle {0,1,2}, tail 2→3→4
+	must(b.AddEdge(0, 1, 0.5))
+	must(b.AddEdge(1, 2, 0.5))
+	must(b.AddEdge(2, 0, 0.5))
+	must(b.AddEdge(2, 3, 0.5))
+	must(b.AddEdge(3, 4, 0.5))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, count := g.StronglyConnectedComponents()
+	if count != 3 {
+		t.Fatalf("components = %d, want 3 (cycle + 2 singletons)", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatalf("cycle split: %v", labels)
+	}
+	if labels[3] == labels[0] || labels[4] == labels[0] || labels[3] == labels[4] {
+		t.Fatalf("tail misgrouped: %v", labels)
+	}
+}
+
+func TestSCCDeepChainNoOverflow(t *testing.T) {
+	// 50k-node chain: the explicit-stack Tarjan must not blow the stack.
+	n := 50000
+	edges := make([]Edge, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, Edge{From: int32(i), To: int32(i + 1), P: 0.5})
+	}
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, count := g.StronglyConnectedComponents()
+	if count != n {
+		t.Fatalf("components = %d, want %d", count, n)
+	}
+}
+
+func TestPageRankUniformOnCycle(t *testing.T) {
+	b := NewBuilder(4)
+	for i := int32(0); i < 4; i++ {
+		if err := b.AddEdge(i, (i+1)%4, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := g.PageRank(0.85, 50)
+	for _, r := range pr {
+		if math.Abs(r-0.25) > 1e-9 {
+			t.Fatalf("cycle PageRank not uniform: %v", pr)
+		}
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	src := rng.New(3)
+	var edges []Edge
+	seen := map[[2]int32]bool{}
+	n := 50
+	for len(edges) < 200 {
+		u, v := int32(src.Intn(n)), int32(src.Intn(n))
+		if u == v || seen[[2]int32{u, v}] {
+			continue
+		}
+		seen[[2]int32{u, v}] = true
+		edges = append(edges, Edge{From: u, To: v, P: src.Float64()})
+	}
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := g.PageRank(0.85, 40)
+	sum := 0.0
+	for _, r := range pr {
+		if r < 0 {
+			t.Fatalf("negative rank %v", r)
+		}
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("PageRank sums to %v, want 1", sum)
+	}
+}
+
+func TestPageRankHubsRankHigher(t *testing.T) {
+	// A star pointing at node 0: node 0 must outrank the leaves.
+	b := NewBuilder(6)
+	for from := int32(1); from < 6; from++ {
+		if err := b.AddEdge(from, 0, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := g.PageRank(0.85, 40)
+	for v := 1; v < 6; v++ {
+		if pr[0] <= pr[v] {
+			t.Fatalf("hub rank %v not above leaf rank %v", pr[0], pr[v])
+		}
+	}
+}
+
+func TestPageRankDefaults(t *testing.T) {
+	g := diamond(t)
+	// Bad parameters fall back to sane defaults rather than diverging.
+	pr := g.PageRank(-3, -1)
+	sum := 0.0
+	for _, r := range pr {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("defaulted PageRank sums to %v", sum)
+	}
+	if got := (&Graph{}).PageRank(0.85, 10); got != nil {
+		t.Fatal("empty graph should return nil")
+	}
+}

@@ -1,0 +1,304 @@
+// Package graph implements the weighted directed graph substrate underlying
+// the S3CRM reproduction.
+//
+// The paper models the OSN as a weighted digraph G = {V, E} where the weight
+// P(e(i,j)) of edge e(i,j) is the influence probability with which vi
+// activates vj. The social-coupon propagation model offers coupons to
+// out-neighbours in descending order of influence probability, so the graph
+// stores each node's out-adjacency pre-sorted by descending probability
+// (ties broken by node id for determinism). That ordering is the load-bearing
+// invariant of the whole reproduction: the position of a neighbour in the
+// adjacency decides whether its edge is independent (position <= k) or
+// dependent (position > k) for an allocation of k coupons.
+//
+// Graphs are immutable once built. Construction goes through Builder or
+// FromEdges.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Edge is one directed edge with its influence probability.
+type Edge struct {
+	From, To int32
+	P        float64
+}
+
+// Graph is an immutable weighted digraph in compressed sparse row form.
+type Graph struct {
+	n       int
+	offsets []int64   // len n+1; out-edge range of node v is [offsets[v], offsets[v+1])
+	targets []int32   // out-neighbours, sorted by descending P within each node
+	probs   []float64 // parallel to targets
+	inDeg   []int32   // in-degree per node
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+type Builder struct {
+	n     int
+	edges []Edge
+}
+
+// NewBuilder returns a builder for a graph with n nodes (ids 0..n-1).
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// AddEdge records a directed edge. Probabilities outside [0,1] and endpoints
+// outside [0,n) are rejected.
+func (b *Builder) AddEdge(from, to int32, p float64) error {
+	if from < 0 || int(from) >= b.n || to < 0 || int(to) >= b.n {
+		return fmt.Errorf("graph: edge (%d,%d) endpoint out of range [0,%d)", from, to, b.n)
+	}
+	if p < 0 || p > 1 {
+		return fmt.Errorf("graph: edge (%d,%d) probability %v outside [0,1]", from, to, p)
+	}
+	b.edges = append(b.edges, Edge{From: from, To: to, P: p})
+	return nil
+}
+
+// NumEdges returns the number of edges recorded so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build finalizes the graph. Duplicate (from,to) pairs are rejected: the
+// propagation model assigns one coupon slot per neighbour, so parallel edges
+// have no meaning.
+func (b *Builder) Build() (*Graph, error) {
+	return FromEdges(b.n, b.edges)
+}
+
+// FromEdges constructs a Graph from an edge list. The slice is not retained.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	if n < 0 {
+		return nil, errors.New("graph: negative node count")
+	}
+	g := &Graph{
+		n:       n,
+		offsets: make([]int64, n+1),
+		targets: make([]int32, len(edges)),
+		probs:   make([]float64, len(edges)),
+		inDeg:   make([]int32, n),
+	}
+	// Counting sort by source node.
+	counts := make([]int64, n+1)
+	for _, e := range edges {
+		if e.From < 0 || int(e.From) >= n || e.To < 0 || int(e.To) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) endpoint out of range [0,%d)", e.From, e.To, n)
+		}
+		if e.P < 0 || e.P > 1 {
+			return nil, fmt.Errorf("graph: edge (%d,%d) probability %v outside [0,1]", e.From, e.To, e.P)
+		}
+		counts[e.From+1]++
+		g.inDeg[e.To]++
+	}
+	for v := 0; v < n; v++ {
+		counts[v+1] += counts[v]
+	}
+	copy(g.offsets, counts)
+	cursor := make([]int64, n)
+	copy(cursor, counts[:n])
+	for _, e := range edges {
+		i := cursor[e.From]
+		g.targets[i] = e.To
+		g.probs[i] = e.P
+		cursor[e.From]++
+	}
+	// Sort each adjacency by descending probability, ties by ascending id.
+	for v := 0; v < n; v++ {
+		lo, hi := g.offsets[v], g.offsets[v+1]
+		adj := adjSorter{targets: g.targets[lo:hi], probs: g.probs[lo:hi]}
+		sort.Sort(adj)
+		// Reject duplicates: after sorting the duplicate pair may not be
+		// adjacent (sorted by prob), so check via a second pass when the
+		// degree is non-trivial.
+		if hi-lo > 1 {
+			seen := make(map[int32]struct{}, hi-lo)
+			for _, t := range g.targets[lo:hi] {
+				if _, dup := seen[t]; dup {
+					return nil, fmt.Errorf("graph: duplicate edge (%d,%d)", v, t)
+				}
+				seen[t] = struct{}{}
+			}
+		}
+	}
+	return g, nil
+}
+
+type adjSorter struct {
+	targets []int32
+	probs   []float64
+}
+
+func (a adjSorter) Len() int { return len(a.targets) }
+func (a adjSorter) Less(i, j int) bool {
+	if a.probs[i] != a.probs[j] {
+		return a.probs[i] > a.probs[j]
+	}
+	return a.targets[i] < a.targets[j]
+}
+func (a adjSorter) Swap(i, j int) {
+	a.targets[i], a.targets[j] = a.targets[j], a.targets[i]
+	a.probs[i], a.probs[j] = a.probs[j], a.probs[i]
+}
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return len(g.targets) }
+
+// OutDegree returns the number of out-neighbours of v — the paper's |N(vi)|.
+func (g *Graph) OutDegree(v int32) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// InDegree returns the number of in-edges of v.
+func (g *Graph) InDegree(v int32) int { return int(g.inDeg[v]) }
+
+// OutEdges returns the out-neighbours and probabilities of v, sorted by
+// descending probability. The slices alias the graph's internal storage and
+// must not be modified.
+func (g *Graph) OutEdges(v int32) (targets []int32, probs []float64) {
+	lo, hi := g.offsets[v], g.offsets[v+1]
+	return g.targets[lo:hi], g.probs[lo:hi]
+}
+
+// EdgeIndexBase returns the global index of v's first out-edge. The global
+// index of v's j-th strongest edge is EdgeIndexBase(v)+j; it identifies the
+// edge for Monte-Carlo coin flips.
+func (g *Graph) EdgeIndexBase(v int32) int64 { return g.offsets[v] }
+
+// EdgeProb returns the probability of edge (from → to) and whether the edge
+// exists.
+func (g *Graph) EdgeProb(from, to int32) (float64, bool) {
+	ts, ps := g.OutEdges(from)
+	for i, t := range ts {
+		if t == to {
+			return ps[i], true
+		}
+	}
+	return 0, false
+}
+
+// NeighborRank returns the 0-based position of `to` in `from`'s
+// descending-probability adjacency, or -1 when the edge does not exist.
+// Position < k means an allocation of k coupons reaches it independently.
+func (g *Graph) NeighborRank(from, to int32) int {
+	ts, _ := g.OutEdges(from)
+	for i, t := range ts {
+		if t == to {
+			return i
+		}
+	}
+	return -1
+}
+
+// Edges returns a copy of the full edge list in CSR order.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, len(g.targets))
+	for v := int32(0); v < int32(g.n); v++ {
+		ts, ps := g.OutEdges(v)
+		for i := range ts {
+			out = append(out, Edge{From: v, To: ts[i], P: ps[i]})
+		}
+	}
+	return out
+}
+
+// Hops runs a multi-source BFS over out-edges and returns the hop distance
+// from the nearest source for every node, with -1 for unreachable nodes.
+func (g *Graph) Hops(sources []int32) []int32 {
+	dist := make([]int32, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int32, 0, len(sources))
+	for _, s := range sources {
+		if dist[s] == -1 {
+			dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		ts, _ := g.OutEdges(v)
+		for _, t := range ts {
+			if dist[t] == -1 {
+				dist[t] = dist[v] + 1
+				queue = append(queue, t)
+			}
+		}
+	}
+	return dist
+}
+
+// OutDegrees returns a copy of all out-degrees; useful for degree statistics
+// and for seed-cost models that charge proportionally to the friend count.
+func (g *Graph) OutDegrees() []int {
+	ds := make([]int, g.n)
+	for v := 0; v < g.n; v++ {
+		ds[v] = g.OutDegree(int32(v))
+	}
+	return ds
+}
+
+// InDegrees returns a copy of all in-degrees.
+func (g *Graph) InDegrees() []int {
+	ds := make([]int, g.n)
+	for v, d := range g.inDeg {
+		ds[v] = int(d)
+	}
+	return ds
+}
+
+// WeightByInDegree returns a copy of the graph re-weighted with the paper's
+// standard influence probabilities P(e(i,j)) = 1 / indegree(j).
+func (g *Graph) WeightByInDegree() *Graph {
+	edges := g.Edges()
+	for i := range edges {
+		d := g.inDeg[edges[i].To]
+		if d > 0 {
+			edges[i].P = 1 / float64(d)
+		}
+	}
+	ng, err := FromEdges(g.n, edges)
+	if err != nil {
+		// Cannot happen: the edge list came from a valid graph.
+		panic("graph: WeightByInDegree rebuild failed: " + err.Error())
+	}
+	return ng
+}
+
+// InducedSubgraph returns the subgraph induced by keep (dense re-labelling
+// in the order given) along with the mapping from new ids to original ids.
+func (g *Graph) InducedSubgraph(keep []int32) (*Graph, []int32, error) {
+	newID := make(map[int32]int32, len(keep))
+	orig := make([]int32, len(keep))
+	for i, v := range keep {
+		if v < 0 || int(v) >= g.n {
+			return nil, nil, fmt.Errorf("graph: subgraph node %d out of range", v)
+		}
+		if _, dup := newID[v]; dup {
+			return nil, nil, fmt.Errorf("graph: subgraph node %d listed twice", v)
+		}
+		newID[v] = int32(i)
+		orig[i] = v
+	}
+	var edges []Edge
+	for _, v := range keep {
+		ts, ps := g.OutEdges(v)
+		for i, t := range ts {
+			if u, ok := newID[t]; ok {
+				edges = append(edges, Edge{From: newID[v], To: u, P: ps[i]})
+			}
+		}
+	}
+	sub, err := FromEdges(len(keep), edges)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, orig, nil
+}

@@ -1,0 +1,424 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"s3crm/internal/rng"
+)
+
+// diamond builds the graph 0→1 (0.9), 0→2 (0.4), 1→3 (0.5), 2→3 (0.8).
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(4)
+	for _, e := range []Edge{
+		{0, 1, 0.9}, {0, 2, 0.4}, {1, 3, 0.5}, {2, 3, 0.8},
+	} {
+		if err := b.AddEdge(e.From, e.To, e.P); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildBasics(t *testing.T) {
+	g := diamond(t)
+	if g.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d, want 4", g.NumNodes())
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	if g.OutDegree(0) != 2 || g.OutDegree(3) != 0 {
+		t.Fatalf("out degrees wrong: %d, %d", g.OutDegree(0), g.OutDegree(3))
+	}
+	if g.InDegree(3) != 2 || g.InDegree(0) != 0 {
+		t.Fatalf("in degrees wrong: %d, %d", g.InDegree(3), g.InDegree(0))
+	}
+}
+
+func TestAdjacencySortedByDescendingProb(t *testing.T) {
+	g := diamond(t)
+	ts, ps := g.OutEdges(0)
+	if ts[0] != 1 || ps[0] != 0.9 || ts[1] != 2 || ps[1] != 0.4 {
+		t.Fatalf("adjacency of 0 not sorted by prob: %v %v", ts, ps)
+	}
+}
+
+func TestAdjacencyTieBreakById(t *testing.T) {
+	b := NewBuilder(4)
+	// Insert in reverse id order with equal probabilities.
+	for _, to := range []int32{3, 1, 2} {
+		if err := b.AddEdge(0, to, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, _ := g.OutEdges(0)
+	if ts[0] != 1 || ts[1] != 2 || ts[2] != 3 {
+		t.Fatalf("equal-prob ties not broken by id: %v", ts)
+	}
+}
+
+func TestBuilderRejectsBadEdges(t *testing.T) {
+	b := NewBuilder(2)
+	if err := b.AddEdge(0, 2, 0.5); err == nil {
+		t.Fatal("accepted out-of-range target")
+	}
+	if err := b.AddEdge(-1, 0, 0.5); err == nil {
+		t.Fatal("accepted negative source")
+	}
+	if err := b.AddEdge(0, 1, -0.1); err == nil {
+		t.Fatal("accepted negative probability")
+	}
+	if err := b.AddEdge(0, 1, 1.1); err == nil {
+		t.Fatal("accepted probability > 1")
+	}
+}
+
+func TestFromEdgesRejectsDuplicates(t *testing.T) {
+	_, err := FromEdges(3, []Edge{{0, 1, 0.2}, {0, 2, 0.3}, {0, 1, 0.4}})
+	if err == nil {
+		t.Fatal("duplicate edge accepted")
+	}
+}
+
+func TestFromEdgesValidation(t *testing.T) {
+	if _, err := FromEdges(-1, nil); err == nil {
+		t.Fatal("negative node count accepted")
+	}
+	if _, err := FromEdges(1, []Edge{{0, 5, 0.5}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if _, err := FromEdges(2, []Edge{{0, 1, 2}}); err == nil {
+		t.Fatal("out-of-range probability accepted")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g, err := FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatal("empty graph not empty")
+	}
+}
+
+func TestEdgeProbAndRank(t *testing.T) {
+	g := diamond(t)
+	p, ok := g.EdgeProb(0, 2)
+	if !ok || p != 0.4 {
+		t.Fatalf("EdgeProb(0,2) = %v,%v", p, ok)
+	}
+	if _, ok := g.EdgeProb(3, 0); ok {
+		t.Fatal("EdgeProb found non-existent edge")
+	}
+	if r := g.NeighborRank(0, 1); r != 0 {
+		t.Fatalf("rank of strongest neighbour = %d, want 0", r)
+	}
+	if r := g.NeighborRank(0, 2); r != 1 {
+		t.Fatalf("rank of weaker neighbour = %d, want 1", r)
+	}
+	if r := g.NeighborRank(0, 3); r != -1 {
+		t.Fatalf("rank of non-neighbour = %d, want -1", r)
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	g := diamond(t)
+	edges := g.Edges()
+	g2, err := FromEdges(g.NumNodes(), edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatal("round-trip changed edge count")
+	}
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		t1, p1 := g.OutEdges(v)
+		t2, p2 := g2.OutEdges(v)
+		if len(t1) != len(t2) {
+			t.Fatalf("node %d degree changed", v)
+		}
+		for i := range t1 {
+			if t1[i] != t2[i] || p1[i] != p2[i] {
+				t.Fatalf("node %d adjacency changed", v)
+			}
+		}
+	}
+}
+
+func TestHops(t *testing.T) {
+	g := diamond(t)
+	d := g.Hops([]int32{0})
+	want := []int32{0, 1, 1, 2}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("Hops = %v, want %v", d, want)
+		}
+	}
+}
+
+func TestHopsMultiSourceAndUnreachable(t *testing.T) {
+	b := NewBuilder(5)
+	if err := b.AddEdge(0, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(2, 3, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.Hops([]int32{0, 2})
+	if d[0] != 0 || d[2] != 0 || d[1] != 1 || d[3] != 1 {
+		t.Fatalf("multi-source hops wrong: %v", d)
+	}
+	if d[4] != -1 {
+		t.Fatalf("isolated node hop = %d, want -1", d[4])
+	}
+}
+
+func TestWeightByInDegree(t *testing.T) {
+	g := diamond(t)
+	w := g.WeightByInDegree()
+	// node 3 has in-degree 2 so both incoming edges get probability 0.5.
+	p, ok := w.EdgeProb(1, 3)
+	if !ok || p != 0.5 {
+		t.Fatalf("EdgeProb(1,3) = %v, want 0.5", p)
+	}
+	p, ok = w.EdgeProb(0, 1)
+	if !ok || p != 1.0 {
+		t.Fatalf("EdgeProb(0,1) = %v, want 1.0 (indeg 1)", p)
+	}
+	// Original graph unchanged.
+	p, _ = g.EdgeProb(0, 1)
+	if p != 0.9 {
+		t.Fatal("WeightByInDegree mutated the receiver")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := diamond(t)
+	sub, orig, err := g.InducedSubgraph([]int32{0, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumNodes() != 3 {
+		t.Fatalf("sub nodes = %d, want 3", sub.NumNodes())
+	}
+	// Edges kept: 0→1 and 1→3 (relabelled 0→1, 1→2).
+	if sub.NumEdges() != 2 {
+		t.Fatalf("sub edges = %d, want 2", sub.NumEdges())
+	}
+	if orig[2] != 3 {
+		t.Fatalf("orig mapping wrong: %v", orig)
+	}
+	if _, ok := sub.EdgeProb(0, 1); !ok {
+		t.Fatal("edge 0→1 missing in subgraph")
+	}
+	if _, ok := sub.EdgeProb(1, 2); !ok {
+		t.Fatal("edge 1→2 (orig 1→3) missing in subgraph")
+	}
+}
+
+func TestInducedSubgraphErrors(t *testing.T) {
+	g := diamond(t)
+	if _, _, err := g.InducedSubgraph([]int32{0, 9}); err == nil {
+		t.Fatal("accepted out-of-range node")
+	}
+	if _, _, err := g.InducedSubgraph([]int32{0, 0}); err == nil {
+		t.Fatal("accepted duplicate node")
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := diamond(t)
+	s := g.Stats()
+	if s.Nodes != 4 || s.Edges != 4 {
+		t.Fatalf("stats counts wrong: %+v", s)
+	}
+	if s.MeanOut != 1.0 || s.MaxOut != 2 {
+		t.Fatalf("out stats wrong: %+v", s)
+	}
+	if s.MaxIn != 2 {
+		t.Fatalf("in stats wrong: %+v", s)
+	}
+}
+
+func TestWeaklyConnectedComponents(t *testing.T) {
+	b := NewBuilder(6)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(b.AddEdge(0, 1, 0.5))
+	must(b.AddEdge(2, 1, 0.5)) // 0,1,2 weakly connected
+	must(b.AddEdge(3, 4, 0.5)) // 3,4 connected; 5 isolated
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, count := g.WeaklyConnectedComponents()
+	if count != 3 {
+		t.Fatalf("components = %d, want 3", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatal("0,1,2 should share a component")
+	}
+	if labels[3] != labels[4] {
+		t.Fatal("3,4 should share a component")
+	}
+	if labels[5] == labels[0] || labels[5] == labels[3] {
+		t.Fatal("5 should be its own component")
+	}
+}
+
+func TestShortestPaths(t *testing.T) {
+	// 0→1 p=0.9 (w=0.1), 1→2 p=0.9 (w=0.1): path cost 0.2
+	// 0→2 p=0.5 (w=0.5): direct cost 0.5 — two-hop high-probability path wins.
+	b := NewBuilder(3)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(b.AddEdge(0, 1, 0.9))
+	must(b.AddEdge(1, 2, 0.9))
+	must(b.AddEdge(0, 2, 0.5))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, parent := g.ShortestPaths(0)
+	if math.Abs(dist[2]-0.2) > 1e-12 {
+		t.Fatalf("dist[2] = %v, want 0.2", dist[2])
+	}
+	path := PathTo(parent, 2)
+	if len(path) != 3 || path[0] != 0 || path[1] != 1 || path[2] != 2 {
+		t.Fatalf("path = %v, want [0 1 2]", path)
+	}
+}
+
+func TestShortestPathsUnreachable(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(0, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, parent := g.ShortestPaths(0)
+	if !math.IsInf(dist[2], 1) {
+		t.Fatalf("unreachable dist = %v, want +inf", dist[2])
+	}
+	if parent[2] != -1 {
+		t.Fatal("unreachable parent should be -1")
+	}
+}
+
+func TestTopKByOutDegree(t *testing.T) {
+	g := diamond(t)
+	top := g.TopKByOutDegree(2)
+	if top[0] != 0 {
+		t.Fatalf("top degree node = %d, want 0", top[0])
+	}
+	if len(g.TopKByOutDegree(100)) != 4 {
+		t.Fatal("k not clamped to node count")
+	}
+}
+
+func TestApproxClusteringTriangle(t *testing.T) {
+	// A directed 3-cycle is an undirected triangle: clustering 1.
+	b := NewBuilder(3)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(b.AddEdge(0, 1, 0.5))
+	must(b.AddEdge(1, 2, 0.5))
+	must(b.AddEdge(2, 0, 0.5))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.ApproxClustering(rng.New(1), 50)
+	if math.Abs(c-1) > 1e-9 {
+		t.Fatalf("triangle clustering = %v, want 1", c)
+	}
+}
+
+func TestApproxClusteringStar(t *testing.T) {
+	// A star has no triangles: clustering 0 for the centre; leaves have
+	// degree 1 and are skipped.
+	b := NewBuilder(5)
+	for to := int32(1); to < 5; to++ {
+		if err := b.AddEdge(0, to, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.ApproxClustering(rng.New(1), 50)
+	if c != 0 {
+		t.Fatalf("star clustering = %v, want 0", c)
+	}
+}
+
+// Property: for random graphs, CSR round-trips and every adjacency is sorted
+// by descending probability.
+func TestPropertyRandomGraphsWellFormed(t *testing.T) {
+	src := rng.New(99)
+	f := func(seed uint64) bool {
+		local := rng.New(seed)
+		n := 2 + local.Intn(30)
+		var edges []Edge
+		seen := map[[2]int32]bool{}
+		for i := 0; i < n*3; i++ {
+			u := int32(local.Intn(n))
+			v := int32(local.Intn(n))
+			if u == v || seen[[2]int32{u, v}] {
+				continue
+			}
+			seen[[2]int32{u, v}] = true
+			edges = append(edges, Edge{u, v, local.Float64()})
+		}
+		g, err := FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		if g.NumEdges() != len(edges) {
+			return false
+		}
+		total := 0
+		for v := int32(0); v < int32(n); v++ {
+			_, ps := g.OutEdges(v)
+			total += len(ps)
+			for i := 1; i < len(ps); i++ {
+				if ps[i] > ps[i-1] {
+					return false // not descending
+				}
+			}
+		}
+		return total == len(edges)
+	}
+	for i := 0; i < 50; i++ {
+		if !f(src.Uint64()) {
+			t.Fatalf("random graph property violated at iteration %d", i)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package ris implements reverse-influence sampling (RIS) for the plain
+// independent-cascade model — the "reverse greedy" estimator family the
+// paper cites ([15], Tang et al.) as the standard way to speed up influence
+// estimation for seed ranking.
+//
+// A reverse-reachable (RR) set is drawn by picking a uniform random root
+// and walking the transpose graph, crossing each in-edge with its influence
+// probability. A node's expected influence is proportional to the fraction
+// of RR sets containing it, and the classic greedy max-cover over RR sets
+// yields near-optimal seed rankings orders of magnitude faster than forward
+// Monte-Carlo ranking.
+//
+// The coupon-capacity constraint of S3CRM breaks the reversibility argument
+// (a node's reach depends on its coupon count), so RIS here serves the IM
+// baseline's seed ranking — where the paper's IM algorithms also operate on
+// the plain IC model — not the S3CA objective itself.
+package ris
+
+import (
+	"fmt"
+
+	"s3crm/internal/graph"
+	"s3crm/internal/rng"
+)
+
+// Sketches is a collection of RR sets with an inverted index.
+type Sketches struct {
+	n      int
+	sets   [][]int32
+	covers map[int32][]int32 // node → indices of RR sets containing it
+}
+
+// Generate draws count RR sets over g. It panics on a nil graph and
+// returns an error for non-positive counts or empty graphs.
+func Generate(g *graph.Graph, count int, src *rng.Source) (*Sketches, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("ris: need a positive sketch count, got %d", count)
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("ris: empty graph")
+	}
+	rev := g.Reverse()
+	s := &Sketches{n: n, covers: make(map[int32][]int32)}
+	visited := make([]int32, n)
+	for i := range visited {
+		visited[i] = -1
+	}
+	var queue []int32
+	for i := 0; i < count; i++ {
+		root := int32(src.Intn(n))
+		queue = queue[:0]
+		queue = append(queue, root)
+		visited[root] = int32(i)
+		var set []int32
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			set = append(set, v)
+			ts, ps := rev.OutEdges(v)
+			for j, t := range ts {
+				if visited[t] == int32(i) {
+					continue
+				}
+				if src.Float64() < ps[j] {
+					visited[t] = int32(i)
+					queue = append(queue, t)
+				}
+			}
+		}
+		s.sets = append(s.sets, set)
+		for _, v := range set {
+			s.covers[v] = append(s.covers[v], int32(i))
+		}
+	}
+	return s, nil
+}
+
+// Count returns the number of RR sets drawn.
+func (s *Sketches) Count() int { return len(s.sets) }
+
+// Influence estimates the expected IC influence spread of a seed set:
+// n × (fraction of RR sets hit by any seed).
+func (s *Sketches) Influence(seeds []int32) float64 {
+	if len(s.sets) == 0 {
+		return 0
+	}
+	hit := make(map[int32]struct{})
+	for _, seed := range seeds {
+		for _, idx := range s.covers[seed] {
+			hit[idx] = struct{}{}
+		}
+	}
+	return float64(s.n) * float64(len(hit)) / float64(len(s.sets))
+}
+
+// TopSeeds greedily selects up to k seeds maximizing RR-set coverage (the
+// CELF-equivalent lazy max-cover), returning them in selection order. Nodes
+// covering no sets are never selected, so fewer than k seeds may return.
+func (s *Sketches) TopSeeds(k int) []int32 {
+	covered := make([]bool, len(s.sets))
+	gain := make(map[int32]int, len(s.covers))
+	for v, idxs := range s.covers {
+		gain[v] = len(idxs)
+	}
+	var picked []int32
+	for len(picked) < k {
+		best := int32(-1)
+		bestGain := 0
+		for v, g := range gain {
+			if g > bestGain || (g == bestGain && g > 0 && (best == -1 || v < best)) {
+				best = v
+				bestGain = g
+			}
+		}
+		if best == -1 || bestGain == 0 {
+			break
+		}
+		picked = append(picked, best)
+		// Mark covered sets and update gains of co-members.
+		for _, idx := range s.covers[best] {
+			if covered[idx] {
+				continue
+			}
+			covered[idx] = true
+			for _, member := range s.sets[idx] {
+				if g, ok := gain[member]; ok && g > 0 {
+					gain[member] = g - 1
+				}
+			}
+		}
+		delete(gain, best)
+	}
+	return picked
+}

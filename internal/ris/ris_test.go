@@ -1,0 +1,163 @@
+package ris
+
+import (
+	"math"
+	"testing"
+
+	"s3crm/internal/diffusion"
+	"s3crm/internal/gen"
+	"s3crm/internal/graph"
+	"s3crm/internal/rng"
+)
+
+// hubGraph is a star: 0 → 1..9 with probability 0.9.
+func hubGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	edges := make([]graph.Edge, 0, 9)
+	for to := int32(1); to < 10; to++ {
+		edges = append(edges, graph.Edge{From: 0, To: to, P: 0.9})
+	}
+	g, err := graph.FromEdges(10, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGenerateErrors(t *testing.T) {
+	g := hubGraph(t)
+	if _, err := Generate(g, 0, rng.New(1)); err == nil {
+		t.Fatal("zero count accepted")
+	}
+	empty, err := graph.FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(empty, 10, rng.New(1)); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestTopSeedsFindsHub(t *testing.T) {
+	g := hubGraph(t)
+	s, err := Generate(g, 2000, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := s.TopSeeds(1)
+	if len(top) != 1 || top[0] != 0 {
+		t.Fatalf("top seed = %v, want [0]", top)
+	}
+}
+
+func TestInfluenceMatchesForwardMC(t *testing.T) {
+	g := hubGraph(t)
+	s, err := Generate(g, 40000, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forward truth: hub influence = 1 + 9·0.9 = 9.1.
+	got := s.Influence([]int32{0})
+	if math.Abs(got-9.1) > 0.3 {
+		t.Fatalf("RIS influence = %v, want ≈ 9.1", got)
+	}
+	// A leaf influences only itself.
+	leaf := s.Influence([]int32{5})
+	if math.Abs(leaf-1) > 0.15 {
+		t.Fatalf("leaf influence = %v, want ≈ 1", leaf)
+	}
+}
+
+func TestInfluenceAgreesWithDiffusionEstimator(t *testing.T) {
+	// Cross-validate RIS against the forward capacity-constrained
+	// estimator with unlimited coupons (where the two models coincide).
+	src := rng.New(7)
+	g, err := gen.ErdosRenyi(120, 500, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Generate(g, 60000, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := s.TopSeeds(3)
+	if len(seeds) == 0 {
+		t.Fatal("no seeds returned")
+	}
+	risEst := s.Influence(seeds)
+
+	n := g.NumNodes()
+	inst := &diffusion.Instance{
+		G:        g,
+		Benefit:  make([]float64, n),
+		SeedCost: make([]float64, n),
+		SCCost:   make([]float64, n),
+		Budget:   1e9,
+	}
+	for i := 0; i < n; i++ {
+		inst.Benefit[i] = 1
+		inst.SeedCost[i] = 1
+		inst.SCCost[i] = 1
+	}
+	d := diffusion.NewDeployment(n)
+	for _, v := range seeds {
+		d.AddSeed(v)
+	}
+	for v := int32(0); v < int32(n); v++ {
+		d.SetK(v, g.OutDegree(v)) // unlimited coupons = plain IC
+	}
+	fwd := diffusion.NewEstimator(inst, 20000, 9).Evaluate(d).Activated
+	if math.Abs(risEst-fwd)/fwd > 0.1 {
+		t.Fatalf("RIS %v vs forward MC %v disagree beyond 10%%", risEst, fwd)
+	}
+}
+
+func TestTopSeedsGreedyCoverage(t *testing.T) {
+	// Two disjoint stars: greedy must pick both hubs before any leaf.
+	var edges []graph.Edge
+	for to := int32(1); to <= 4; to++ {
+		edges = append(edges, graph.Edge{From: 0, To: to, P: 1})
+	}
+	for to := int32(6); to <= 9; to++ {
+		edges = append(edges, graph.Edge{From: 5, To: to, P: 1})
+	}
+	g, err := graph.FromEdges(10, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Generate(g, 5000, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := s.TopSeeds(2)
+	if len(top) != 2 {
+		t.Fatalf("want 2 seeds, got %v", top)
+	}
+	if !(top[0] == 0 && top[1] == 5 || top[0] == 5 && top[1] == 0) {
+		t.Fatalf("top seeds = %v, want the two hubs", top)
+	}
+}
+
+func TestTopSeedsExhaustsCoverage(t *testing.T) {
+	g := hubGraph(t)
+	s, err := Generate(g, 500, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Asking for more seeds than useful nodes stops early.
+	top := s.TopSeeds(100)
+	if len(top) > 10 {
+		t.Fatalf("returned %d seeds for a 10-node graph", len(top))
+	}
+}
+
+func TestCount(t *testing.T) {
+	g := hubGraph(t)
+	s, err := Generate(g, 123, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 123 {
+		t.Fatalf("Count = %d, want 123", s.Count())
+	}
+}

@@ -1,0 +1,241 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"s3crm/internal/rng"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		r.Add(x)
+	}
+	if r.N() != 5 {
+		t.Fatalf("N = %d, want 5", r.N())
+	}
+	if !almost(r.Mean(), 3, 1e-12) {
+		t.Fatalf("Mean = %v, want 3", r.Mean())
+	}
+	if !almost(r.Variance(), 2.5, 1e-12) {
+		t.Fatalf("Variance = %v, want 2.5", r.Variance())
+	}
+	if r.Min() != 1 || r.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v, want 1/5", r.Min(), r.Max())
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Variance() != 0 || r.StdErr() != 0 || r.CI95() != 0 {
+		t.Fatal("zero-value Running should report zeros")
+	}
+}
+
+func TestRunningSingle(t *testing.T) {
+	var r Running
+	r.Add(42)
+	if r.Variance() != 0 {
+		t.Fatalf("variance of single sample = %v, want 0", r.Variance())
+	}
+	if r.Mean() != 42 {
+		t.Fatalf("mean = %v, want 42", r.Mean())
+	}
+}
+
+func TestRunningMergeMatchesSequential(t *testing.T) {
+	src := rng.New(4)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = src.NormFloat64()*3 + 7
+	}
+	var whole Running
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	var a, b Running
+	for i, x := range xs {
+		if i < 321 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	if !almost(a.Mean(), whole.Mean(), 1e-9) {
+		t.Fatalf("merged mean = %v, want %v", a.Mean(), whole.Mean())
+	}
+	if !almost(a.Variance(), whole.Variance(), 1e-9) {
+		t.Fatalf("merged variance = %v, want %v", a.Variance(), whole.Variance())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatal("merged min/max mismatch")
+	}
+}
+
+func TestRunningMergeEmptySides(t *testing.T) {
+	var a, b Running
+	a.Add(1)
+	a.Add(3)
+	before := a
+	a.Merge(b) // merging empty is a no-op
+	if a != before {
+		t.Fatal("merging empty changed accumulator")
+	}
+	var c Running
+	c.Merge(a)
+	if c != a {
+		t.Fatal("merging into empty should copy")
+	}
+}
+
+func TestMeanSum(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Fatal("Mean([2 4]) != 3")
+	}
+	if Sum([]float64{1, 2, 3}) != 6 {
+		t.Fatal("Sum != 6")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almost(got, c.want, 1e-12) {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("Quantile(nil) != 0")
+	}
+	// Clamping outside [0,1].
+	if Quantile(xs, -1) != 1 || Quantile(xs, 2) != 5 {
+		t.Fatal("Quantile does not clamp q")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Quantile(xs, 0.3); !almost(got, 3, 1e-12) {
+		t.Fatalf("Quantile(0.3) = %v, want 3", got)
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	src := rng.New(8)
+	f := func(seed uint64) bool {
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = src.Float64() * 100
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := Quantile(xs, q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.999, 10, 11} {
+		h.Add(x)
+	}
+	if h.N() != 7 {
+		t.Fatalf("N = %d, want 7", h.N())
+	}
+	if h.Under() != 1 || h.Over() != 2 {
+		t.Fatalf("Under/Over = %d/%d, want 1/2", h.Under(), h.Over())
+	}
+	wantCounts := []int{2, 1, 0, 0, 1}
+	for i, want := range wantCounts {
+		if h.Counts[i] != want {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, h.Counts[i], want, h.Counts)
+		}
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPowerLawExponentRecovers(t *testing.T) {
+	// Sample from a discrete power law with alpha=2.5 via inverse CDF
+	// approximation, then check the MLE recovers it within tolerance.
+	src := rng.New(17)
+	const alpha = 2.5
+	degrees := make([]int, 20000)
+	for i := range degrees {
+		u := src.Float64()
+		// Clauset et al. discrete approximation:
+		// x = floor((xmin - 0.5)*(1-u)^(-1/(alpha-1)) + 0.5)
+		x := (1-0.5)*math.Pow(1-u, -1/(alpha-1)) + 0.5
+		degrees[i] = int(x)
+		if degrees[i] < 1 {
+			degrees[i] = 1
+		}
+	}
+	// The (xmin-0.5) continuity correction is accurate for xmin >= 2;
+	// estimate over the tail.
+	got := PowerLawExponent(degrees, 3)
+	if math.Abs(got-alpha) > 0.2 {
+		t.Fatalf("estimated exponent %v, want ~%v", got, alpha)
+	}
+}
+
+func TestPowerLawExponentDegenerate(t *testing.T) {
+	if PowerLawExponent(nil, 1) != 0 {
+		t.Fatal("empty input should give 0")
+	}
+	if PowerLawExponent([]int{1}, 1) != 0 {
+		t.Fatal("single observation should give 0")
+	}
+	if PowerLawExponent([]int{0, 0, 0}, 1) != 0 {
+		t.Fatal("all-below-xmin should give 0")
+	}
+}
+
+func TestRunningString(t *testing.T) {
+	var r Running
+	r.Add(1)
+	r.Add(2)
+	if s := r.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
