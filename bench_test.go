@@ -254,6 +254,51 @@ func benchName(samples int) string {
 	}
 }
 
+// --- Engine comparison (the world-cache acceptance benchmarks) ---
+
+// engineBenchInstance is the Epinions-profile instance the engine
+// benchmarks run at the paper's 1000-sample setting.
+func engineBenchInstance(b *testing.B) *diffusion.Instance {
+	b.Helper()
+	inst, err := eval.BuildInstance(eval.Setup{Preset: gen.Epinions, Scale: 400, Seed: 77})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst
+}
+
+func benchSolveEngines(b *testing.B, opts core.Options) {
+	for _, engine := range []string{diffusion.EngineMC, diffusion.EngineWorldCache} {
+		b.Run("engine="+engine, func(b *testing.B) {
+			inst := engineBenchInstance(b)
+			o := opts
+			o.Engine = engine
+			var rate float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sol, err := core.Solve(inst, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rate = sol.RedemptionRate
+			}
+			b.ReportMetric(rate, "redemption")
+		})
+	}
+}
+
+// BenchmarkIDLoop isolates phases 1–2 (the greedy investment loop), the
+// dominant cost the world-cache engine turns from O(candidates ×
+// full-simulation) into O(candidates × delta).
+func BenchmarkIDLoop(b *testing.B) {
+	benchSolveEngines(b, core.Options{Samples: 1000, Seed: 77, DisableGPI: true})
+}
+
+// BenchmarkSolve runs the full S3CA pipeline under both engines.
+func BenchmarkSolve(b *testing.B) {
+	benchSolveEngines(b, core.Options{Samples: 1000, Seed: 77})
+}
+
 // --- Micro-benchmarks of the substrate hot paths ---
 
 func BenchmarkEstimatorEvaluate(b *testing.B) {

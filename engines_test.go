@@ -1,0 +1,130 @@
+// Engine-parity tests: every evaluation engine must agree on the reported
+// redemption rates. Full evaluations share the simulation kernel across
+// engines, so baselines agree exactly; S3CA under the world-cache engine
+// ranks ID candidates with frontier replays (a slightly different greedy
+// guidance signal), so its agreement is within Monte-Carlo noise.
+package s3crm
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func parityProblem(t *testing.T) *Problem {
+	t.Helper()
+	p, err := GenerateDataset("Facebook", 100, 3) // 40 users
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestEngineParity(t *testing.T) {
+	p := parityProblem(t)
+	algos := append([]string{"S3CA"}, Baselines()...)
+	for _, algo := range algos {
+		algo := algo
+		t.Run(algo, func(t *testing.T) {
+			rates := make(map[string]float64, len(Engines()))
+			var mcRate float64
+			for _, engine := range Engines() {
+				opts := Options{Engine: engine, Samples: 300, Seed: 7}
+				var (
+					r   *Result
+					err error
+				)
+				if algo == "S3CA" {
+					r, err = Solve(p, opts)
+				} else {
+					r, err = RunBaseline(algo, p, opts)
+				}
+				if err != nil {
+					t.Fatalf("%s under %s: %v", algo, engine, err)
+				}
+				if r.RedemptionRate <= 0 {
+					t.Fatalf("%s under %s: non-positive redemption rate %v", algo, engine, r.RedemptionRate)
+				}
+				rates[engine] = r.RedemptionRate
+				if engine == "mc" {
+					mcRate = r.RedemptionRate
+				}
+			}
+			for engine, rate := range rates {
+				// The baselines have no incremental search paths, so every
+				// engine drives them to the same deployment; S3CA's greedy
+				// may diverge on near-tie investments under the world-cache
+				// ranking signal, hence the MC-noise tolerance.
+				tol := 1e-9
+				if algo == "S3CA" && engine == "worldcache" {
+					tol = 0.15 * mcRate
+				}
+				if math.Abs(rate-mcRate) > tol {
+					t.Errorf("%s: engine %s rate %v differs from mc rate %v (tol %v)",
+						algo, engine, rate, mcRate, tol)
+				}
+			}
+		})
+	}
+}
+
+func TestEngineUnknownRejected(t *testing.T) {
+	p := parityProblem(t)
+	if _, err := Solve(p, Options{Engine: "quantum", Samples: 50, Seed: 1}); err == nil {
+		t.Fatal("Solve accepted an unknown engine")
+	}
+	if _, err := RunBaseline("IM-U", p, Options{Engine: "quantum", Samples: 50, Seed: 1}); err == nil {
+		t.Fatal("RunBaseline accepted an unknown engine")
+	}
+	if _, err := p.Evaluate(Deployment{Seeds: []int{0}}, Options{Engine: "quantum", Samples: 50}); err == nil {
+		t.Fatal("Evaluate accepted an unknown engine")
+	}
+}
+
+// TestScenarioRoundTripResolves saves a problem, loads it back and
+// re-solves both: the loaded problem must describe the identical instance,
+// so the deterministic solver must return the identical campaign.
+func TestScenarioRoundTripResolves(t *testing.T) {
+	orig := parityProblem(t)
+	var buf bytes.Buffer
+	if err := orig.SaveScenario(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadScenario(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Users() != orig.Users() || loaded.Edges() != orig.Edges() || loaded.Budget() != orig.Budget() {
+		t.Fatalf("round trip changed the instance: %d/%d/%v vs %d/%d/%v",
+			loaded.Users(), loaded.Edges(), loaded.Budget(),
+			orig.Users(), orig.Edges(), orig.Budget())
+	}
+	opts := Options{Engine: "worldcache", Samples: 200, Seed: 5}
+	a, err := Solve(orig, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(loaded, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RedemptionRate != b.RedemptionRate {
+		t.Fatalf("re-solving the loaded scenario gave rate %v, original %v", b.RedemptionRate, a.RedemptionRate)
+	}
+	if len(a.Seeds) != len(b.Seeds) {
+		t.Fatalf("seed sets differ: %v vs %v", a.Seeds, b.Seeds)
+	}
+	for i := range a.Seeds {
+		if a.Seeds[i] != b.Seeds[i] {
+			t.Fatalf("seed sets differ: %v vs %v", a.Seeds, b.Seeds)
+		}
+	}
+	if len(a.Coupons) != len(b.Coupons) {
+		t.Fatalf("allocations differ: %v vs %v", a.Coupons, b.Coupons)
+	}
+	for v, k := range a.Coupons {
+		if b.Coupons[v] != k {
+			t.Fatalf("allocations differ at %d: %d vs %d", v, k, b.Coupons[v])
+		}
+	}
+}

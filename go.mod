@@ -1,0 +1,3 @@
+module s3crm
+
+go 1.24

@@ -43,6 +43,34 @@ func risRank(in *diffusion.Instance, cfg Config, maxSeeds int) ([]int32, error) 
 	return ranked, nil
 }
 
+// sketchPrune ranks the affordable candidates by estimated IC influence —
+// the RR-set cover count of reverse-influence sampling — and keeps the top
+// CandidateCap. This is the EngineSketch candidate-pruning backend: on
+// skewed-probability graphs a raw degree cap keeps hubs with weak edges,
+// while the sketch cap keeps the users that actually spread.
+func sketchPrune(in *diffusion.Instance, cfg Config, affordable []int32) ([]int32, error) {
+	count := cfg.RISSketches
+	if count <= 0 {
+		count = 200 * in.G.NumNodes()
+		if count > 200000 {
+			count = 200000
+		}
+	}
+	s, err := ris.Generate(in.G, count, rng.New(cfg.Seed^0x515))
+	if err != nil {
+		return nil, fmt.Errorf("baselines: sketch pruning: %w", err)
+	}
+	ranked := append([]int32(nil), affordable...)
+	sort.Slice(ranked, func(a, b int) bool {
+		ca, cb := s.CoverCount(ranked[a]), s.CoverCount(ranked[b])
+		if ca != cb {
+			return ca > cb
+		}
+		return ranked[a] < ranked[b]
+	})
+	return ranked[:cfg.CandidateCap], nil
+}
+
 // Random selects uniformly random affordable seeds under the configured
 // coupon strategy — the sanity-check baseline below every published curve.
 func Random(in *diffusion.Instance, cfg Config) (*Outcome, error) {
@@ -50,8 +78,10 @@ func Random(in *diffusion.Instance, cfg Config) (*Outcome, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	est := diffusion.NewEstimator(in, cfg.Samples, cfg.Seed)
-	est.Workers = cfg.Workers
+	est, err := cfg.engine(in)
+	if err != nil {
+		return nil, err
+	}
 	pool := seedCandidates(in, cfg)
 	if len(pool) == 0 {
 		return emptyOutcome("RAND", in, est), nil
@@ -75,8 +105,10 @@ func HighDegree(in *diffusion.Instance, cfg Config) (*Outcome, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	est := diffusion.NewEstimator(in, cfg.Samples, cfg.Seed)
-	est.Workers = cfg.Workers
+	est, err := cfg.engine(in)
+	if err != nil {
+		return nil, err
+	}
 	ranked := seedCandidates(in, cfg)
 	sort.Slice(ranked, func(a, b int) bool {
 		da, db := in.G.OutDegree(ranked[a]), in.G.OutDegree(ranked[b])

@@ -14,15 +14,20 @@ type Config struct {
 	// DefaultLimitedK when the strategy is Limited).
 	Strategy Strategy
 	LimitedK int
+	// Engine selects the evaluation engine (see diffusion.Engines; empty
+	// means diffusion.EngineMC). Under diffusion.EngineSketch, CandidateCap
+	// prunes greedy seed candidates by estimated IC influence (RR-set cover
+	// counts) instead of raw out-degree.
+	Engine string
 	// Samples is the Monte-Carlo sample count (default 1000) and Seed the
 	// estimator seed.
 	Samples int
 	Seed    uint64
 	Workers int
 	// CandidateCap restricts greedy seed candidates to the top-N users by
-	// out-degree; 0 considers everyone. The paper's datasets make full
-	// greedy infeasible, and degree pruning is the standard practical
-	// shortcut.
+	// out-degree (or by sketch-estimated influence under EngineSketch); 0
+	// considers everyone. The paper's datasets make full greedy infeasible,
+	// and candidate pruning is the standard practical shortcut.
 	CandidateCap int
 	// MaxSweep bounds the seed-size sweep exponent (paper: n = 0..10).
 	MaxSweep int
@@ -44,6 +49,15 @@ func (c Config) withDefaults() Config {
 		c.LimitedK = DefaultLimitedK
 	}
 	return c
+}
+
+// engine constructs the configured evaluation engine over in.
+func (c Config) engine(in *diffusion.Instance) (diffusion.Evaluator, error) {
+	ev, err := diffusion.NewEngine(c.Engine, in, c.Samples, c.Seed, c.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: %w", err)
+	}
+	return ev, nil
 }
 
 // celfEntry is a lazily re-evaluated marginal gain.
@@ -116,7 +130,7 @@ func greedyRank(in *diffusion.Instance, cfg Config,
 func seedCandidates(in *diffusion.Instance, cfg Config) []int32 {
 	n := in.G.NumNodes()
 	// A user whose seed cost alone exceeds the budget can never appear in
-	// a feasible deployment, so filter before applying the degree cap —
+	// a feasible deployment, so filter before applying the candidate cap —
 	// otherwise a cap of k could select k unaffordable hubs and leave the
 	// greedy with nothing.
 	affordable := make([]int32, 0, n)
@@ -126,6 +140,13 @@ func seedCandidates(in *diffusion.Instance, cfg Config) []int32 {
 		}
 	}
 	if cfg.CandidateCap > 0 && cfg.CandidateCap < len(affordable) {
+		if cfg.Engine == diffusion.EngineSketch {
+			if pruned, err := sketchPrune(in, cfg, affordable); err == nil {
+				return pruned
+			}
+			// Sketch generation failed (degenerate graph): fall back to
+			// the degree heuristic below.
+		}
 		sort.Slice(affordable, func(a, b int) bool {
 			da, db := in.G.OutDegree(affordable[a]), in.G.OutDegree(affordable[b])
 			if da != db {
@@ -147,8 +168,10 @@ func IM(in *diffusion.Instance, cfg Config) (*Outcome, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	est := diffusion.NewEstimator(in, cfg.Samples, cfg.Seed)
-	est.Workers = cfg.Workers
+	est, err := cfg.engine(in)
+	if err != nil {
+		return nil, err
+	}
 
 	maxSeeds := in.G.NumNodes() // n = 0 means |V| seeds
 	var ranked []int32
@@ -175,7 +198,7 @@ func IM(in *diffusion.Instance, cfg Config) (*Outcome, error) {
 
 // selectBySweep evaluates the ranked prefix at sizes |V|/2^n, drops seeds
 // that break the budget, and keeps the feasible outcome maximizing score.
-func selectBySweep(in *diffusion.Instance, est *diffusion.Estimator, cfg Config,
+func selectBySweep(in *diffusion.Instance, est diffusion.Evaluator, cfg Config,
 	ranked []int32, score func(*Outcome) float64) *Outcome {
 
 	n := in.G.NumNodes()
@@ -226,7 +249,7 @@ func budgetFeasiblePrefix(in *diffusion.Instance, cfg Config, seeds []int32) []i
 	return seeds
 }
 
-func emptyOutcome(name string, in *diffusion.Instance, est *diffusion.Estimator) *Outcome {
+func emptyOutcome(name string, in *diffusion.Instance, est diffusion.Evaluator) *Outcome {
 	d := diffusion.NewDeployment(in.G.NumNodes())
 	o := measure(name, in, est, d)
 	return o

@@ -18,8 +18,10 @@ func IMS(in *diffusion.Instance, cfg Config) (*Outcome, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	est := diffusion.NewEstimator(in, cfg.Samples, cfg.Seed)
-	est.Workers = cfg.Workers
+	est, err := cfg.engine(in)
+	if err != nil {
+		return nil, err
+	}
 
 	// Stage 1: IM seeds under the configured strategy, but only the seed
 	// set is retained.

@@ -13,8 +13,10 @@ func PM(in *diffusion.Instance, cfg Config) (*Outcome, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	est := diffusion.NewEstimator(in, cfg.Samples, cfg.Seed)
-	est.Workers = cfg.Workers
+	est, err := cfg.engine(in)
+	if err != nil {
+		return nil, err
+	}
 
 	profit := func(seeds []int32) float64 {
 		if len(seeds) == 0 {

@@ -1,0 +1,75 @@
+package baselines
+
+import (
+	"testing"
+
+	"s3crm/internal/diffusion"
+	"s3crm/internal/graph"
+)
+
+// sketchInstance pits a high-degree hub with near-dead edges against a
+// low-degree node with certain edges: degree pruning keeps the hub, sketch
+// pruning must keep the actual spreader.
+func sketchInstance(t *testing.T) *diffusion.Instance {
+	t.Helper()
+	// Node 0: degree 6, probability 0.01. Node 1: degree 3, probability 1.
+	var edges []graph.Edge
+	for to := int32(2); to < 8; to++ {
+		edges = append(edges, graph.Edge{From: 0, To: to, P: 0.01})
+	}
+	for to := int32(8); to < 11; to++ {
+		edges = append(edges, graph.Edge{From: 1, To: to, P: 1})
+	}
+	g, err := graph.FromEdges(11, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes()
+	inst := &diffusion.Instance{
+		G:        g,
+		Benefit:  make([]float64, n),
+		SeedCost: make([]float64, n),
+		SCCost:   make([]float64, n),
+		Budget:   100,
+	}
+	for i := 0; i < n; i++ {
+		inst.Benefit[i] = 1
+		inst.SeedCost[i] = 1
+		inst.SCCost[i] = 1
+	}
+	return inst
+}
+
+func TestSeedCandidatesSketchPruning(t *testing.T) {
+	inst := sketchInstance(t)
+	cfg := Config{CandidateCap: 1, Samples: 50, Seed: 3, RISSketches: 2000}.withDefaults()
+
+	byDegree := seedCandidates(inst, cfg)
+	if len(byDegree) != 1 || byDegree[0] != 0 {
+		t.Fatalf("degree pruning kept %v, want the degree-6 hub [0]", byDegree)
+	}
+
+	cfg.Engine = diffusion.EngineSketch
+	bySketch := seedCandidates(inst, cfg)
+	if len(bySketch) != 1 || bySketch[0] != 1 {
+		t.Fatalf("sketch pruning kept %v, want the certain spreader [1]", bySketch)
+	}
+}
+
+// TestSeedCandidatesSketchDeterministic pins that sketch pruning is a pure
+// function of the seed.
+func TestSeedCandidatesSketchDeterministic(t *testing.T) {
+	inst := sketchInstance(t)
+	cfg := Config{CandidateCap: 3, Samples: 50, Seed: 9, RISSketches: 500,
+		Engine: diffusion.EngineSketch}.withDefaults()
+	a := seedCandidates(inst, cfg)
+	b := seedCandidates(inst, cfg)
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic pruning: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic pruning: %v vs %v", a, b)
+		}
+	}
+}

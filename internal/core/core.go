@@ -35,6 +35,13 @@ import (
 
 // Options configures Solve.
 type Options struct {
+	// Engine selects the evaluation engine: diffusion.EngineMC (the
+	// default, plain Monte Carlo), diffusion.EngineWorldCache (incremental
+	// world-cache evaluation — the ID loop's candidate deltas and the SCM
+	// donor scan replay only the affected worlds/frontiers), or
+	// diffusion.EngineSketch (evaluates like MC; sketches accelerate the
+	// baselines' seed ranking, not the solver).
+	Engine string
 	// Samples is the Monte-Carlo sample count per benefit evaluation.
 	// 0 means 1000 (the paper's simulation average count).
 	Samples int
@@ -134,7 +141,8 @@ type Solution struct {
 type solver struct {
 	inst       *diffusion.Instance
 	opts       Options
-	est        *diffusion.Estimator
+	est        diffusion.Evaluator
+	wc         *diffusion.WorldCache // non-nil iff Engine == EngineWorldCache
 	explored   []bool
 	stats      Stats
 	trajectory []TrajectoryPoint
@@ -161,7 +169,7 @@ func (s *solver) touch(v int32) {
 }
 
 // benefit evaluates B(S,K) for a deployment: exactly on forests when
-// configured, by Monte Carlo otherwise.
+// configured, through the configured engine otherwise.
 func (s *solver) benefit(d *diffusion.Deployment) float64 {
 	if s.opts.UseExactTree {
 		if b, err := diffusion.ExactTreeBenefit(s.inst, d); err == nil {
@@ -171,6 +179,34 @@ func (s *solver) benefit(d *diffusion.Deployment) float64 {
 	return s.est.Benefit(d)
 }
 
+// incremental reports whether the world-cache fast paths apply (the
+// world-cache engine is active and the exact-tree shortcut is off).
+func (s *solver) incremental() bool {
+	return s.wc != nil && !s.opts.UseExactTree
+}
+
+// benefitRebased evaluates B(S,K) of d and, under the world-cache engine,
+// makes d the cached base so subsequent delta queries replay against its
+// per-world snapshot.
+func (s *solver) benefitRebased(d *diffusion.Deployment) float64 {
+	if s.incremental() {
+		return s.wc.Rebase(d).Benefit
+	}
+	return s.benefit(d)
+}
+
+// benefitSparse evaluates d, which differs from the last rebased deployment
+// only in the coupon counts of the nodes in changed. Under the world-cache
+// engine only the worlds activating a changed node are re-simulated — an
+// exact evaluation, not an approximation; other engines fall back to a full
+// evaluation.
+func (s *solver) benefitSparse(d *diffusion.Deployment, changed []int32) float64 {
+	if s.incremental() {
+		return s.wc.EvaluateDelta(d, changed)
+	}
+	return s.benefit(d)
+}
+
 // Solve runs S3CA on the instance.
 func Solve(inst *diffusion.Instance, opts Options) (*Solution, error) {
 	if err := inst.Validate(); err != nil {
@@ -178,13 +214,19 @@ func Solve(inst *diffusion.Instance, opts Options) (*Solution, error) {
 	}
 	n := inst.G.NumNodes()
 	opts = opts.withDefaults(n)
+	ev, err := diffusion.NewEngine(opts.Engine, inst, opts.Samples, opts.Seed, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
 	s := &solver{
 		inst:     inst,
 		opts:     opts,
-		est:      diffusion.NewEstimator(inst, opts.Samples, opts.Seed),
+		est:      ev,
 		explored: make([]bool, n),
 	}
-	s.est.Workers = opts.Workers
+	if wc, ok := ev.(*diffusion.WorldCache); ok {
+		s.wc = wc
+	}
 
 	queue := s.buildPivotQueue()
 	s.stats.QueueSize = len(queue)

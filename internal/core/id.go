@@ -30,7 +30,7 @@ func (s *solver) investmentDeployment(queue []pivotEntry) *diffusion.Deployment 
 	applyPivot(queue[next])
 	next++
 
-	curBenefit := s.benefit(d)
+	curBenefit := s.benefitRebased(d)
 	curSC := in.SCCostOf(d)
 	curSeedCost := in.SeedCostOf(d)
 	s.record("seed", queue[0].node, curBenefit, curSeedCost+curSC)
@@ -65,11 +65,22 @@ func (s *solver) investmentDeployment(queue []pivotEntry) *diffusion.Deployment 
 			candidates = append(candidates, v)
 		}
 
-		// Evaluate the marginal benefit of every candidate; candidates are
-		// independent, so this parallelizes across workers (the estimator
-		// shares possible worlds, keeping results identical to sequential
+		// Evaluate the marginal benefit of every candidate. Under the
+		// world-cache engine the current deployment is rebased once (one
+		// full simulation, which also refreshes curBenefit with the exact
+		// base value) and every candidate is answered by replaying only the
+		// affected frontier of the worlds that activate it. Otherwise each
+		// candidate costs one full simulation; candidates are independent,
+		// so that parallelizes across workers (the estimator shares
+		// possible worlds, keeping results identical to sequential
 		// evaluation).
-		benefits := s.evalCandidates(d, candidates)
+		var benefits []float64
+		if s.incremental() {
+			curBenefit = s.wc.Rebase(d).Benefit
+			benefits = s.wc.DeltaBenefits(candidates)
+		} else {
+			benefits = s.evalCandidates(d, candidates)
+		}
 
 		bestNode := int32(-1)
 		bestMR := 0.0
@@ -125,6 +136,13 @@ func (s *solver) investmentDeployment(queue []pivotEntry) *diffusion.Deployment 
 			d.AddK(bestNode, 1)
 			curBenefit = bestNewBenefit
 			curSC = bestNewSC
+			if s.incremental() {
+				// The replay value that won the comparison is only a
+				// ranking signal; rebase now so curBenefit and the
+				// trajectory record the exact benefit. Net-zero cost: the
+				// next iteration's rebase is then served from the cache.
+				curBenefit = s.wc.Rebase(d).Benefit
+			}
 			s.record("coupon", bestNode, curBenefit, curSeedCost+curSC)
 		} else {
 			if !pivotOK {
@@ -132,7 +150,7 @@ func (s *solver) investmentDeployment(queue []pivotEntry) *diffusion.Deployment 
 			}
 			applyPivot(pivot)
 			next++
-			curBenefit = s.benefit(d)
+			curBenefit = s.benefitRebased(d)
 			curSC = in.SCCostOf(d)
 			curSeedCost = in.SeedCostOf(d)
 			s.record("seed", pivot.node, curBenefit, curSeedCost+curSC)

@@ -113,7 +113,7 @@ func (s *solver) tryCreatePath(base *diffusion.Deployment, gp *guaranteedPath, a
 		want[a.node] = int(a.k)
 	}
 
-	curBenefit := s.benefit(cur)
+	curBenefit := s.benefitRebased(cur)
 	curCost := in.TotalCost(cur)
 
 	for deficit > 0 {
@@ -131,13 +131,21 @@ func (s *solver) tryCreatePath(base *diffusion.Deployment, gp *guaranteedPath, a
 			if nextCost > in.Budget {
 				continue // Alg. 3 line 13: stay within the budget
 			}
-			nextBenefit := s.benefit(next)
+			// next differs from cur (the rebased base) only in the coupons
+			// of the donor and the fill targets, so the world-cache engine
+			// re-simulates only the worlds that activate one of them.
+			changed := make([]int32, 0, len(needs)+1)
+			changed = append(changed, op.donor)
+			for _, t := range needs {
+				changed = append(changed, t.node)
+			}
+			nextBenefit := s.benefitSparse(next, changed)
 			// Maneuver gap β: the gain ratio of the placement alone,
 			// measured against the retrieval-only deployment (DESIGN.md
 			// fidelity note 4).
 			retr := cur.Clone()
 			retr.AddK(op.donor, -op.k)
-			retrBenefit := s.benefit(retr)
+			retrBenefit := s.benefitSparse(retr, changed[:1])
 			retrCost := in.TotalCost(retr)
 			beta := safeRatio(nextBenefit-retrBenefit, nextCost-retrCost)
 			if op.di >= beta {
@@ -169,7 +177,10 @@ func (s *solver) tryCreatePath(base *diffusion.Deployment, gp *guaranteedPath, a
 // requires of it; k ranges over 1..spare, capped at the remaining deficit.
 func (s *solver) donorOps(d *diffusion.Deployment, want map[int32]int, deficit int) []donorOp {
 	in := s.inst
-	baseBenefit := s.benefit(d)
+	// Rebasing here makes every (donor, k) trial a sparse evaluation under
+	// the world-cache engine: a trial differs from d only at the donor, so
+	// only the worlds activating the donor are re-simulated — exactly.
+	baseBenefit := s.benefitRebased(d)
 	baseCost := in.TotalCost(d)
 	var ops []donorOp
 	for _, v := range d.Allocated() {
@@ -184,7 +195,7 @@ func (s *solver) donorOps(d *diffusion.Deployment, want map[int32]int, deficit i
 		for k := 1; k <= spare; k++ {
 			trial := d.Clone()
 			trial.AddK(v, -k)
-			lostBenefit := baseBenefit - s.benefit(trial)
+			lostBenefit := baseBenefit - s.benefitSparse(trial, []int32{v})
 			savedCost := baseCost - in.TotalCost(trial)
 			di := 0.0
 			switch {

@@ -1,0 +1,62 @@
+package diffusion
+
+import "fmt"
+
+// Engine names accepted by NewEngine and threaded through core.Options,
+// baselines.Config and the public s3crm.Options.
+const (
+	// EngineMC is the plain Monte-Carlo estimator (the paper's setting):
+	// every evaluation re-simulates all possible worlds from scratch.
+	EngineMC = "mc"
+	// EngineWorldCache snapshots the per-world activation state of a base
+	// deployment once and evaluates candidate deltas by replaying only the
+	// affected frontier per world (see WorldCache). Full evaluations are
+	// identical to EngineMC; the incremental paths make the greedy ID loop
+	// and the SCM donor scan O(delta) instead of O(full simulation).
+	EngineWorldCache = "worldcache"
+	// EngineSketch evaluates like EngineMC but switches baseline seed
+	// ranking to reverse-influence-sampling sketches: CandidateCap prunes
+	// candidates by estimated IC influence (RR-set cover counts) instead of
+	// raw out-degree. The coupon-capacity constraint breaks the
+	// reversibility argument for the S3CRM objective itself, so sketches
+	// serve candidate pruning, not benefit estimation.
+	EngineSketch = "sketch"
+)
+
+// Engines lists the evaluation engines in documentation order.
+func Engines() []string { return []string{EngineMC, EngineWorldCache, EngineSketch} }
+
+// Evaluator is the evaluation seam every layer of the reproduction talks
+// to: the S3CA solver, all baselines and the eval harness estimate B(S, K)
+// through this interface, so engines can be swapped without touching the
+// search algorithms.
+type Evaluator interface {
+	// Evaluate runs a full evaluation of the deployment and returns every
+	// aggregate metric.
+	Evaluate(d *Deployment) Result
+	// Benefit estimates B(S, K).
+	Benefit(d *Deployment) float64
+	// RedemptionRate estimates the S3CRM objective B/(Cseed+Csc), mapping
+	// the zero-cost (empty) deployment to 0.
+	RedemptionRate(d *Deployment) float64
+	// Evals returns the number of full evaluations performed so far, for
+	// instrumentation.
+	Evals() int64
+}
+
+// NewEngine constructs the named evaluation engine over inst. The empty
+// name means EngineMC. EngineSketch returns a plain Monte-Carlo evaluator —
+// its sketches accelerate seed ranking, not benefit estimation — so all
+// engines agree on Evaluate up to floating-point summation order.
+func NewEngine(name string, inst *Instance, samples int, seed uint64, workers int) (Evaluator, error) {
+	switch name {
+	case "", EngineMC, EngineSketch:
+		est := NewEstimator(inst, samples, seed)
+		est.Workers = workers
+		return est, nil
+	case EngineWorldCache:
+		return NewWorldCache(inst, samples, seed, workers), nil
+	default:
+		return nil, fmt.Errorf("diffusion: unknown engine %q (want one of %v)", name, Engines())
+	}
+}

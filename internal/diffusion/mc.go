@@ -3,12 +3,14 @@ package diffusion
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"s3crm/internal/rng"
 )
 
 // Estimator estimates B(S, K) by Monte-Carlo simulation of the
-// capacity-constrained IC model.
+// capacity-constrained IC model. It is the EngineMC implementation of
+// Evaluator and the simulation substrate the world-cache engine builds on.
 //
 // Edge liveness is decided by a stateless hash of (seed, world, edge), so
 // two deployments evaluated by the same Estimator see identical possible
@@ -22,10 +24,10 @@ type Estimator struct {
 	Coin    rng.Coin
 	Workers int // parallel workers; <= 1 means sequential
 
-	mu      sync.Mutex
-	scratch []*simScratch // reusable per-worker propagation state
+	poolOnce sync.Once
+	pool     sync.Pool // of *simScratch, reused across evaluations
 
-	evals int64 // number of Benefit calls, for instrumentation
+	evals atomic.Int64 // number of Evaluate calls, for instrumentation
 }
 
 // NewEstimator returns an estimator over inst with the given sample count
@@ -37,16 +39,17 @@ func NewEstimator(inst *Instance, samples int, seed uint64) *Estimator {
 // simScratch holds per-world propagation state, reused across worlds via
 // epoch stamping so large arrays are never cleared.
 type simScratch struct {
-	epoch   int32
-	stamp   []int32 // stamp[v] == epoch ⇒ v active in current world
-	hop     []int32
-	queue   []int32
-	touched []int32 // nodes examined this world (for explored-ratio metrics)
+	epoch int32
+	stamp []int32 // stamp[v] == epoch ⇒ v active in current world
+	seen  []int32 // seen[v] == epoch ⇒ v examined (activated or probed)
+	hop   []int32
+	queue []int32
 }
 
 func newSimScratch(n int) *simScratch {
 	return &simScratch{
 		stamp: make([]int32, n),
+		seen:  make([]int32, n),
 		hop:   make([]int32, n),
 		queue: make([]int32, 0, 256),
 	}
@@ -57,11 +60,11 @@ func (s *simScratch) reset() {
 	if s.epoch == 0 { // wrapped; clear stamps once per 2^31 worlds
 		for i := range s.stamp {
 			s.stamp[i] = -1
+			s.seen[i] = -1
 		}
 		s.epoch = 1
 	}
 	s.queue = s.queue[:0]
-	s.touched = s.touched[:0]
 }
 
 func (s *simScratch) active(v int32) bool { return s.stamp[v] == s.epoch }
@@ -72,13 +75,22 @@ func (s *simScratch) activate(v, hop int32) {
 	s.queue = append(s.queue, v)
 }
 
+// see marks v as examined this world and reports whether it was new.
+func (s *simScratch) see(v int32) bool {
+	if s.seen[v] == s.epoch {
+		return false
+	}
+	s.seen[v] = s.epoch
+	return true
+}
+
 // Result aggregates one deployment's Monte-Carlo outcome.
 type Result struct {
 	Benefit      float64 // expected total benefit of activated users
 	RealizedCost float64 // expected SC cost actually paid for redemptions
 	Activated    float64 // expected number of activated users
 	FarthestHop  float64 // expected maximum hop distance from the seeds
-	Explored     float64 // expected number of nodes examined per world
+	Explored     float64 // expected nodes examined per world: activated plus probed inactive out-neighbours
 
 	// weight is the fraction of the full sample count a partial result
 	// covers; used when combining per-worker results.
@@ -101,20 +113,14 @@ func (e *Estimator) RedemptionRate(d *Deployment) float64 {
 }
 
 // Evals returns the number of Evaluate calls made so far.
-func (e *Estimator) Evals() int64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.evals
-}
+func (e *Estimator) Evals() int64 { return e.evals.Load() }
 
 // Evaluate runs the full simulation and returns all aggregate metrics.
 func (e *Estimator) Evaluate(d *Deployment) Result {
 	if e.Samples <= 0 {
 		panic("diffusion: Estimator with non-positive sample count")
 	}
-	e.mu.Lock()
-	e.evals++
-	e.mu.Unlock()
+	e.evals.Add(1)
 	workers := e.Workers
 	if workers <= 1 || e.Samples < 4*workers {
 		return e.run(d, 0, e.Samples)
@@ -151,58 +157,67 @@ func (e *Estimator) Evaluate(d *Deployment) Result {
 }
 
 func (e *Estimator) getScratch() *simScratch {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if n := len(e.scratch); n > 0 {
-		s := e.scratch[n-1]
-		e.scratch = e.scratch[:n-1]
-		return s
-	}
-	return newSimScratch(e.Inst.G.NumNodes())
+	e.poolOnce.Do(func() {
+		n := e.Inst.G.NumNodes()
+		e.pool.New = func() any { return newSimScratch(n) }
+	})
+	return e.pool.Get().(*simScratch)
 }
 
-func (e *Estimator) putScratch(s *simScratch) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.scratch = append(e.scratch, s)
+func (e *Estimator) putScratch(s *simScratch) { e.pool.Put(s) }
+
+// worldRecord captures one world's final state for the world-cache engine:
+// the activated nodes in activation order and, for each, where its coupon
+// offer scan stopped. scanStop is the adjacency position of the first
+// neighbour never offered a coupon (the node's out-degree when the scan ran
+// to the end of the list); scanRed is how many coupons the scan redeemed. A
+// scan with scanRed == K stopped for lack of coupons, so granting one more
+// coupon resumes exactly at scanStop.
+type worldRecord struct {
+	nodes    []int32
+	scanStop []int32
+	scanRed  []int32
 }
 
-// run simulates worlds [lo, hi) and returns means over that slice tagged
-// with its weight relative to the full sample count.
-func (e *Estimator) run(d *Deployment, lo, hi int) Result {
-	s := e.getScratch()
-	defer e.putScratch(s)
+// simWorld propagates one possible world for deployment d using scratch s,
+// returning the world's benefit, realized SC cost, farthest hop, activated
+// count and examined-node count. When rec is non-nil the world's activation
+// order and scan state are appended to it (the world-cache engine's
+// snapshot). This is the single propagation kernel: every engine evaluates
+// worlds through it, which is what keeps the engines in agreement.
+func (e *Estimator) simWorld(s *simScratch, d *Deployment, world uint64, rec *worldRecord) (worldB, worldC float64, maxHop int32, activated, explored int) {
 	g := e.Inst.G
-	var sumB, sumC, sumA, sumH, sumX float64
-	for w := lo; w < hi; w++ {
-		s.reset()
-		world := uint64(w)
-		for _, seed := range d.Seeds() {
-			if !s.active(seed) {
-				s.activate(seed, 0)
+	s.reset()
+	for _, seed := range d.Seeds() {
+		if !s.active(seed) {
+			s.activate(seed, 0)
+			if s.see(seed) {
+				explored++
 			}
 		}
-		var worldB, worldC float64
-		var maxHop int32
-		for head := 0; head < len(s.queue); head++ {
-			v := s.queue[head]
-			worldB += e.Inst.Benefit[v]
-			if s.hop[v] > maxHop {
-				maxHop = s.hop[v]
-			}
-			coupons := d.K(v)
-			if coupons == 0 {
-				continue
-			}
+	}
+	for head := 0; head < len(s.queue); head++ {
+		v := s.queue[head]
+		worldB += e.Inst.Benefit[v]
+		if s.hop[v] > maxHop {
+			maxHop = s.hop[v]
+		}
+		coupons := d.K(v)
+		stop, redeemed := 0, 0
+		if coupons > 0 {
 			targets, probs := g.OutEdges(v)
 			base := uint64(g.EdgeIndexBase(v))
-			redeemed := 0
-			for j, t := range targets {
+			j := 0
+			for ; j < len(targets); j++ {
 				if redeemed >= coupons {
 					break
 				}
+				t := targets[j]
 				if s.active(t) {
 					continue // already active: no coupon consumed
+				}
+				if s.see(t) {
+					explored++ // probed: a coin was flipped for t
 				}
 				if e.Coin.Live(world, base+uint64(j), probs[j]) {
 					s.activate(t, s.hop[v]+1)
@@ -210,12 +225,30 @@ func (e *Estimator) run(d *Deployment, lo, hi int) Result {
 					redeemed++
 				}
 			}
+			stop = j
 		}
+		if rec != nil {
+			rec.nodes = append(rec.nodes, v)
+			rec.scanStop = append(rec.scanStop, int32(stop))
+			rec.scanRed = append(rec.scanRed, int32(redeemed))
+		}
+	}
+	return worldB, worldC, maxHop, len(s.queue), explored
+}
+
+// run simulates worlds [lo, hi) and returns means over that slice tagged
+// with its weight relative to the full sample count.
+func (e *Estimator) run(d *Deployment, lo, hi int) Result {
+	s := e.getScratch()
+	defer e.putScratch(s)
+	var sumB, sumC, sumA, sumH, sumX float64
+	for w := lo; w < hi; w++ {
+		worldB, worldC, maxHop, activated, explored := e.simWorld(s, d, uint64(w), nil)
 		sumB += worldB
 		sumC += worldC
-		sumA += float64(len(s.queue))
+		sumA += float64(activated)
 		sumH += float64(maxHop)
-		sumX += float64(len(s.queue)) // examined == activated frontier here
+		sumX += float64(explored)
 	}
 	count := float64(hi - lo)
 	if count == 0 {

@@ -1,0 +1,459 @@
+package diffusion
+
+import "sync"
+
+// WorldCache is the EngineWorldCache implementation of Evaluator: a
+// Monte-Carlo engine that snapshots the per-world activation state of a
+// base deployment once (Rebase) and then answers candidate-delta queries by
+// replaying only the affected frontier of each world instead of
+// re-simulating every world from scratch.
+//
+// Two incremental queries are provided on top of the full Evaluator
+// interface:
+//
+//   - DeltaBenefits — "base plus one coupon at v" for a batch of candidates
+//     v, the greedy ID loop's dominant query. Worlds in which v is inactive
+//     are untouched (an extra coupon on an inactive user is inert), and in
+//     the remaining worlds only v's resumed offer scan and the newly
+//     activated frontier are replayed. The replay freezes the base world's
+//     outcomes (see the fidelity discussion in DESIGN.md): it is an
+//     approximation of a from-scratch simulation that can differ only when
+//     a delta activation races an existing coupon scan, which makes it a
+//     ranking signal, not a reported metric — the solver re-measures the
+//     chosen deployment with full evaluations.
+//   - EvaluateDelta — the exact expected benefit of a deployment differing
+//     from the base only in the coupon counts of a known set of nodes.
+//     A world is provably unaffected unless it activates one of the changed
+//     nodes (a user's coupons only matter once the user is active), so only
+//     the affected worlds are re-simulated through the same kernel.
+//
+// Full evaluations (Evaluate/Benefit/RedemptionRate) delegate to the
+// underlying Estimator, so WorldCache agrees with EngineMC exactly on every
+// reported metric. WorldCache is not safe for concurrent use; its batch
+// queries parallelize internally across worlds when Workers > 1.
+type WorldCache struct {
+	Est *Estimator
+
+	base       *Deployment
+	baseResult Result
+	baseSumB   float64   // raw Σ per-world benefit (baseResult.Benefit × Samples)
+	worldB     []float64 // per-world benefit of the base deployment
+
+	// Flattened per-world activation snapshot: world w activated
+	// nodes[off[w]:off[w+1]] in activation order, with parallel offer-scan
+	// state (see worldRecord).
+	off      []int
+	nodes    []int32
+	scanStop []int32
+	scanRed  []int32
+
+	invBuilt bool
+	worldsOf [][]int32 // node → ascending worlds where the base activates it
+
+	poolOnce sync.Once
+	pool     sync.Pool // of *deltaScratch
+}
+
+// NewWorldCache returns a world-cache engine over inst with the given
+// sample count, coin seed and worker parallelism. The coin stream is
+// identical to NewEstimator's for the same seed, so the two engines share
+// possible worlds.
+func NewWorldCache(inst *Instance, samples int, seed uint64, workers int) *WorldCache {
+	est := NewEstimator(inst, samples, seed)
+	est.Workers = workers
+	return &WorldCache{Est: est}
+}
+
+// Evaluate runs a full simulation; identical to the MC engine's.
+func (wc *WorldCache) Evaluate(d *Deployment) Result { return wc.Est.Evaluate(d) }
+
+// Benefit estimates B(S, K) with a full simulation.
+func (wc *WorldCache) Benefit(d *Deployment) float64 { return wc.Est.Benefit(d) }
+
+// RedemptionRate estimates B/(Cseed+Csc) with a full simulation.
+func (wc *WorldCache) RedemptionRate(d *Deployment) float64 { return wc.Est.RedemptionRate(d) }
+
+// Evals returns the number of full evaluations performed (Rebase and
+// EvaluateDelta each count as one).
+func (wc *WorldCache) Evals() int64 { return wc.Est.Evals() }
+
+// Rebase makes d the cached base deployment, simulating every world once
+// and snapshotting its activation state. Rebasing onto an unchanged
+// deployment is free. The returned Result equals a sequential
+// Estimator.Evaluate of d exactly.
+func (wc *WorldCache) Rebase(d *Deployment) Result {
+	e := wc.Est
+	if e.Samples <= 0 {
+		panic("diffusion: WorldCache with non-positive sample count")
+	}
+	if wc.base != nil && wc.base.Equal(d) {
+		return wc.baseResult
+	}
+	e.evals.Add(1)
+	wc.base = d.Clone()
+	wc.invBuilt = false
+	wc.worldsOf = nil
+	if cap(wc.worldB) < e.Samples {
+		wc.worldB = make([]float64, e.Samples)
+		wc.off = make([]int, e.Samples+1)
+	}
+	wc.worldB = wc.worldB[:e.Samples]
+	wc.off = wc.off[:e.Samples+1]
+	wc.off[0] = 0
+	var sums rebaseSums
+	workers := e.Workers
+	if workers <= 1 || e.Samples < 4*workers {
+		rec := worldRecord{nodes: wc.nodes[:0], scanStop: wc.scanStop[:0], scanRed: wc.scanRed[:0]}
+		sums = wc.rebaseRange(d, 0, e.Samples, &rec, wc.off[1:])
+		wc.nodes, wc.scanStop, wc.scanRed = rec.nodes, rec.scanStop, rec.scanRed
+	} else {
+		// Parallel rebase: each worker snapshots a contiguous world range
+		// into its own record, then the parts are concatenated in world
+		// order so the flattened layout is identical to the sequential one.
+		type part struct {
+			lo, hi int
+			rec    worldRecord
+			ends   []int
+			sums   rebaseSums
+		}
+		parts := make([]part, workers)
+		per := e.Samples / workers
+		extra := e.Samples % workers
+		start := 0
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			count := per
+			if i < extra {
+				count++
+			}
+			lo, hi := start, start+count
+			start = hi
+			wg.Add(1)
+			go func(i, lo, hi int) {
+				defer wg.Done()
+				p := &parts[i]
+				p.lo, p.hi = lo, hi
+				p.ends = make([]int, hi-lo)
+				p.sums = wc.rebaseRange(d, lo, hi, &p.rec, p.ends)
+			}(i, lo, hi)
+		}
+		wg.Wait()
+		total := 0
+		for i := range parts {
+			total += len(parts[i].rec.nodes)
+		}
+		if cap(wc.nodes) < total {
+			wc.nodes = make([]int32, 0, total)
+			wc.scanStop = make([]int32, 0, total)
+			wc.scanRed = make([]int32, 0, total)
+		} else {
+			wc.nodes = wc.nodes[:0]
+			wc.scanStop = wc.scanStop[:0]
+			wc.scanRed = wc.scanRed[:0]
+		}
+		for i := range parts {
+			p := &parts[i]
+			base := len(wc.nodes)
+			wc.nodes = append(wc.nodes, p.rec.nodes...)
+			wc.scanStop = append(wc.scanStop, p.rec.scanStop...)
+			wc.scanRed = append(wc.scanRed, p.rec.scanRed...)
+			for j, end := range p.ends {
+				wc.off[p.lo+j+1] = base + end
+			}
+			sums.add(p.sums)
+		}
+	}
+	count := float64(e.Samples)
+	wc.baseSumB = sums.benefit
+	wc.baseResult = Result{
+		Benefit:      sums.benefit / count,
+		RealizedCost: sums.cost / count,
+		Activated:    sums.activated / count,
+		FarthestHop:  sums.hop / count,
+		Explored:     sums.explored / count,
+		weight:       1,
+	}
+	return wc.baseResult
+}
+
+// rebaseSums accumulates the raw per-world totals of a rebase.
+type rebaseSums struct {
+	benefit, cost, activated, hop, explored float64
+}
+
+func (a *rebaseSums) add(b rebaseSums) {
+	a.benefit += b.benefit
+	a.cost += b.cost
+	a.activated += b.activated
+	a.hop += b.hop
+	a.explored += b.explored
+}
+
+// rebaseRange simulates worlds [lo, hi) into rec, filling wc.worldB and
+// ends (ends[i] is the record length after world lo+i, i.e. the world's
+// exclusive offset relative to rec).
+func (wc *WorldCache) rebaseRange(d *Deployment, lo, hi int, rec *worldRecord, ends []int) rebaseSums {
+	e := wc.Est
+	s := e.getScratch()
+	defer e.putScratch(s)
+	var sums rebaseSums
+	for w := lo; w < hi; w++ {
+		worldB, worldC, maxHop, activated, explored := e.simWorld(s, d, uint64(w), rec)
+		wc.worldB[w] = worldB
+		ends[w-lo] = len(rec.nodes)
+		sums.benefit += worldB
+		sums.cost += worldC
+		sums.activated += float64(activated)
+		sums.hop += float64(maxHop)
+		sums.explored += float64(explored)
+	}
+	return sums
+}
+
+// BaseResult returns the cached result of the last Rebase.
+func (wc *WorldCache) BaseResult() Result { return wc.baseResult }
+
+// deltaScratch is per-worker replay state. The base-world stamp is
+// repopulated once per world from the flattened snapshot and shared by all
+// candidates; the delta stamp is bumped per replay so candidate frontiers
+// never leak into each other.
+type deltaScratch struct {
+	epoch  int32
+	stamp  []int32 // stamp[v] == epoch ⇒ v active in the base world
+	stop   []int32 // offer-scan resume position, valid where stamp matches
+	red    []int32 // coupons redeemed by the base scan, valid where stamp matches
+	dEpoch int32
+	dStamp []int32 // dStamp[v] == dEpoch ⇒ v activated by the current replay
+	queue  []int32
+}
+
+func newDeltaScratch(n int) *deltaScratch {
+	return &deltaScratch{
+		stamp:  make([]int32, n),
+		stop:   make([]int32, n),
+		red:    make([]int32, n),
+		dStamp: make([]int32, n),
+		queue:  make([]int32, 0, 64),
+	}
+}
+
+func (sc *deltaScratch) nextWorld() {
+	sc.epoch++
+	if sc.epoch == 0 {
+		for i := range sc.stamp {
+			sc.stamp[i] = -1
+		}
+		sc.epoch = 1
+	}
+}
+
+func (sc *deltaScratch) nextReplay() {
+	sc.dEpoch++
+	if sc.dEpoch == 0 {
+		for i := range sc.dStamp {
+			sc.dStamp[i] = -1
+		}
+		sc.dEpoch = 1
+	}
+	sc.queue = sc.queue[:0]
+}
+
+func (wc *WorldCache) getDelta() *deltaScratch {
+	wc.poolOnce.Do(func() {
+		n := wc.Est.Inst.G.NumNodes()
+		wc.pool.New = func() any { return newDeltaScratch(n) }
+	})
+	return wc.pool.Get().(*deltaScratch)
+}
+
+func (wc *WorldCache) putDelta(sc *deltaScratch) { wc.pool.Put(sc) }
+
+// DeltaBenefits estimates, for every candidate v, the expected benefit of
+// the base deployment with one extra coupon at v, replaying only the
+// affected frontier of the worlds that activate v. The result slice is
+// aligned with cands; candidates the base never activates return the base
+// benefit unchanged. Rebase must have been called first.
+func (wc *WorldCache) DeltaBenefits(cands []int32) []float64 {
+	if wc.base == nil {
+		panic("diffusion: DeltaBenefits before Rebase")
+	}
+	out := make([]float64, len(cands))
+	if len(cands) == 0 {
+		return out
+	}
+	e := wc.Est
+	workers := e.Workers
+	if workers <= 1 || e.Samples < 4*workers {
+		sc := wc.getDelta()
+		wc.deltaWorlds(sc, cands, 0, e.Samples, out)
+		wc.putDelta(sc)
+	} else {
+		locals := make([][]float64, workers)
+		var wg sync.WaitGroup
+		per := e.Samples / workers
+		extra := e.Samples % workers
+		start := 0
+		for i := 0; i < workers; i++ {
+			count := per
+			if i < extra {
+				count++
+			}
+			lo, hi := start, start+count
+			start = hi
+			wg.Add(1)
+			go func(i, lo, hi int) {
+				defer wg.Done()
+				local := make([]float64, len(cands))
+				sc := wc.getDelta()
+				wc.deltaWorlds(sc, cands, lo, hi, local)
+				wc.putDelta(sc)
+				locals[i] = local
+			}(i, lo, hi)
+		}
+		wg.Wait()
+		for _, local := range locals {
+			for j, v := range local {
+				out[j] += v
+			}
+		}
+	}
+	base := wc.baseResult.Benefit
+	inv := 1 / float64(e.Samples)
+	for i := range out {
+		out[i] = base + out[i]*inv
+	}
+	return out
+}
+
+// deltaWorlds accumulates each candidate's summed per-world benefit delta
+// over worlds [lo, hi) into out. The O(|A_w|) stamp repopulation is paid
+// once per world and amortized across the whole candidate batch.
+func (wc *WorldCache) deltaWorlds(sc *deltaScratch, cands []int32, lo, hi int, out []float64) {
+	for w := lo; w < hi; w++ {
+		sc.nextWorld()
+		for i := wc.off[w]; i < wc.off[w+1]; i++ {
+			v := wc.nodes[i]
+			sc.stamp[v] = sc.epoch
+			sc.stop[v] = wc.scanStop[i]
+			sc.red[v] = wc.scanRed[i]
+		}
+		for ci, v := range cands {
+			if sc.stamp[v] != sc.epoch {
+				continue // v inactive in this world: an extra coupon is inert
+			}
+			out[ci] += wc.replayAddCoupon(sc, uint64(w), v)
+		}
+	}
+}
+
+// replayAddCoupon returns the benefit this world gains when active node v
+// is granted one extra coupon: v's offer scan resumes where it stopped with
+// one more redemption allowed, and any newly activated user cascades with
+// its own base allocation. Base-world outcomes are frozen — already-active
+// users are skipped without consuming coupons, exactly as in the kernel.
+func (wc *WorldCache) replayAddCoupon(sc *deltaScratch, world uint64, v int32) float64 {
+	k := wc.base.K(v)
+	if int(sc.red[v]) < k {
+		return 0 // the base scan already had a spare coupon; one more is inert
+	}
+	in := wc.Est.Inst
+	g := in.G
+	coin := wc.Est.Coin
+	sc.nextReplay()
+	delta := 0.0
+	targets, probs := g.OutEdges(v)
+	base := uint64(g.EdgeIndexBase(v))
+	for j := int(sc.stop[v]); j < len(targets); j++ {
+		t := targets[j]
+		if sc.stamp[t] == sc.epoch || sc.dStamp[t] == sc.dEpoch {
+			continue // already active: no coupon consumed
+		}
+		if coin.Live(world, base+uint64(j), probs[j]) {
+			sc.dStamp[t] = sc.dEpoch
+			sc.queue = append(sc.queue, t)
+			break // the single extra coupon is spent
+		}
+	}
+	for head := 0; head < len(sc.queue); head++ {
+		u := sc.queue[head]
+		delta += in.Benefit[u]
+		coupons := wc.base.K(u)
+		if coupons == 0 {
+			continue
+		}
+		ts, ps := g.OutEdges(u)
+		ub := uint64(g.EdgeIndexBase(u))
+		redeemed := 0
+		for j, t := range ts {
+			if redeemed >= coupons {
+				break
+			}
+			if sc.stamp[t] == sc.epoch || sc.dStamp[t] == sc.dEpoch {
+				continue
+			}
+			if coin.Live(world, ub+uint64(j), ps[j]) {
+				sc.dStamp[t] = sc.dEpoch
+				sc.queue = append(sc.queue, t)
+				redeemed++
+			}
+		}
+	}
+	return delta
+}
+
+// buildInverted lazily builds the node → active-worlds index EvaluateDelta
+// uses to find the worlds a coupon change can affect.
+func (wc *WorldCache) buildInverted() {
+	if wc.invBuilt {
+		return
+	}
+	wc.invBuilt = true
+	wc.worldsOf = make([][]int32, wc.Est.Inst.G.NumNodes())
+	for w := 0; w < wc.Est.Samples; w++ {
+		for i := wc.off[w]; i < wc.off[w+1]; i++ {
+			v := wc.nodes[i]
+			wc.worldsOf[v] = append(wc.worldsOf[v], int32(w))
+		}
+	}
+}
+
+// EvaluateDelta returns the exact expected benefit of d, which must differ
+// from the rebased deployment only in the coupon counts of the nodes in
+// changed (same seed set; changed may safely over-approximate the true
+// difference). A world is unaffected unless the base activates one of the
+// changed nodes — a user's coupon count only matters once the user is
+// active — so only the affected worlds are re-simulated. Up to
+// floating-point summation order the result equals a full Benefit(d).
+func (wc *WorldCache) EvaluateDelta(d *Deployment, changed []int32) float64 {
+	if wc.base == nil {
+		panic("diffusion: EvaluateDelta before Rebase")
+	}
+	e := wc.Est
+	e.evals.Add(1)
+	wc.buildInverted()
+	sum := wc.baseSumB
+	s := e.getScratch()
+	defer e.putScratch(s)
+	resim := func(w int32) {
+		b, _, _, _, _ := e.simWorld(s, d, uint64(w), nil)
+		sum += b - wc.worldB[w]
+	}
+	if len(changed) == 1 {
+		for _, w := range wc.worldsOf[changed[0]] {
+			resim(w)
+		}
+		return sum / float64(e.Samples)
+	}
+	affected := make([]bool, e.Samples)
+	for _, v := range changed {
+		for _, w := range wc.worldsOf[v] {
+			affected[w] = true
+		}
+	}
+	for w, hit := range affected {
+		if hit {
+			resim(int32(w))
+		}
+	}
+	return sum / float64(e.Samples)
+}

@@ -1,0 +1,268 @@
+package diffusion
+
+import (
+	"math"
+	"testing"
+
+	"s3crm/internal/graph"
+	"s3crm/internal/rng"
+)
+
+// randomInstance builds a reproducible random instance for engine tests.
+func randomInstance(t testing.TB, n, edges int, seed uint64) *Instance {
+	t.Helper()
+	src := rng.New(seed)
+	seen := make(map[[2]int32]bool)
+	var es []graph.Edge
+	for len(es) < edges {
+		from := int32(src.Intn(n))
+		to := int32(src.Intn(n))
+		if from == to || seen[[2]int32{from, to}] {
+			continue
+		}
+		seen[[2]int32{from, to}] = true
+		es = append(es, graph.Edge{From: from, To: to, P: 0.1 + 0.8*src.Float64()})
+	}
+	g, err := graph.FromEdges(n, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := &Instance{
+		G:        g,
+		Benefit:  make([]float64, n),
+		SeedCost: make([]float64, n),
+		SCCost:   make([]float64, n),
+		Budget:   1e9,
+	}
+	for i := 0; i < n; i++ {
+		inst.Benefit[i] = 0.5 + src.Float64()
+		inst.SeedCost[i] = 1 + src.Float64()
+		inst.SCCost[i] = 0.5 + src.Float64()
+	}
+	return inst
+}
+
+// randomDeployment seeds a few users and sprinkles coupons.
+func randomDeployment(inst *Instance, seeds, coupons int, seed uint64) *Deployment {
+	src := rng.New(seed)
+	n := inst.G.NumNodes()
+	d := NewDeployment(n)
+	for d.NumSeeds() < seeds {
+		d.AddSeed(int32(src.Intn(n)))
+	}
+	for placed := 0; placed < coupons; {
+		v := int32(src.Intn(n))
+		if d.K(v) < inst.G.OutDegree(v) {
+			d.AddK(v, 1)
+			placed++
+		}
+	}
+	return d
+}
+
+func TestWorldCacheEvaluateMatchesEstimator(t *testing.T) {
+	inst := randomInstance(t, 40, 120, 1)
+	d := randomDeployment(inst, 2, 6, 2)
+	est := NewEstimator(inst, 500, 7)
+	wc := NewWorldCache(inst, 500, 7, 0)
+	a, b := est.Evaluate(d), wc.Evaluate(d)
+	if a != b {
+		t.Fatalf("WorldCache.Evaluate %v differs from Estimator.Evaluate %v", b, a)
+	}
+}
+
+func TestWorldCacheRebaseMatchesEvaluate(t *testing.T) {
+	inst := randomInstance(t, 40, 120, 3)
+	d := randomDeployment(inst, 2, 6, 4)
+	est := NewEstimator(inst, 400, 9)
+	wc := NewWorldCache(inst, 400, 9, 0)
+	want := est.Evaluate(d)
+	got := wc.Rebase(d)
+	if !almost(got.Benefit, want.Benefit, 1e-9) ||
+		!almost(got.RealizedCost, want.RealizedCost, 1e-9) ||
+		!almost(got.Activated, want.Activated, 1e-9) ||
+		!almost(got.FarthestHop, want.FarthestHop, 1e-9) ||
+		!almost(got.Explored, want.Explored, 1e-9) {
+		t.Fatalf("Rebase %v differs from Evaluate %v", got, want)
+	}
+}
+
+func TestWorldCacheRebaseCachedOnUnchangedDeployment(t *testing.T) {
+	inst := randomInstance(t, 30, 80, 5)
+	d := randomDeployment(inst, 1, 4, 6)
+	wc := NewWorldCache(inst, 200, 11, 0)
+	wc.Rebase(d)
+	evals := wc.Evals()
+	wc.Rebase(d) // unchanged: must be served from the cache
+	if got := wc.Evals(); got != evals {
+		t.Fatalf("re-rebasing an unchanged deployment cost %d extra evals", got-evals)
+	}
+	d.AddK(d.Seeds()[0], 1)
+	wc.Rebase(d)
+	if got := wc.Evals(); got != evals+1 {
+		t.Fatalf("rebasing a changed deployment made %d evals, want 1", got-evals)
+	}
+}
+
+// TestWorldCacheDeltaBenefitsCloseToFull compares the frontier replay
+// against brute-force re-evaluation of every candidate. The replay freezes
+// base-world outcomes, so it may differ from a from-scratch simulation when
+// a delta activation races an existing coupon scan — rare on sparse
+// instances — but it must stay well within Monte-Carlo noise.
+func TestWorldCacheDeltaBenefitsCloseToFull(t *testing.T) {
+	inst := randomInstance(t, 40, 120, 13)
+	d := randomDeployment(inst, 2, 8, 14)
+	const samples = 400
+	est := NewEstimator(inst, samples, 17)
+	wc := NewWorldCache(inst, samples, 17, 0)
+	wc.Rebase(d)
+	base := est.Benefit(d)
+
+	var cands []int32
+	for v := int32(0); v < int32(inst.G.NumNodes()); v++ {
+		if d.K(v) < inst.G.OutDegree(v) {
+			cands = append(cands, v)
+		}
+	}
+	got := wc.DeltaBenefits(cands)
+	for i, v := range cands {
+		d.AddK(v, 1)
+		want := est.Benefit(d)
+		d.AddK(v, -1)
+		if got[i] < base-1e-9 {
+			t.Fatalf("candidate %d: delta benefit %v below base %v", v, got[i], base)
+		}
+		tol := 0.02*(want-base) + 1e-9
+		if math.Abs(got[i]-want) > tol {
+			t.Errorf("candidate %d: replay benefit %v, full benefit %v (base %v)", v, got[i], want, base)
+		}
+	}
+}
+
+func TestWorldCacheParallelRebaseMatchesSequential(t *testing.T) {
+	inst := randomInstance(t, 50, 160, 41)
+	d := randomDeployment(inst, 2, 10, 42)
+	seqWC := NewWorldCache(inst, 300, 43, 0)
+	parWC := NewWorldCache(inst, 300, 43, 4)
+	a := seqWC.Rebase(d)
+	b := parWC.Rebase(d)
+	if !almost(a.Benefit, b.Benefit, 1e-9) || !almost(a.Activated, b.Activated, 1e-9) ||
+		!almost(a.RealizedCost, b.RealizedCost, 1e-9) || !almost(a.FarthestHop, b.FarthestHop, 1e-9) {
+		t.Fatalf("parallel Rebase %v differs from sequential %v", b, a)
+	}
+	// The flattened snapshots must be identical: the parallel merge keeps
+	// world order, so every delta replay sees the same scan states.
+	if len(seqWC.nodes) != len(parWC.nodes) {
+		t.Fatalf("snapshot sizes differ: %d vs %d", len(seqWC.nodes), len(parWC.nodes))
+	}
+	for w := 0; w <= 300; w++ {
+		if seqWC.off[w] != parWC.off[w] {
+			t.Fatalf("world %d offset differs: %d vs %d", w, seqWC.off[w], parWC.off[w])
+		}
+	}
+	for i := range seqWC.nodes {
+		if seqWC.nodes[i] != parWC.nodes[i] || seqWC.scanStop[i] != parWC.scanStop[i] ||
+			seqWC.scanRed[i] != parWC.scanRed[i] {
+			t.Fatalf("snapshot entry %d differs: (%d,%d,%d) vs (%d,%d,%d)", i,
+				seqWC.nodes[i], seqWC.scanStop[i], seqWC.scanRed[i],
+				parWC.nodes[i], parWC.scanStop[i], parWC.scanRed[i])
+		}
+	}
+}
+
+func TestWorldCacheDeltaBenefitsParallelMatchesSequential(t *testing.T) {
+	inst := randomInstance(t, 50, 160, 19)
+	d := randomDeployment(inst, 2, 10, 20)
+	seqWC := NewWorldCache(inst, 300, 23, 0)
+	parWC := NewWorldCache(inst, 300, 23, 4)
+	seqWC.Rebase(d)
+	parWC.Rebase(d)
+	var cands []int32
+	for v := int32(0); v < int32(inst.G.NumNodes()); v++ {
+		if d.K(v) < inst.G.OutDegree(v) {
+			cands = append(cands, v)
+		}
+	}
+	seq := seqWC.DeltaBenefits(cands)
+	par := parWC.DeltaBenefits(cands)
+	for i := range cands {
+		if !almost(seq[i], par[i], 1e-9) {
+			t.Fatalf("candidate %d: sequential %v, parallel %v", cands[i], seq[i], par[i])
+		}
+	}
+}
+
+// TestWorldCacheEvaluateDeltaExact verifies the sparse evaluation is exact:
+// worlds that never activate a changed node are provably identical, and the
+// rest go through the same kernel, so the result must match a full
+// evaluation to floating-point.
+func TestWorldCacheEvaluateDeltaExact(t *testing.T) {
+	inst := randomInstance(t, 40, 140, 29)
+	d := randomDeployment(inst, 2, 10, 30)
+	const samples = 300
+	est := NewEstimator(inst, samples, 31)
+	wc := NewWorldCache(inst, samples, 31, 0)
+	wc.Rebase(d)
+
+	allocated := d.Allocated()
+	if len(allocated) < 2 {
+		t.Fatal("want at least two allocated users")
+	}
+	// Single-node removal.
+	trial := d.Clone()
+	trial.AddK(allocated[0], -1)
+	if got, want := wc.EvaluateDelta(trial, []int32{allocated[0]}), est.Benefit(trial); !almost(got, want, 1e-9) {
+		t.Fatalf("removal: EvaluateDelta %v, full %v", got, want)
+	}
+	// Multi-node change: move a coupon and add one elsewhere.
+	trial = d.Clone()
+	trial.AddK(allocated[0], -1)
+	changed := []int32{allocated[0], allocated[1]}
+	if trial.K(allocated[1]) < inst.G.OutDegree(allocated[1]) {
+		trial.AddK(allocated[1], 1)
+	}
+	if got, want := wc.EvaluateDelta(trial, changed), est.Benefit(trial); !almost(got, want, 1e-9) {
+		t.Fatalf("move: EvaluateDelta %v, full %v", got, want)
+	}
+	// Over-approximating the changed set stays exact.
+	if got, want := wc.EvaluateDelta(trial, append(changed, allocated...)), est.Benefit(trial); !almost(got, want, 1e-9) {
+		t.Fatalf("over-approximated change set: EvaluateDelta %v, full %v", got, want)
+	}
+}
+
+// TestExploredCountsProbedNeighbors pins the Explored metric: activated
+// users plus inactive out-neighbours that were offered a coupon (a coin was
+// flipped), each counted once per world.
+func TestExploredCountsProbedNeighbors(t *testing.T) {
+	g, err := graph.FromEdges(3, []graph.Edge{
+		{From: 0, To: 1, P: 1},
+		{From: 0, To: 2, P: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := &Instance{
+		G:        g,
+		Benefit:  []float64{1, 1, 1},
+		SeedCost: []float64{1, 1, 1},
+		SCCost:   []float64{1, 1, 1},
+		Budget:   10,
+	}
+	d := NewDeployment(3)
+	d.AddSeed(0)
+	d.SetK(0, 2)
+	r := NewEstimator(inst, 10, 1).Evaluate(d)
+	// Seed 0 activates 1 (p=1) and probes 2 (p=0): 2 activated, 3 examined.
+	if r.Activated != 2 {
+		t.Fatalf("Activated = %v, want 2", r.Activated)
+	}
+	if r.Explored != 3 {
+		t.Fatalf("Explored = %v, want 3", r.Explored)
+	}
+	// Without coupons nothing is probed.
+	d.SetK(0, 0)
+	r = NewEstimator(inst, 10, 1).Evaluate(d)
+	if r.Explored != 1 || r.Activated != 1 {
+		t.Fatalf("k=0: Explored = %v, Activated = %v, want 1, 1", r.Explored, r.Activated)
+	}
+}

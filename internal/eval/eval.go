@@ -75,8 +75,9 @@ type RunParams struct {
 	Samples      int
 	Seed         uint64
 	Workers      int
-	CandidateCap int // baseline greedy candidate cap (0 = all users)
-	LimitedK     int // limited-strategy quota (0 = Dropbox's 32)
+	Engine       string // evaluation engine (see diffusion.Engines; "" = mc)
+	CandidateCap int    // baseline greedy candidate cap (0 = all users)
+	LimitedK     int    // limited-strategy quota (0 = Dropbox's 32)
 	// SpendBudget makes S3CA return the full-budget deployment, mirroring
 	// the paper's evaluation regime (see core.Options.SpendBudget).
 	SpendBudget bool
@@ -117,6 +118,7 @@ func RunOne(algo string, inst *diffusion.Instance, p RunParams) (Measure, error)
 	switch algo {
 	case "S3CA":
 		sol, err := core.Solve(inst, core.Options{
+			Engine:  p.Engine,
 			Samples: p.Samples, Seed: p.Seed, Workers: p.Workers,
 			SpendBudget: p.SpendBudget,
 		})
@@ -127,6 +129,7 @@ func RunOne(algo string, inst *diffusion.Instance, p RunParams) (Measure, error)
 		meas.ExploredRatio = float64(sol.Stats.ExploredNodes) / float64(inst.G.NumNodes())
 	case "IM-U", "IM-L", "IM-R", "PM-U", "PM-L", "IM-S", "RAND", "DEG":
 		cfg := baselines.Config{
+			Engine:  p.Engine,
 			Samples: p.Samples, Seed: p.Seed, Workers: p.Workers,
 			CandidateCap: p.CandidateCap, LimitedK: p.LimitedK,
 		}
@@ -161,8 +164,9 @@ func RunOne(algo string, inst *diffusion.Instance, p RunParams) (Measure, error)
 	}
 	meas.RuntimeSeconds = time.Since(start).Seconds()
 
-	// Re-measure every algorithm's deployment with a common estimator so
-	// comparisons share possible worlds.
+	// Re-measure every algorithm's deployment with a common MC estimator so
+	// comparisons share possible worlds regardless of the engine that drove
+	// the search (full evaluations agree across engines anyway).
 	est := diffusion.NewEstimator(inst, p.Samples, p.Seed^0xfeed)
 	est.Workers = p.Workers
 	r := est.Evaluate(dep)

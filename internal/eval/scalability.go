@@ -124,7 +124,7 @@ func ScalabilityByBudget(c ScalabilityConfig, nodes int, budgets []float64, p Ru
 
 func runScale(inst *diffusion.Instance, p RunParams) (ScaleRow, error) {
 	start := time.Now()
-	sol, err := core.Solve(inst, core.Options{Samples: p.Samples, Seed: p.Seed, Workers: p.Workers})
+	sol, err := core.Solve(inst, core.Options{Engine: p.Engine, Samples: p.Samples, Seed: p.Seed, Workers: p.Workers})
 	if err != nil {
 		return ScaleRow{}, err
 	}
@@ -194,7 +194,7 @@ func Approximation(c ScalabilityConfig, nodes int, margins []float64, p RunParam
 		if err != nil {
 			return nil, err
 		}
-		sol, err := core.Solve(inst, core.Options{Samples: p.Samples, Seed: p.Seed, Workers: p.Workers})
+		sol, err := core.Solve(inst, core.Options{Engine: p.Engine, Samples: p.Samples, Seed: p.Seed, Workers: p.Workers})
 		if err != nil {
 			return nil, err
 		}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"s3crm/internal/graph"
+	"s3crm/internal/pq"
 	"s3crm/internal/rng"
 )
 
@@ -93,42 +94,60 @@ func (s *Sketches) Influence(seeds []int32) float64 {
 	return float64(s.n) * float64(len(hit)) / float64(len(s.sets))
 }
 
-// TopSeeds greedily selects up to k seeds maximizing RR-set coverage (the
-// CELF-equivalent lazy max-cover), returning them in selection order. Nodes
-// covering no sets are never selected, so fewer than k seeds may return.
+// CoverCount returns the number of RR sets containing v; scaled by
+// n/Count() it is v's estimated singleton influence. It is the ranking key
+// of the sketch engine's candidate pruning.
+func (s *Sketches) CoverCount(v int32) int { return len(s.covers[v]) }
+
+// celfSeed is one lazily re-evaluated TopSeeds queue entry: the marginal
+// cover count and the selection round it was computed in.
+type celfSeed struct {
+	node  int32
+	gain  int
+	round int
+}
+
+// TopSeeds greedily selects up to k seeds maximizing RR-set coverage,
+// returning them in selection order. The selection is CELF lazy greedy on a
+// priority queue: marginal cover counts only shrink as sets get covered
+// (submodularity), so a stale entry is an upper bound and only the queue
+// top is ever recounted — replacing the former O(V) scan per selection.
+// Nodes covering no uncovered sets are never selected, so fewer than k
+// seeds may return.
 func (s *Sketches) TopSeeds(k int) []int32 {
 	covered := make([]bool, len(s.sets))
-	gain := make(map[int32]int, len(s.covers))
+	// Max-heap via negated priority. Gains are integers, so a per-node
+	// bonus in (0, 0.5) encodes the ties-prefer-smaller-id rule without
+	// ever crossing gain levels.
+	tie := func(v int32) float64 { return float64(s.n-int(v)) / (2 * float64(s.n+1)) }
+	var h pq.Heap[celfSeed]
 	for v, idxs := range s.covers {
-		gain[v] = len(idxs)
+		if len(idxs) > 0 {
+			h.Push(celfSeed{node: v, gain: len(idxs)}, -(float64(len(idxs)) + tie(v)))
+		}
 	}
 	var picked []int32
-	for len(picked) < k {
-		best := int32(-1)
-		bestGain := 0
-		for v, g := range gain {
-			if g > bestGain || (g == bestGain && g > 0 && (best == -1 || v < best)) {
-				best = v
-				bestGain = g
-			}
-		}
-		if best == -1 || bestGain == 0 {
-			break
-		}
-		picked = append(picked, best)
-		// Mark covered sets and update gains of co-members.
-		for _, idx := range s.covers[best] {
-			if covered[idx] {
-				continue
-			}
-			covered[idx] = true
-			for _, member := range s.sets[idx] {
-				if g, ok := gain[member]; ok && g > 0 {
-					gain[member] = g - 1
+	for len(picked) < k && h.Len() > 0 {
+		top, _, _ := h.Pop()
+		if top.round != len(picked) {
+			// Stale: recount the uncovered sets the node still covers and
+			// requeue it (dropping it when nothing is left to gain).
+			g := 0
+			for _, idx := range s.covers[top.node] {
+				if !covered[idx] {
+					g++
 				}
 			}
+			if g > 0 {
+				h.Push(celfSeed{node: top.node, gain: g, round: len(picked)},
+					-(float64(g) + tie(top.node)))
+			}
+			continue
 		}
-		delete(gain, best)
+		picked = append(picked, top.node)
+		for _, idx := range s.covers[top.node] {
+			covered[idx] = true
+		}
 	}
 	return picked
 }

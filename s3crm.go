@@ -20,6 +20,16 @@
 //   - Problem.Evaluate — Monte-Carlo evaluation of any hand-built
 //     deployment.
 //
+// Solve, RunBaseline and Problem.Evaluate all accept an evaluation engine
+// through Options.Engine: "mc" (plain Monte Carlo, the default),
+// "worldcache" (incremental world-cache evaluation — the solver's greedy
+// loops replay only the simulation state a candidate change can affect,
+// typically several times faster at the paper's 1000-sample setting), or
+// "sketch" (reverse-influence-sampling candidate pruning for the
+// baselines). All engines agree on reported metrics within Monte-Carlo
+// noise; see DESIGN.md ("Evaluation engines") for the architecture and
+// fidelity discussion.
+//
 // See the examples directory for runnable walkthroughs and EXPERIMENTS.md
 // for the paper-reproduction results.
 package s3crm
@@ -164,6 +174,16 @@ func DatasetNames() []string {
 
 // Options tunes Solve and RunBaseline.
 type Options struct {
+	// Engine selects the evaluation engine: "mc" (the default — plain
+	// Monte Carlo, the paper's setting), "worldcache" (incremental
+	// world-cache evaluation: the solver snapshots the per-world activation
+	// state of the current deployment and evaluates candidate deltas by
+	// replaying only the affected frontier, typically several times faster
+	// on the greedy ID loop), or "sketch" (Monte-Carlo evaluation with
+	// reverse-influence-sampling candidate pruning in the baselines —
+	// CandidateCap keeps the top users by estimated influence instead of
+	// raw degree). See Engines and DESIGN.md ("Evaluation engines").
+	Engine string
 	// Samples is the Monte-Carlo sample count per benefit evaluation
 	// (default 1000, the paper's setting).
 	Samples int
@@ -196,6 +216,7 @@ type Result struct {
 // Solve runs S3CA, the paper's approximation algorithm, on the problem.
 func Solve(p *Problem, opts Options) (*Result, error) {
 	sol, err := core.Solve(p.inst, core.Options{
+		Engine:  opts.Engine,
 		Samples: opts.Samples,
 		Seed:    opts.Seed,
 		Workers: opts.Workers,
@@ -203,7 +224,10 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("s3crm: %w", err)
 	}
-	r := resultFromDeployment("S3CA", p, sol.Deployment, opts)
+	r, err := resultFromDeployment("S3CA", p, sol.Deployment, opts)
+	if err != nil {
+		return nil, err
+	}
 	r.ExploredRatio = float64(sol.Stats.ExploredNodes) / float64(p.Users())
 	return r, nil
 }
@@ -211,9 +235,13 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 // Baselines lists the algorithm names accepted by RunBaseline.
 func Baselines() []string { return []string{"IM-U", "IM-L", "PM-U", "PM-L", "IM-S"} }
 
+// Engines lists the evaluation engines accepted by Options.Engine.
+func Engines() []string { return diffusion.Engines() }
+
 // RunBaseline runs one of the paper's comparison algorithms.
 func RunBaseline(name string, p *Problem, opts Options) (*Result, error) {
 	cfg := baselines.Config{
+		Engine:       opts.Engine,
 		Samples:      opts.Samples,
 		Seed:         opts.Seed,
 		Workers:      opts.Workers,
@@ -243,16 +271,18 @@ func RunBaseline(name string, p *Problem, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("s3crm: %w", err)
 	}
-	return resultFromDeployment(name, p, o.Deployment, opts), nil
+	return resultFromDeployment(name, p, o.Deployment, opts)
 }
 
-func resultFromDeployment(name string, p *Problem, d *diffusion.Deployment, opts Options) *Result {
+func resultFromDeployment(name string, p *Problem, d *diffusion.Deployment, opts Options) (*Result, error) {
 	samples := opts.Samples
 	if samples <= 0 {
 		samples = 1000
 	}
-	est := diffusion.NewEstimator(p.inst, samples, opts.Seed^0xfeed)
-	est.Workers = opts.Workers
+	est, err := diffusion.NewEngine(opts.Engine, p.inst, samples, opts.Seed^0xfeed, opts.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("s3crm: %w", err)
+	}
 	res := est.Evaluate(d)
 	seedCost := p.inst.SeedCostOf(d)
 	scCost := p.inst.SCCostOf(d)
@@ -275,7 +305,7 @@ func resultFromDeployment(name string, p *Problem, d *diffusion.Deployment, opts
 	for _, v := range d.Allocated() {
 		out.Coupons[int(v)] = d.K(v)
 	}
-	return out
+	return out, nil
 }
 
 // Deployment is a hand-built campaign for Problem.Evaluate.
@@ -306,7 +336,7 @@ func (p *Problem) Evaluate(dep Deployment, opts Options) (*Result, error) {
 		}
 		d.SetK(int32(v), k)
 	}
-	return resultFromDeployment("custom", p, d, opts), nil
+	return resultFromDeployment("custom", p, d, opts)
 }
 
 // AdoptionCaseStudy re-weights the problem's network with the coupon
