@@ -268,11 +268,35 @@ func engineBenchInstance(b *testing.B) *diffusion.Instance {
 }
 
 func benchSolveEngines(b *testing.B, opts core.Options) {
-	for _, engine := range []string{diffusion.EngineMC, diffusion.EngineWorldCache} {
-		b.Run("engine="+engine, func(b *testing.B) {
+	variants := []struct {
+		name string
+		opts func(core.Options) core.Options
+	}{
+		// Current defaults: CELF-lazy ID loop over materialized live-edge
+		// worlds.
+		{"engine=" + diffusion.EngineMC, func(o core.Options) core.Options {
+			o.Engine = diffusion.EngineMC
+			return o
+		}},
+		{"engine=" + diffusion.EngineWorldCache, func(o core.Options) core.Options {
+			o.Engine = diffusion.EngineWorldCache
+			return o
+		}},
+		// The PR 1 world-cache configuration — exhaustive candidate sweep,
+		// hashed coin probes — kept as the acceptance baseline the lazy
+		// loop and the live-edge substrate are measured against.
+		{"engine=" + diffusion.EngineWorldCache + "-pr1", func(o core.Options) core.Options {
+			o.Engine = diffusion.EngineWorldCache
+			o.ExhaustiveID = true
+			o.Diffusion = diffusion.DiffusionHash
+			return o
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
 			inst := engineBenchInstance(b)
-			o := opts
-			o.Engine = engine
+			o := v.opts(opts)
+			var stats core.Stats
 			var rate float64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -281,8 +305,11 @@ func benchSolveEngines(b *testing.B, opts core.Options) {
 					b.Fatal(err)
 				}
 				rate = sol.RedemptionRate
+				stats = sol.Stats
 			}
 			b.ReportMetric(rate, "redemption")
+			b.ReportMetric(float64(stats.Evaluations), "evals")
+			b.ReportMetric(float64(stats.CandidateEvals), "candevals")
 		})
 	}
 }

@@ -41,6 +41,8 @@ func main() {
 		budget   = flag.Float64("budget", 0, "investment budget Binv (0 = dataset default)")
 		algo     = flag.String("algo", "S3CA", "algorithm: S3CA, IM-U, IM-L, PM-U, PM-L, IM-S")
 		engine   = flag.String("engine", "mc", "evaluation engine: mc, worldcache, sketch")
+		diff     = flag.String("diffusion", "liveedge", "edge-liveness substrate: liveedge (materialized worlds), hash")
+		lazy     = flag.Bool("lazy", true, "CELF lazy-greedy ID loop (false = exhaustive sweep)")
 		samples  = flag.Int("samples", 1000, "Monte-Carlo samples per evaluation")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		workers  = flag.Int("workers", 0, "parallel Monte-Carlo workers (0 = sequential)")
@@ -63,7 +65,7 @@ func main() {
 		}
 	}
 
-	opts := s3crm.Options{Engine: *engine, Samples: *samples, Seed: *seed, Workers: *workers, CandidateCap: *cap}
+	opts := s3crm.Options{Engine: *engine, Diffusion: *diff, ExhaustiveID: !*lazy, Samples: *samples, Seed: *seed, Workers: *workers, CandidateCap: *cap}
 	start := time.Now()
 	var result *s3crm.Result
 	if *algo == "S3CA" {

@@ -68,10 +68,82 @@ func TestEngineParity(t *testing.T) {
 	}
 }
 
+// TestEngineParityLazyID re-runs the S3CA parity matrix with the lazy ID
+// loop pinned off and on: both variants must stay within the same
+// Monte-Carlo tolerance of the exhaustive MC reference under every engine.
+func TestEngineParityLazyID(t *testing.T) {
+	p := parityProblem(t)
+	ref, err := Solve(p, Options{Engine: "mc", Samples: 300, Seed: 7, ExhaustiveID: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, engine := range Engines() {
+		for _, exhaustive := range []bool{false, true} {
+			r, err := Solve(p, Options{Engine: engine, Samples: 300, Seed: 7, ExhaustiveID: exhaustive})
+			if err != nil {
+				t.Fatalf("S3CA under %s (exhaustive=%v): %v", engine, exhaustive, err)
+			}
+			tol := 0.15 * ref.RedemptionRate
+			if math.Abs(r.RedemptionRate-ref.RedemptionRate) > tol {
+				t.Errorf("engine %s exhaustive=%v: rate %v differs from reference %v (tol %v)",
+					engine, exhaustive, r.RedemptionRate, ref.RedemptionRate, tol)
+			}
+		}
+	}
+}
+
+// TestDiffusionSubstrateParity pins that the live-edge and hash substrates
+// are interchangeable bit for bit: the materialized worlds hold exactly the
+// flips the hash recomputes, so solver runs are identical — not merely
+// close — across substrates, for S3CA and every baseline.
+func TestDiffusionSubstrateParity(t *testing.T) {
+	p := parityProblem(t)
+	algos := append([]string{"S3CA"}, Baselines()...)
+	for _, algo := range algos {
+		for _, engine := range Engines() {
+			var rates []float64
+			var seeds [][]int
+			for _, diff := range Diffusions() {
+				opts := Options{Engine: engine, Diffusion: diff, Samples: 200, Seed: 7}
+				var (
+					r   *Result
+					err error
+				)
+				if algo == "S3CA" {
+					r, err = Solve(p, opts)
+				} else {
+					r, err = RunBaseline(algo, p, opts)
+				}
+				if err != nil {
+					t.Fatalf("%s under %s/%s: %v", algo, engine, diff, err)
+				}
+				rates = append(rates, r.RedemptionRate)
+				seeds = append(seeds, r.Seeds)
+			}
+			if rates[0] != rates[1] {
+				t.Errorf("%s under %s: substrates disagree: %v vs %v", algo, engine, rates[0], rates[1])
+			}
+			if len(seeds[0]) != len(seeds[1]) {
+				t.Errorf("%s under %s: seed sets differ: %v vs %v", algo, engine, seeds[0], seeds[1])
+			} else {
+				for i := range seeds[0] {
+					if seeds[0][i] != seeds[1][i] {
+						t.Errorf("%s under %s: seed sets differ: %v vs %v", algo, engine, seeds[0], seeds[1])
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestEngineUnknownRejected(t *testing.T) {
 	p := parityProblem(t)
 	if _, err := Solve(p, Options{Engine: "quantum", Samples: 50, Seed: 1}); err == nil {
 		t.Fatal("Solve accepted an unknown engine")
+	}
+	if _, err := Solve(p, Options{Diffusion: "quantum", Samples: 50, Seed: 1}); err == nil {
+		t.Fatal("Solve accepted an unknown diffusion substrate")
 	}
 	if _, err := RunBaseline("IM-U", p, Options{Engine: "quantum", Samples: 50, Seed: 1}); err == nil {
 		t.Fatal("RunBaseline accepted an unknown engine")

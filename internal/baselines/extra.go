@@ -20,7 +20,7 @@ func risRank(in *diffusion.Instance, cfg Config, maxSeeds int) ([]int32, error) 
 			sketches = 200000
 		}
 	}
-	s, err := ris.Generate(in.G, sketches, rng.New(cfg.Seed^0x815))
+	s, err := cfg.sketches(in, sketches, cfg.Seed^0x815)
 	if err != nil {
 		return nil, fmt.Errorf("baselines: RIS ranking: %w", err)
 	}
@@ -43,6 +43,27 @@ func risRank(in *diffusion.Instance, cfg Config, maxSeeds int) ([]int32, error) 
 	return ranked, nil
 }
 
+// sketches draws count RR sets under the configured diffusion substrate:
+// with the live-edge substrate (the default) an RR set crosses an edge
+// exactly when the edge's stateless coin lands live in the set's world —
+// reading materialized bits within the memory budget, hashing past it — so
+// the sketches and the forward simulators share one liveness source. The
+// hash substrate keeps PR 1's sequential-stream drawing.
+func (c Config) sketches(in *diffusion.Instance, count int, seed uint64) (*ris.Sketches, error) {
+	src := rng.New(seed)
+	if c.Diffusion == diffusion.DiffusionHash {
+		return ris.Generate(in.G, count, src)
+	}
+	coin := rng.NewCoin(seed)
+	le := diffusion.NewLiveEdges(in.G, count, coin, c.LiveEdgeMemBudget)
+	return ris.GenerateLive(in.G, count, src, func(world, edge uint64, p float64) bool {
+		if le != nil {
+			return le.Live(world, edge)
+		}
+		return coin.Live(world, edge, p)
+	})
+}
+
 // sketchPrune ranks the affordable candidates by estimated IC influence —
 // the RR-set cover count of reverse-influence sampling — and keeps the top
 // CandidateCap. This is the EngineSketch candidate-pruning backend: on
@@ -56,7 +77,7 @@ func sketchPrune(in *diffusion.Instance, cfg Config, affordable []int32) ([]int3
 			count = 200000
 		}
 	}
-	s, err := ris.Generate(in.G, count, rng.New(cfg.Seed^0x515))
+	s, err := cfg.sketches(in, count, cfg.Seed^0x515)
 	if err != nil {
 		return nil, fmt.Errorf("baselines: sketch pruning: %w", err)
 	}

@@ -19,6 +19,15 @@ type Config struct {
 	// prunes greedy seed candidates by estimated IC influence (RR-set cover
 	// counts) instead of raw out-degree.
 	Engine string
+	// Diffusion selects the edge-liveness substrate (see
+	// diffusion.Diffusions; empty means diffusion.DiffusionLiveEdge —
+	// materialized live-edge worlds within LiveEdgeMemBudget, hashing past
+	// it). It also drives RR-set drawing: sketches cross an edge exactly
+	// when the forward engines would see it live in the set's world.
+	Diffusion string
+	// LiveEdgeMemBudget caps the live-edge substrate's materialized bytes
+	// (<= 0 means diffusion.DefaultLiveEdgeMemBudget).
+	LiveEdgeMemBudget int64
 	// Samples is the Monte-Carlo sample count (default 1000) and Seed the
 	// estimator seed.
 	Samples int
@@ -53,7 +62,10 @@ func (c Config) withDefaults() Config {
 
 // engine constructs the configured evaluation engine over in.
 func (c Config) engine(in *diffusion.Instance) (diffusion.Evaluator, error) {
-	ev, err := diffusion.NewEngine(c.Engine, in, c.Samples, c.Seed, c.Workers)
+	ev, err := diffusion.NewEngineOpts(in, diffusion.EngineOptions{
+		Engine: c.Engine, Samples: c.Samples, Seed: c.Seed, Workers: c.Workers,
+		Diffusion: c.Diffusion, LiveEdgeMemBudget: c.LiveEdgeMemBudget,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("baselines: %w", err)
 	}

@@ -42,6 +42,16 @@ type Options struct {
 	// diffusion.EngineSketch (evaluates like MC; sketches accelerate the
 	// baselines' seed ranking, not the solver).
 	Engine string
+	// Diffusion selects the edge-liveness substrate (see
+	// diffusion.Diffusions): diffusion.DiffusionLiveEdge (the default —
+	// coin flips materialized once per world into packed bitsets, read by
+	// every probe) or diffusion.DiffusionHash (recompute the stateless hash
+	// per probe). Outcomes are identical; only speed and memory differ.
+	Diffusion string
+	// LiveEdgeMemBudget caps the bytes the live-edge substrate may commit
+	// to materialized worlds (<= 0 means diffusion.DefaultLiveEdgeMemBudget);
+	// past the cap the solver falls back to hashing.
+	LiveEdgeMemBudget int64
 	// Samples is the Monte-Carlo sample count per benefit evaluation.
 	// 0 means 1000 (the paper's simulation average count).
 	Samples int
@@ -60,6 +70,14 @@ type Options struct {
 	// pivot sources; new seeds are only added when no SC investment is
 	// feasible (ablation: the investment trade-off machinery off).
 	DisablePivot bool
+	// ExhaustiveID disables the CELF-lazy investment loop and re-evaluates
+	// every influenced candidate each iteration (PR 1's behaviour). The
+	// lazy loop reuses cached marginal gains as upper bounds — exact under
+	// submodular gains, an approximation on instances where an investment
+	// raises another candidate's gain — so this escape hatch both serves as
+	// the reference for TestLazyIDMatchesExhaustive and guards against
+	// pathological non-submodularity.
+	ExhaustiveID bool
 	// RateTolerance treats redemption rates within this relative fraction
 	// of the running maximum as ties, and ties prefer the later — larger —
 	// deployment. The paper reports that every algorithm's total cost
@@ -111,6 +129,14 @@ type Stats struct {
 	GPsCreated    int   // guaranteed paths realized by SCM
 	ExploredNodes int   // distinct users examined across all phases
 	Evaluations   int64 // Monte-Carlo evaluations performed
+	// CandidateEvals counts ID-loop candidate marginal-gain evaluations.
+	// The exhaustive sweep pays |candidates| per iteration; the lazy loop
+	// pays only for new candidates, stale re-pops and pivot refreshes, so
+	// CandidateEvals / IDIterations is the measured win of CELF.
+	CandidateEvals int64
+	// HeapRepops counts lazy-loop pops whose cached gain was stale and had
+	// to be re-evaluated (new, never-evaluated candidates excluded).
+	HeapRepops int64
 }
 
 // TrajectoryPoint is one ID investment: what was bought, and the
@@ -146,6 +172,16 @@ type solver struct {
 	explored   []bool
 	stats      Stats
 	trajectory []TrajectoryPoint
+
+	// Exhaustive-sweep scratch, reused across ID iterations so the inner
+	// loop allocates nothing: influence marks (cleared via the marked list,
+	// not O(V) zeroing), the BFS frontier and the candidate slice.
+	infMark []bool
+	infList []int32
+	candBuf []int32
+
+	// gpiSt is the GPI traversal's reusable per-node state (see gpiState).
+	gpiSt *dfsState
 }
 
 func (s *solver) record(action string, node int32, benefit, cost float64) {
@@ -214,7 +250,11 @@ func Solve(inst *diffusion.Instance, opts Options) (*Solution, error) {
 	}
 	n := inst.G.NumNodes()
 	opts = opts.withDefaults(n)
-	ev, err := diffusion.NewEngine(opts.Engine, inst, opts.Samples, opts.Seed, opts.Workers)
+	ev, err := diffusion.NewEngineOpts(inst, diffusion.EngineOptions{
+		Engine: opts.Engine, Samples: opts.Samples, Seed: opts.Seed,
+		Workers: opts.Workers, Diffusion: opts.Diffusion,
+		LiveEdgeMemBudget: opts.LiveEdgeMemBudget,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -284,11 +324,19 @@ func (s *solver) rate(d *diffusion.Deployment) float64 {
 // users reachable from the seeds through coupon-holding users. (Saturated
 // dependent edges — where earlier probability-1 siblings always exhaust the
 // coupons — are conservatively included; their marginal gain evaluates to
-// zero, so they are never selected. DESIGN.md fidelity note 2.)
+// zero, so they are never selected. DESIGN.md fidelity note 2.) The
+// returned slice is solver-owned scratch, overwritten by the next call; the
+// marked list it was built from is left in s.infList.
 func (s *solver) influenced(d *diffusion.Deployment) []bool {
 	g := s.inst.G
-	mark := make([]bool, g.NumNodes())
-	queue := make([]int32, 0, 64)
+	if s.infMark == nil {
+		s.infMark = make([]bool, g.NumNodes())
+	}
+	mark := s.infMark
+	for _, v := range s.infList {
+		mark[v] = false
+	}
+	queue := s.infList[:0]
 	for _, seed := range d.Seeds() {
 		if !mark[seed] {
 			mark[seed] = true
@@ -308,6 +356,7 @@ func (s *solver) influenced(d *diffusion.Deployment) []bool {
 			}
 		}
 	}
+	s.infList = queue
 	return mark
 }
 

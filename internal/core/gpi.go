@@ -47,14 +47,58 @@ type gpForest struct {
 
 func gpKey(seed, node int32) int64 { return int64(seed)<<32 | int64(uint32(node)) }
 
-// dfsState is the per-seed traversal bookkeeping.
+// dfsState is the per-seed traversal bookkeeping. All per-node state lives
+// in node-indexed arrays reused across seeds (reset walks the visit order,
+// so a reset costs O(visited), not O(V)) — the GPI enumeration recomputes
+// path costs O(|order|) times per visit, and map lookups used to dominate
+// its profile.
 type dfsState struct {
 	seed     int32
-	level    map[int32]int32
-	parent   map[int32]int32
-	children map[int32][]int32 // DFS-tree children, in visit order
-	maxPos   map[int32]int32   // highest adjacency position among tree children
-	order    []int32           // visit order
+	level    []int32 // -1 = unvisited
+	parent   []int32
+	children [][]int32 // DFS-tree children, in visit order
+	maxPos   []int32   // highest adjacency position among tree children
+	order    []int32   // visit order
+
+	act   []float64 // gpBenefit scratch: activation probability down the tree
+	inSet []bool    // gpBenefit scratch: membership of the current path set
+	rp    []float64 // redeem-probability scratch
+}
+
+// gpiState returns the solver's reusable DFS state, creating it on first
+// use.
+func (s *solver) gpiState() *dfsState {
+	if s.gpiSt == nil {
+		n := s.inst.G.NumNodes()
+		st := &dfsState{
+			level:    make([]int32, n),
+			parent:   make([]int32, n),
+			children: make([][]int32, n),
+			maxPos:   make([]int32, n),
+			act:      make([]float64, n),
+			inSet:    make([]bool, n),
+		}
+		for i := range st.level {
+			st.level[i] = -1
+		}
+		s.gpiSt = st
+	}
+	return s.gpiSt
+}
+
+// reset rewinds the state for a new seed, clearing only what the previous
+// traversal touched.
+func (st *dfsState) reset(seed int32) {
+	for _, v := range st.order {
+		st.level[v] = -1
+		st.children[v] = st.children[v][:0]
+		st.maxPos[v] = 0
+	}
+	st.order = st.order[:0]
+	st.seed = seed
+	st.level[seed] = 0
+	st.parent[seed] = -1
+	st.order = append(st.order, seed)
 }
 
 // khat returns the GP allocation K̂ of node v for a path ending at level
@@ -92,14 +136,8 @@ func (s *solver) dfsFromSeed(seed int32, forest *gpForest) {
 	if budget < 0 {
 		return
 	}
-	st := &dfsState{
-		seed:     seed,
-		level:    map[int32]int32{seed: 0},
-		parent:   map[int32]int32{seed: -1},
-		children: make(map[int32][]int32),
-		maxPos:   make(map[int32]int32),
-	}
-	st.order = append(st.order, seed)
+	st := s.gpiState()
+	st.reset(seed)
 	s.touch(seed)
 	forest.record(s, st, seed)
 
@@ -107,7 +145,7 @@ func (s *solver) dfsFromSeed(seed int32, forest *gpForest) {
 	walk = func(v int32) {
 		targets, _ := in.G.OutEdges(v)
 		for pos, t := range targets {
-			if _, visited := st.level[t]; visited {
+			if st.level[t] >= 0 {
 				continue // cross edge; the node keeps its first visit
 			}
 			// Tentatively extend the DFS tree with t.
@@ -125,8 +163,7 @@ func (s *solver) dfsFromSeed(seed int32, forest *gpForest) {
 				st.order = st.order[:len(st.order)-1]
 				st.children[v] = st.children[v][:len(st.children[v])-1]
 				recomputeMaxPos(in, st, v)
-				delete(st.level, t)
-				delete(st.parent, t)
+				st.level[t] = -1
 				return
 			}
 			s.touch(t)
@@ -197,39 +234,47 @@ func (s *solver) gpBenefit(st *dfsState, end int32) float64 {
 	endLevel := st.level[end]
 	// Activation probability along the DFS tree. Within the guaranteed
 	// allocation every tree edge is independent, so the probability is the
-	// product of edge probabilities down the chain.
-	act := map[int32]float64{st.seed: 1}
+	// product of edge probabilities down the chain. The act/inSet arrays
+	// are solver scratch, cleared along the visit order before returning.
+	st.act[st.seed] = 1
 	total := 0.0
-	inSet := make(map[int32]bool, len(st.order))
 	for _, v := range st.order {
 		if st.level[v] <= endLevel {
-			inSet[v] = true
+			st.inSet[v] = true
 		}
 	}
 	for _, v := range st.order {
-		if !inSet[v] {
+		if !st.inSet[v] {
 			continue
 		}
-		p := act[v]
+		p := st.act[v]
 		total += in.Benefit[v] * p
 		k := st.khat(v, endLevel)
 		if k == 0 {
 			continue
 		}
 		targets, probs := in.G.OutEdges(v)
-		rp := diffusion.RedeemProbs(probs, int(k))
+		if cap(st.rp) < len(probs) {
+			st.rp = make([]float64, len(probs))
+		}
+		rp := st.rp[:len(probs)]
+		diffusion.RedeemProbsInto(rp, probs, int(k))
 		for j, t := range targets {
-			if inSet[t] && st.parent[t] == v {
-				act[t] = p * rp[j] // tree child: independent edge
+			if st.inSet[t] && st.parent[t] == v {
+				st.act[t] = p * rp[j] // tree child: independent edge
 				continue
 			}
-			if inSet[t] {
+			if st.inSet[t] {
 				continue // cross edge to a counted user: avoid double count
 			}
 			// Dependent (or surplus independent) edge to an unvisited
 			// user: one-hop expected benefit.
 			total += in.Benefit[t] * p * rp[j]
 		}
+	}
+	for _, v := range st.order {
+		st.inSet[v] = false
+		st.act[v] = 0
 	}
 	return total
 }

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 
 	"s3crm/internal/diffusion"
+	"s3crm/internal/pq"
 )
 
 // investmentDeployment runs phase 2 of S3CA (Alg. 1 lines 9–24): starting
@@ -14,7 +16,327 @@ import (
 // user), or starting a new spread (activating the next pivot source as a
 // seed) — until the budget is exhausted. Every intermediate deployment is a
 // candidate; the one with the highest redemption rate wins.
+//
+// The default implementation is CELF lazy greedy (Options.ExhaustiveID
+// restores the exhaustive sweep): cached marginal gains from earlier
+// iterations serve as upper bounds, so each iteration re-evaluates only the
+// stale top of a max-heap instead of every influenced user.
 func (s *solver) investmentDeployment(queue []pivotEntry) *diffusion.Deployment {
+	if s.opts.ExhaustiveID {
+		return s.investmentExhaustive(queue)
+	}
+	return s.investmentLazy(queue)
+}
+
+// nextPivot scans the queue from *next for the first pivot source that is
+// not already a seed and still affordable with spent already committed.
+// Entries skipped here are skipped for good — the budget only shrinks — so
+// *next only advances.
+func (s *solver) nextPivot(queue []pivotEntry, next *int, d *diffusion.Deployment, spent float64) (pivotEntry, bool) {
+	in := s.inst
+	for *next < len(queue) {
+		p := queue[*next]
+		if d.IsSeed(p.node) {
+			*next++ // already part of the spread as a seed
+			continue
+		}
+		pCost := in.SeedCost[p.node] + in.NodeSCCost(p.node, maxInt(p.k, d.K(p.node))) - in.NodeSCCost(p.node, d.K(p.node))
+		if spent+pCost > in.Budget {
+			*next++ // unaffordable now; budget only shrinks, so skip for good
+			continue
+		}
+		return p, true
+	}
+	return pivotEntry{}, false
+}
+
+// marginalSCCost is the cost of one more coupon at v on top of d.
+func (s *solver) marginalSCCost(d *diffusion.Deployment, v int32) float64 {
+	return s.inst.NodeSCCost(v, d.K(v)+1) - s.inst.NodeSCCost(v, d.K(v))
+}
+
+// --- CELF lazy greedy ---
+
+// lazyBatchSize bounds how many stale heap entries are re-evaluated per
+// batch. The world-cache engine's dense tier answers single candidates in
+// O(their own replays), so the batch stays small to avoid evaluating
+// entries deeper than the next fresh top; the fallback tiers pay one
+// per-world stamp repopulation per call, which a batch of a few still
+// amortizes.
+const lazyBatchSize = 4
+
+// lazyID is the CELF state of one investment loop: a max-heap of candidate
+// marginal redemptions (min-heap over negated ratios; ties break to the
+// smaller node id, matching the exhaustive sweep), each node's cached gain
+// stamped with the epoch it was computed at, and the persistent influence
+// marks that grow the candidate pool incrementally.
+type lazyID struct {
+	heap  *pq.Indexed
+	gain  []float64 // node → cached marginal benefit ΔB
+	stamp []int32   // node → epoch of the cached gain; -1 = never evaluated
+	epoch int32     // bumped on every deployment change; stale ⇒ re-evaluate
+	mark  []bool    // influenced marks (persist across iterations)
+	bfs   []int32   // scratch frontier for absorb
+	stale []int32   // scratch batch of popped stale candidates
+}
+
+// investmentLazy is the CELF variant of the investment loop. Invalidation
+// rules (see DESIGN.md "Evaluation engines"):
+//
+//   - a coupon investment bumps the epoch: every cached gain goes stale but
+//     stays in the heap as an upper bound — gains only shrink while the
+//     seed set is fixed (diminishing returns), so only stale tops need
+//     re-evaluation (lazy);
+//   - the invested node's own marginal cost changes with its new coupon
+//     count, so its heap priority is recomputed from the cached gain before
+//     re-queueing (coupon-cost invalidation);
+//   - a pivot application (new seed) can raise gains, so cached values are
+//     no longer upper bounds: the whole heap is re-evaluated eagerly in one
+//     batch (full invalidation), which costs exactly one exhaustive
+//     iteration and happens only once per seed;
+//   - capped (K = |N(v)|) and budget-infeasible candidates are dropped for
+//     good — coupon counts never decrease and spend never shrinks.
+func (s *solver) investmentLazy(queue []pivotEntry) *diffusion.Deployment {
+	in := s.inst
+	n := in.G.NumNodes()
+
+	d := diffusion.NewDeployment(n)
+	lz := &lazyID{
+		heap:  pq.NewIndexed(n),
+		gain:  make([]float64, n),
+		stamp: make([]int32, n),
+		mark:  make([]bool, n),
+	}
+	for i := range lz.stamp {
+		lz.stamp[i] = -1
+	}
+
+	next := 0
+	applyPivot := func(p pivotEntry) {
+		d.AddSeed(p.node)
+		if p.k > 0 && d.K(p.node) < p.k {
+			d.SetK(p.node, p.k)
+		}
+		s.touch(p.node)
+	}
+	applyPivot(queue[next])
+	next++
+
+	curBenefit := s.benefitRebased(d)
+	curSC := in.SCCostOf(d)
+	curSeedCost := in.SeedCostOf(d)
+	s.record("seed", queue[0].node, curBenefit, curSeedCost+curSC)
+	s.absorb(lz, d, queue[0].node)
+
+	// Candidate deployments D of Alg. 1: one snapshot per investment (see
+	// the selection-bias note in selectSnapshot).
+	snapshots := []*diffusion.Deployment{d.Clone()}
+
+	for iter := 0; iter < s.opts.MaxIterations; iter++ {
+		s.stats.IDIterations = iter + 1
+
+		bestNode, bestMR, bestGain, bestDC := s.lazyBest(lz, d, curBenefit, curSeedCost+curSC)
+
+		pivot, pivotOK := s.nextPivot(queue, &next, d, curSeedCost+curSC)
+
+		investSC := bestNode >= 0 && bestMR > 0
+		if s.opts.DisablePivot {
+			// Ablation: never compare against the pivot; only fall back to
+			// a new seed when no SC investment is possible.
+			if !investSC && !pivotOK {
+				break
+			}
+		} else {
+			if investSC && pivotOK && pivot.rate >= bestMR {
+				investSC = false // the pivot wins the comparison
+			}
+			if !investSC && !pivotOK {
+				break // nothing feasible remains
+			}
+		}
+
+		if investSC {
+			d.AddK(bestNode, 1)
+			curBenefit += bestGain
+			curSC += bestDC
+			if s.incremental() {
+				// The replay value that won the comparison is only a
+				// ranking signal; rebase now so curBenefit and the
+				// trajectory record the exact benefit. Net-zero cost: the
+				// next evaluation's rebase is then served from the cache.
+				curBenefit = s.wc.Rebase(d).Benefit
+			}
+			s.record("coupon", bestNode, curBenefit, curSeedCost+curSC)
+			lz.epoch++
+			s.absorb(lz, d, bestNode)
+			// Re-queue the winner under its new marginal cost; the cached
+			// gain (now stale) remains its upper bound.
+			s.requeue(lz, d, bestNode)
+		} else {
+			if !pivotOK {
+				break
+			}
+			s.requeue(lz, d, bestNode) // the losing candidate stays queued
+			applyPivot(pivot)
+			next++
+			curBenefit = s.benefitRebased(d)
+			curSC = in.SCCostOf(d)
+			curSeedCost = in.SeedCostOf(d)
+			s.record("seed", pivot.node, curBenefit, curSeedCost+curSC)
+			lz.epoch++
+			s.absorb(lz, d, pivot.node)
+			// A new seed can raise gains, so cached values are no longer
+			// upper bounds: refresh the entire pool eagerly.
+			s.refreshAll(lz, d, curBenefit, curSeedCost+curSC)
+		}
+
+		snapshots = append(snapshots, d.Clone())
+	}
+	return s.selectSnapshot(snapshots)
+}
+
+// absorb grows the influence marks after v changed (became a seed or gained
+// a coupon): v itself and every user newly reachable through coupon-holding
+// users join the candidate pool as never-evaluated heap entries (priority
+// −∞ before negation, i.e. evaluated on first pop). Already-marked users
+// are skipped, so the cost is O(new frontier), not O(V).
+func (s *solver) absorb(lz *lazyID, d *diffusion.Deployment, v int32) {
+	g := s.inst.G
+	q := lz.bfs[:0]
+	enter := func(u int32) {
+		lz.mark[u] = true
+		s.touch(u)
+		lz.heap.DecreaseKey(u, math.Inf(-1))
+		if d.K(u) > 0 {
+			q = append(q, u)
+		}
+	}
+	if !lz.mark[v] {
+		enter(v)
+	} else if d.K(v) > 0 {
+		q = append(q, v)
+	}
+	for head := 0; head < len(q); head++ {
+		ts, _ := g.OutEdges(q[head])
+		for _, t := range ts {
+			if !lz.mark[t] {
+				enter(t)
+			}
+		}
+	}
+	lz.bfs = q
+}
+
+// requeue reinserts a popped candidate with the priority implied by its
+// cached gain and its current marginal coupon cost. Capped candidates are
+// dropped for good.
+func (s *solver) requeue(lz *lazyID, d *diffusion.Deployment, v int32) {
+	if v < 0 || d.K(v) >= s.inst.G.OutDegree(v) {
+		return
+	}
+	lz.heap.DecreaseKey(v, -safeRatio(lz.gain[v], s.marginalSCCost(d, v)))
+}
+
+// lazyBest pops the heap until the top candidate's cached gain is fresh for
+// the current epoch, re-evaluating stale pops in batches. The returned
+// winner (-1 when no feasible candidate remains) is left out of the heap;
+// the caller re-queues it via requeue. Because stale priorities upper-bound
+// fresh gains (and ties break to smaller ids in heap and batch alike), the
+// first fresh top is exactly the exhaustive sweep's argmax.
+func (s *solver) lazyBest(lz *lazyID, d *diffusion.Deployment, curBenefit, spent float64) (bestNode int32, bestMR, bestGain, bestDC float64) {
+	in := s.inst
+	lz.stale = lz.stale[:0]
+	for {
+		v, pri, ok := lz.heap.Pop()
+		if !ok {
+			if len(lz.stale) == 0 {
+				return -1, 0, 0, 0
+			}
+			s.refreshBatch(lz, d, curBenefit)
+			continue
+		}
+		if d.K(v) >= in.G.OutDegree(v) {
+			continue // SC constraint ki <= |N(vi)|; K never decreases — drop
+		}
+		dc := s.marginalSCCost(d, v)
+		if spent+dc > in.Budget {
+			continue // infeasible and spend only grows — drop for good
+		}
+		if lz.stamp[v] == lz.epoch {
+			if len(lz.stale) == 0 {
+				return v, -pri, lz.gain[v], dc
+			}
+			// Fresh, but stale pops with higher bounds preceded it — their
+			// true gains may still exceed this one. Re-queue it, settle the
+			// batch and keep popping.
+			lz.heap.DecreaseKey(v, pri)
+			s.refreshBatch(lz, d, curBenefit)
+			continue
+		}
+		if lz.stamp[v] >= 0 {
+			s.stats.HeapRepops++
+		}
+		lz.stale = append(lz.stale, v)
+		if len(lz.stale) >= lazyBatchSize {
+			s.refreshBatch(lz, d, curBenefit)
+		}
+	}
+}
+
+// refreshBatch evaluates the marginal gain of every candidate in lz.stale
+// against the current deployment and re-queues them fresh. Under the
+// world-cache engine the whole batch is answered by one frontier-replay
+// pass over the worlds; otherwise each candidate costs one full simulation
+// (parallelized across workers).
+func (s *solver) refreshBatch(lz *lazyID, d *diffusion.Deployment, curBenefit float64) {
+	if len(lz.stale) == 0 {
+		return
+	}
+	var benefits []float64
+	if s.incremental() {
+		curBenefit = s.wc.Rebase(d).Benefit // cache hit except on the first batch after a change
+		benefits = s.wc.DeltaBenefits(lz.stale)
+	} else {
+		benefits = s.evalCandidates(d, lz.stale)
+	}
+	s.stats.CandidateEvals += int64(len(lz.stale))
+	for i, v := range lz.stale {
+		lz.gain[v] = benefits[i] - curBenefit
+		lz.stamp[v] = lz.epoch
+		lz.heap.DecreaseKey(v, -safeRatio(lz.gain[v], s.marginalSCCost(d, v)))
+	}
+	lz.stale = lz.stale[:0]
+}
+
+// refreshAll drains the heap and re-evaluates every still-feasible
+// candidate in one batch — the full invalidation a pivot application
+// requires, costing exactly one exhaustive iteration.
+func (s *solver) refreshAll(lz *lazyID, d *diffusion.Deployment, curBenefit, spent float64) {
+	in := s.inst
+	lz.stale = lz.stale[:0]
+	for {
+		v, _, ok := lz.heap.Pop()
+		if !ok {
+			break
+		}
+		if d.K(v) >= in.G.OutDegree(v) {
+			continue
+		}
+		if spent+s.marginalSCCost(d, v) > in.Budget {
+			continue
+		}
+		lz.stale = append(lz.stale, v)
+	}
+	s.refreshBatch(lz, d, curBenefit)
+}
+
+// --- Exhaustive sweep (Options.ExhaustiveID) ---
+
+// investmentExhaustive re-evaluates every influenced candidate each
+// iteration — PR 1's loop, kept as the lazy loop's reference and escape
+// hatch. Scratch buffers are solver-owned and reused, so the inner loop no
+// longer allocates O(V) per iteration.
+func (s *solver) investmentExhaustive(queue []pivotEntry) *diffusion.Deployment {
 	in := s.inst
 	n := in.G.NumNodes()
 
@@ -49,7 +371,7 @@ func (s *solver) investmentDeployment(queue []pivotEntry) *diffusion.Deployment 
 		// Strategy 2/3 candidates: one more SC for an internal node, or a
 		// first SC for an influenced user.
 		influenced := s.influenced(d)
-		candidates := make([]int32, 0, 64)
+		candidates := s.candBuf[:0]
 		for v := int32(0); v < int32(n); v++ {
 			if !influenced[v] {
 				continue
@@ -58,12 +380,12 @@ func (s *solver) investmentDeployment(queue []pivotEntry) *diffusion.Deployment 
 			if d.K(v) >= in.G.OutDegree(v) {
 				continue // SC constraint: ki <= |N(vi)|
 			}
-			dCost := in.NodeSCCost(v, d.K(v)+1) - in.NodeSCCost(v, d.K(v))
-			if curSeedCost+curSC+dCost > in.Budget {
+			if curSeedCost+curSC+s.marginalSCCost(d, v) > in.Budget {
 				continue // infeasible under the investment budget
 			}
 			candidates = append(candidates, v)
 		}
+		s.candBuf = candidates
 
 		// Evaluate the marginal benefit of every candidate. Under the
 		// world-cache engine the current deployment is rebased once (one
@@ -81,12 +403,13 @@ func (s *solver) investmentDeployment(queue []pivotEntry) *diffusion.Deployment 
 		} else {
 			benefits = s.evalCandidates(d, candidates)
 		}
+		s.stats.CandidateEvals += int64(len(candidates))
 
 		bestNode := int32(-1)
 		bestMR := 0.0
 		var bestNewBenefit, bestNewSC float64
 		for i, v := range candidates {
-			dCost := in.NodeSCCost(v, d.K(v)+1) - in.NodeSCCost(v, d.K(v))
+			dCost := s.marginalSCCost(d, v)
 			mr := safeRatio(benefits[i]-curBenefit, dCost)
 			if mr > bestMR {
 				bestMR = mr
@@ -98,23 +421,7 @@ func (s *solver) investmentDeployment(queue []pivotEntry) *diffusion.Deployment 
 
 		// Pivot comparison (strategy 1): the redemption rate of the next
 		// pivot source.
-		pivotOK := false
-		var pivot pivotEntry
-		for next < len(queue) {
-			p := queue[next]
-			if d.IsSeed(p.node) {
-				next++ // already part of the spread as a seed
-				continue
-			}
-			pCost := in.SeedCost[p.node] + in.NodeSCCost(p.node, maxInt(p.k, d.K(p.node))) - in.NodeSCCost(p.node, d.K(p.node))
-			if curSeedCost+curSC+pCost > in.Budget {
-				next++ // unaffordable now; budget only shrinks, so skip for good
-				continue
-			}
-			pivot = p
-			pivotOK = true
-			break
-		}
+		pivot, pivotOK := s.nextPivot(queue, &next, d, curSeedCost+curSC)
 
 		investSC := bestNode >= 0 && bestMR > 0
 		if s.opts.DisablePivot {
@@ -174,8 +481,13 @@ func (s *solver) selectSnapshot(snapshots []*diffusion.Deployment) *diffusion.De
 	if s.opts.SpendBudget {
 		return snapshots[len(snapshots)-1]
 	}
-	scorer := diffusion.NewEstimator(s.inst, s.opts.Samples, s.opts.Seed^0x5c04e)
-	scorer.Workers = s.opts.Workers
+	scorer := s.newScorer()
+	// Under the world-cache engine the scorer is a world cache too, and the
+	// snapshots form a chain differing by one investment each: rebasing
+	// along the chain re-simulates only the affected worlds per coupon step
+	// (seed steps pay a full pass). refreshSums keeps the values
+	// bit-identical to full evaluations, so the selection is unchanged.
+	wcScorer, _ := scorer.(*diffusion.WorldCache)
 	score := func(d *diffusion.Deployment) float64 {
 		cost := s.inst.TotalCost(d)
 		if cost <= 0 {
@@ -185,6 +497,9 @@ func (s *solver) selectSnapshot(snapshots []*diffusion.Deployment) *diffusion.De
 			if b, err := diffusion.ExactTreeBenefit(s.inst, d); err == nil {
 				return b / cost
 			}
+		}
+		if wcScorer != nil {
+			return wcScorer.Rebase(d).Benefit / cost
 		}
 		return scorer.Benefit(d) / cost
 	}
@@ -200,6 +515,30 @@ func (s *solver) selectSnapshot(snapshots []*diffusion.Deployment) *diffusion.De
 		}
 	}
 	return best
+}
+
+// newScorer builds the independent estimator stream snapshot selection
+// re-scores with, on the same engine and diffusion substrate as the
+// solver's own evaluations (but a decorrelated coin, so the selection is
+// unbiased by the noise that guided the greedy).
+func (s *solver) newScorer() diffusion.Evaluator {
+	engine := diffusion.EngineMC
+	if s.incremental() {
+		engine = diffusion.EngineWorldCache
+	}
+	scorer, err := diffusion.NewEngineOpts(s.inst, diffusion.EngineOptions{
+		Engine: engine, Samples: s.opts.Samples,
+		Seed: s.opts.Seed ^ 0x5c04e, Workers: s.opts.Workers,
+		Diffusion: s.opts.Diffusion, LiveEdgeMemBudget: s.opts.LiveEdgeMemBudget,
+	})
+	if err != nil {
+		// Unreachable: Solve validated the same options when it built the
+		// main engine. Fall back to the plain estimator regardless.
+		est := diffusion.NewEstimator(s.inst, s.opts.Samples, s.opts.Seed^0x5c04e)
+		est.Workers = s.opts.Workers
+		return est
+	}
+	return scorer
 }
 
 func maxInt(a, b int) int {

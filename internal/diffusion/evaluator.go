@@ -44,19 +44,58 @@ type Evaluator interface {
 	Evals() int64
 }
 
-// NewEngine constructs the named evaluation engine over inst. The empty
-// name means EngineMC. EngineSketch returns a plain Monte-Carlo evaluator —
-// its sketches accelerate seed ranking, not benefit estimation — so all
-// engines agree on Evaluate up to floating-point summation order.
-func NewEngine(name string, inst *Instance, samples int, seed uint64, workers int) (Evaluator, error) {
-	switch name {
-	case "", EngineMC, EngineSketch:
-		est := NewEstimator(inst, samples, seed)
-		est.Workers = workers
-		return est, nil
-	case EngineWorldCache:
-		return NewWorldCache(inst, samples, seed, workers), nil
+// EngineOptions configures NewEngineOpts: which engine to build, its
+// Monte-Carlo parameters, and the diffusion substrate the propagation kernel
+// probes edge liveness through.
+type EngineOptions struct {
+	// Engine names the evaluation engine (see Engines); empty means EngineMC.
+	Engine string
+	// Samples is the possible-world count; Seed seeds the coin stream.
+	Samples int
+	Seed    uint64
+	// Workers sets evaluation parallelism; <= 1 means sequential.
+	Workers int
+	// Diffusion selects the edge-liveness substrate (see Diffusions); empty
+	// means DiffusionLiveEdge — materialized per-world bitsets with an
+	// automatic fall-back to hashing over the memory budget.
+	Diffusion string
+	// LiveEdgeMemBudget caps the bytes the live-edge substrate may commit
+	// to materialized worlds (<= 0 means DefaultLiveEdgeMemBudget). Above
+	// the cap the engine hashes every probe instead; results are identical.
+	LiveEdgeMemBudget int64
+}
+
+// NewEngineOpts constructs the configured evaluation engine over inst.
+// EngineSketch returns a plain Monte-Carlo evaluator — its sketches
+// accelerate seed ranking, not benefit estimation — so all engines agree on
+// Evaluate up to floating-point summation order, whatever the substrate.
+func NewEngineOpts(inst *Instance, o EngineOptions) (Evaluator, error) {
+	var est *Estimator
+	switch o.Engine {
+	case "", EngineMC, EngineSketch, EngineWorldCache:
+		est = NewEstimator(inst, o.Samples, o.Seed)
+		est.Workers = o.Workers
 	default:
-		return nil, fmt.Errorf("diffusion: unknown engine %q (want one of %v)", name, Engines())
+		return nil, fmt.Errorf("diffusion: unknown engine %q (want one of %v)", o.Engine, Engines())
 	}
+	switch o.Diffusion {
+	case "", DiffusionLiveEdge:
+		est.Live = NewLiveEdges(inst.G, o.Samples, est.Coin, o.LiveEdgeMemBudget)
+	case DiffusionHash:
+		// probe the coin directly
+	default:
+		return nil, fmt.Errorf("diffusion: unknown diffusion substrate %q (want one of %v)", o.Diffusion, Diffusions())
+	}
+	if o.Engine == EngineWorldCache {
+		return &WorldCache{Est: est}, nil
+	}
+	return est, nil
+}
+
+// NewEngine constructs the named evaluation engine over inst with the
+// default diffusion substrate. The empty name means EngineMC.
+func NewEngine(name string, inst *Instance, samples int, seed uint64, workers int) (Evaluator, error) {
+	return NewEngineOpts(inst, EngineOptions{
+		Engine: name, Samples: samples, Seed: seed, Workers: workers,
+	})
 }

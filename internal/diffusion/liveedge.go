@@ -1,0 +1,126 @@
+package diffusion
+
+import (
+	"sync/atomic"
+
+	"s3crm/internal/graph"
+	"s3crm/internal/rng"
+)
+
+// Diffusion substrate names accepted by EngineOptions.Diffusion and threaded
+// through core.Options, baselines.Config, eval.RunParams and the public
+// s3crm.Options.
+const (
+	// DiffusionLiveEdge (the default) materializes coin flips into live-edge
+	// bit rows — for each probed edge, one bit per possible world — so the
+	// propagation kernel, the world-cache frontier replay and RIS sketch
+	// generation read a bit instead of recomputing a splitmix64 hash chain
+	// per probe. Under common random numbers edge liveness is
+	// deployment-independent, which is what makes the one-off
+	// materialization sound. Rows are filled lazily on first probe (edges no
+	// cascade ever reaches cost nothing) and capped by a memory budget,
+	// beyond which probes fall back to hashing — results are identical
+	// either way.
+	DiffusionLiveEdge = "liveedge"
+	// DiffusionHash recomputes the stateless hash on every edge probe
+	// (PR 1's behaviour): zero memory overhead, identical outcomes.
+	DiffusionHash = "hash"
+)
+
+// Diffusions lists the diffusion substrates in documentation order.
+func Diffusions() []string { return []string{DiffusionLiveEdge, DiffusionHash} }
+
+// DefaultLiveEdgeMemBudget caps the memory a LiveEdges substrate may commit
+// to materialized rows: 256 MiB, enough for 1000 worlds over a
+// two-million-edge graph even if every edge is probed.
+const DefaultLiveEdgeMemBudget = int64(256) << 20
+
+// LiveEdges is the materialized live-edge substrate: per global edge index,
+// a packed row of one bit per possible world holding the outcome of
+// rng.Coin.Live for that (world, edge) pair. The layout is edge-major
+// because probe locality is by edge, not by world — every evaluation of
+// every deployment probes the same cascade-adjacent edges across all
+// worlds, so a row filled once (Samples hash flips) serves every subsequent
+// evaluation, while edges no cascade reaches are never materialized at all.
+//
+// Rows fill lazily on first probe and the total is capped by a byte budget;
+// once the budget is exhausted the remaining edges hash per probe, with
+// identical outcomes (the bits are Coin's own flips). Filling is safe for
+// concurrent use: workers racing on a row each build the (identical,
+// deterministic) bits and the first CAS wins.
+type LiveEdges struct {
+	coin     rng.Coin
+	probs    []float64 // global CSR edge probabilities (aliases graph storage)
+	samples  int
+	words    int      // row words: (samples+63)/64
+	worldMix []uint64 // per-world hash term, hoisted out of row fills
+	rows     []atomic.Pointer[[]uint64]
+	spent    atomic.Int64 // bytes committed to filled rows
+	budget   int64
+}
+
+// NewLiveEdges returns the substrate for samples worlds over g using coin,
+// or nil when the budget cannot hold even a single row — the caller then
+// probes the coin directly, with identical outcomes. memBudget <= 0 means
+// DefaultLiveEdgeMemBudget.
+func NewLiveEdges(g *graph.Graph, samples int, coin rng.Coin, memBudget int64) *LiveEdges {
+	if memBudget <= 0 {
+		memBudget = DefaultLiveEdgeMemBudget
+	}
+	if samples <= 0 || g.NumEdges() == 0 {
+		return nil
+	}
+	words := (samples + 63) / 64
+	if int64(words)*8 > memBudget {
+		return nil // cannot materialize anything useful
+	}
+	return &LiveEdges{
+		coin:     coin,
+		probs:    g.Probs(),
+		samples:  samples,
+		words:    words,
+		worldMix: rng.WorldMix(samples),
+		rows:     make([]atomic.Pointer[[]uint64], g.NumEdges()),
+		budget:   memBudget,
+	}
+}
+
+// Live reports whether the edge with the given global index is live in
+// world, materializing the edge's row on first probe (or hashing when the
+// memory budget is spent). world must be < the substrate's sample count.
+func (le *LiveEdges) Live(world uint64, edge uint64) bool {
+	rp := le.rows[edge].Load()
+	if rp == nil {
+		if rp = le.fill(edge); rp == nil {
+			return le.coin.Live(world, edge, le.probs[edge])
+		}
+	}
+	return (*rp)[world>>6]&(1<<(world&63)) != 0
+}
+
+// fill materializes one edge's row, flipping its coin once per world. It
+// returns nil — leaving the row unmaterialized — when the byte budget is
+// exhausted.
+func (le *LiveEdges) fill(edge uint64) *[]uint64 {
+	rowBytes := int64(le.words) * 8
+	if le.spent.Add(rowBytes) > le.budget {
+		le.spent.Add(-rowBytes)
+		return nil
+	}
+	row := make([]uint64, le.words)
+	le.coin.FillRow(row, le.worldMix, edge, le.probs[edge])
+	if !le.rows[edge].CompareAndSwap(nil, &row) {
+		le.spent.Add(-rowBytes) // a racing worker won; use its copy
+		return le.rows[edge].Load()
+	}
+	return &row
+}
+
+// Materialized reports whether the edge's row is currently materialized —
+// instrumentation for tests and memory diagnostics.
+func (le *LiveEdges) Materialized(edge uint64) bool {
+	return le.rows[edge].Load() != nil
+}
+
+// SpentBytes returns the bytes currently committed to materialized rows.
+func (le *LiveEdges) SpentBytes() int64 { return le.spent.Load() }

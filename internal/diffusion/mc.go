@@ -23,6 +23,11 @@ type Estimator struct {
 	Samples int // number of possible worlds; must be > 0
 	Coin    rng.Coin
 	Workers int // parallel workers; <= 1 means sequential
+	// Live, when non-nil, is the materialized live-edge substrate: edge
+	// probes read a precomputed bit instead of hashing. Outcomes are
+	// identical to Coin by construction (the bits are Coin's own flips,
+	// materialized once per world). Set by NewEngineOpts; nil means hash.
+	Live *LiveEdges
 
 	poolOnce sync.Once
 	pool     sync.Pool // of *simScratch, reused across evaluations
@@ -172,11 +177,15 @@ func (e *Estimator) putScratch(s *simScratch) { e.pool.Put(s) }
 // neighbour never offered a coupon (the node's out-degree when the scan ran
 // to the end of the list); scanRed is how many coupons the scan redeemed. A
 // scan with scanRed == K stopped for lack of coupons, so granting one more
-// coupon resumes exactly at scanStop.
+// coupon resumes exactly at scanStop. probed lists every node examined in
+// the world — activated or offered a coupon — in first-examination order;
+// its length is the world's Explored count, and the world cache rebuilds
+// its seen-bitsets from it when patching scans incrementally.
 type worldRecord struct {
 	nodes    []int32
 	scanStop []int32
 	scanRed  []int32
+	probed   []int32
 }
 
 // simWorld propagates one possible world for deployment d using scratch s,
@@ -187,12 +196,16 @@ type worldRecord struct {
 // worlds through it, which is what keeps the engines in agreement.
 func (e *Estimator) simWorld(s *simScratch, d *Deployment, world uint64, rec *worldRecord) (worldB, worldC float64, maxHop int32, activated, explored int) {
 	g := e.Inst.G
+	le := e.Live // nil ⇒ hash per probe
 	s.reset()
 	for _, seed := range d.Seeds() {
 		if !s.active(seed) {
 			s.activate(seed, 0)
 			if s.see(seed) {
 				explored++
+				if rec != nil {
+					rec.probed = append(rec.probed, seed)
+				}
 			}
 		}
 	}
@@ -218,8 +231,17 @@ func (e *Estimator) simWorld(s *simScratch, d *Deployment, world uint64, rec *wo
 				}
 				if s.see(t) {
 					explored++ // probed: a coin was flipped for t
+					if rec != nil {
+						rec.probed = append(rec.probed, t)
+					}
 				}
-				if e.Coin.Live(world, base+uint64(j), probs[j]) {
+				live := false
+				if le != nil {
+					live = le.Live(world, base+uint64(j))
+				} else {
+					live = e.Coin.Live(world, base+uint64(j), probs[j])
+				}
+				if live {
 					s.activate(t, s.hop[v]+1)
 					worldC += e.Inst.SCCost[t]
 					redeemed++

@@ -150,22 +150,124 @@ func TestWorldCacheParallelRebaseMatchesSequential(t *testing.T) {
 		!almost(a.RealizedCost, b.RealizedCost, 1e-9) || !almost(a.FarthestHop, b.FarthestHop, 1e-9) {
 		t.Fatalf("parallel Rebase %v differs from sequential %v", b, a)
 	}
-	// The flattened snapshots must be identical: the parallel merge keeps
-	// world order, so every delta replay sees the same scan states.
-	if len(seqWC.nodes) != len(parWC.nodes) {
-		t.Fatalf("snapshot sizes differ: %d vs %d", len(seqWC.nodes), len(parWC.nodes))
-	}
-	for w := 0; w <= 300; w++ {
-		if seqWC.off[w] != parWC.off[w] {
-			t.Fatalf("world %d offset differs: %d vs %d", w, seqWC.off[w], parWC.off[w])
+	// The per-world snapshots must be identical: workers own disjoint world
+	// ranges, so every delta replay sees the same scan states.
+	for w := 0; w < 300; w++ {
+		sr, pr := &seqWC.worlds[w].rec, &parWC.worlds[w].rec
+		if len(sr.nodes) != len(pr.nodes) {
+			t.Fatalf("world %d snapshot sizes differ: %d vs %d", w, len(sr.nodes), len(pr.nodes))
+		}
+		for i := range sr.nodes {
+			if sr.nodes[i] != pr.nodes[i] || sr.scanStop[i] != pr.scanStop[i] ||
+				sr.scanRed[i] != pr.scanRed[i] {
+				t.Fatalf("world %d entry %d differs: (%d,%d,%d) vs (%d,%d,%d)", w, i,
+					sr.nodes[i], sr.scanStop[i], sr.scanRed[i],
+					pr.nodes[i], pr.scanStop[i], pr.scanRed[i])
+			}
 		}
 	}
-	for i := range seqWC.nodes {
-		if seqWC.nodes[i] != parWC.nodes[i] || seqWC.scanStop[i] != parWC.scanStop[i] ||
-			seqWC.scanRed[i] != parWC.scanRed[i] {
-			t.Fatalf("snapshot entry %d differs: (%d,%d,%d) vs (%d,%d,%d)", i,
-				seqWC.nodes[i], seqWC.scanStop[i], seqWC.scanRed[i],
-				parWC.nodes[i], parWC.scanStop[i], parWC.scanRed[i])
+}
+
+// TestWorldCacheIncrementalRebaseExact pins the incremental rebase: moving
+// the base through a chain of coupon-only changes (adds and removals) must
+// leave the cache in exactly the state a from-scratch Rebase would build —
+// same Result, same per-world snapshots, same delta answers.
+func TestWorldCacheIncrementalRebaseExact(t *testing.T) {
+	inst := randomInstance(t, 40, 140, 51)
+	d := randomDeployment(inst, 2, 6, 52)
+	const samples = 300
+	inc := NewWorldCache(inst, samples, 53, 0)
+	inc.Rebase(d)
+
+	src := rng.New(54)
+	for step := 0; step < 24; step++ {
+		// Mutate several DISTINCT coupon counts (sometimes removing)
+		// without touching the seed set, so the multi-changed advance path
+		// — where one re-simulation must not poison the decisions for the
+		// other changed nodes — is exercised as heavily as the single-node
+		// fast path.
+		muts := map[int32]bool{}
+		for m := 0; m < 1+step%4; m++ {
+			v := int32(src.Intn(inst.G.NumNodes()))
+			if muts[v] {
+				continue
+			}
+			muts[v] = true
+			if d.K(v) > 0 && src.Float64() < 0.3 {
+				d.AddK(v, -1)
+			} else if d.K(v) < inst.G.OutDegree(v) {
+				d.AddK(v, 1)
+			}
+		}
+		got := inc.Rebase(d)
+
+		fresh := NewWorldCache(inst, samples, 53, 0)
+		want := fresh.Rebase(d)
+		if got != want {
+			t.Fatalf("step %d: incremental rebase %v, from-scratch %v", step, got, want)
+		}
+		for w := 0; w < samples; w++ {
+			ir, fr := &inc.worlds[w].rec, &fresh.worlds[w].rec
+			if len(ir.nodes) != len(fr.nodes) || len(ir.probed) != len(fr.probed) {
+				t.Fatalf("step %d world %d: snapshot sizes differ (%d/%d nodes, %d/%d probed)",
+					step, w, len(ir.nodes), len(fr.nodes), len(ir.probed), len(fr.probed))
+			}
+			for i := range ir.nodes {
+				if ir.nodes[i] != fr.nodes[i] || ir.scanStop[i] != fr.scanStop[i] || ir.scanRed[i] != fr.scanRed[i] {
+					t.Fatalf("step %d world %d entry %d differs", step, w, i)
+				}
+			}
+		}
+		var cands []int32
+		for v := int32(0); v < int32(inst.G.NumNodes()); v++ {
+			if d.K(v) < inst.G.OutDegree(v) {
+				cands = append(cands, v)
+			}
+		}
+		a, b := inc.DeltaBenefits(cands), fresh.DeltaBenefits(cands)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("step %d candidate %d: incremental delta %v, fresh %v", step, cands[i], a[i], b[i])
+			}
+		}
+	}
+
+	// Seed additions take the patch-or-resim path and must stay exact too —
+	// including the Explored accounting and the per-world records — through
+	// a mix of seed and coupon moves.
+	for step := 0; step < 6; step++ {
+		if step%2 == 0 {
+			v := int32(src.Intn(inst.G.NumNodes()))
+			for d.IsSeed(v) {
+				v = int32(src.Intn(inst.G.NumNodes()))
+			}
+			d.AddSeed(v)
+			if step%4 == 0 && d.K(v) < inst.G.OutDegree(v) {
+				d.AddK(v, 1) // pivot with a coupon
+			}
+		} else {
+			v := int32(src.Intn(inst.G.NumNodes()))
+			if d.K(v) < inst.G.OutDegree(v) {
+				d.AddK(v, 1)
+			}
+		}
+		got := inc.Rebase(d)
+		fresh := NewWorldCache(inst, samples, 53, 0)
+		want := fresh.Rebase(d)
+		if got != want {
+			t.Fatalf("seed step %d: incremental path %v, from-scratch %v", step, got, want)
+		}
+		for w := 0; w < samples; w++ {
+			ir, fr := &inc.worlds[w].rec, &fresh.worlds[w].rec
+			if len(ir.nodes) != len(fr.nodes) || len(ir.probed) != len(fr.probed) {
+				t.Fatalf("seed step %d world %d: snapshot sizes differ (%d/%d nodes, %d/%d probed)",
+					step, w, len(ir.nodes), len(fr.nodes), len(ir.probed), len(fr.probed))
+			}
+			for i := range ir.nodes {
+				if ir.nodes[i] != fr.nodes[i] || ir.scanStop[i] != fr.scanStop[i] || ir.scanRed[i] != fr.scanRed[i] {
+					t.Fatalf("seed step %d world %d entry %d differs", step, w, i)
+				}
+			}
 		}
 	}
 }
@@ -227,6 +329,77 @@ func TestWorldCacheEvaluateDeltaExact(t *testing.T) {
 	// Over-approximating the changed set stays exact.
 	if got, want := wc.EvaluateDelta(trial, append(changed, allocated...)), est.Benefit(trial); !almost(got, want, 1e-9) {
 		t.Fatalf("over-approximated change set: EvaluateDelta %v, full %v", got, want)
+	}
+}
+
+// TestWorldCacheMembershipTiersAgree forces the three membership tiers —
+// dense bit rows, CSR inverted index, and the world-major stamp sweep — and
+// checks Rebase chains and DeltaBenefits agree exactly across them. The
+// budgets are package variables precisely so this test can exercise the
+// fallback paths a small instance would never reach on its own.
+func TestWorldCacheMembershipTiersAgree(t *testing.T) {
+	inst := randomInstance(t, 40, 140, 61)
+	const samples = 200
+	origAct, origDense := maxActBitsetBytes, maxDenseScanBytes
+	defer func() { maxActBitsetBytes, maxDenseScanBytes = origAct, origDense }()
+
+	// The tier decision is re-evaluated from the global budgets on every
+	// full rebase, so each tier runs its whole chain under its own budget.
+	runChain := func(actBudget, denseBudget int64) ([]Result, [][]float64, *WorldCache) {
+		maxActBitsetBytes, maxDenseScanBytes = actBudget, denseBudget
+		wc := NewWorldCache(inst, samples, 63, 0)
+		d := randomDeployment(inst, 2, 5, 62)
+		src := rng.New(64)
+		var results []Result
+		var deltas [][]float64
+		for step := 0; step < 6; step++ {
+			if step%3 == 2 {
+				v := int32(src.Intn(inst.G.NumNodes()))
+				for d.IsSeed(v) {
+					v = int32(src.Intn(inst.G.NumNodes()))
+				}
+				d.AddSeed(v)
+			} else {
+				v := int32(src.Intn(inst.G.NumNodes()))
+				if d.K(v) < inst.G.OutDegree(v) {
+					d.AddK(v, 1)
+				}
+			}
+			var cands []int32
+			for v := int32(0); v < int32(inst.G.NumNodes()); v++ {
+				if d.K(v) < inst.G.OutDegree(v) {
+					cands = append(cands, v)
+				}
+			}
+			results = append(results, wc.Rebase(d))
+			deltas = append(deltas, wc.DeltaBenefits(cands))
+		}
+		return results, deltas, wc
+	}
+
+	denseRes, denseDeltas, denseWC := runChain(origAct, origDense)
+	indexRes, indexDeltas, indexWC := runChain(origAct, 0) // act bitsets only: CSR index path
+	sweepRes, sweepDeltas, sweepWC := runChain(0, 0)       // nothing materialized: stamp sweep
+	if !denseWC.dense || indexWC.dense || indexWC.act == nil || sweepWC.act != nil {
+		// The tier setup itself regressed; fail loudly rather than compare
+		// three copies of the same path.
+		t.Fatal("budget overrides did not select distinct membership tiers")
+	}
+	for step := range denseRes {
+		for name, res := range map[string][]Result{"index": indexRes, "sweep": sweepRes} {
+			if res[step] != denseRes[step] {
+				t.Fatalf("step %d: %s tier Rebase %v differs from dense %v",
+					step, name, res[step], denseRes[step])
+			}
+		}
+		for name, ds := range map[string][][]float64{"index": indexDeltas, "sweep": sweepDeltas} {
+			for i := range denseDeltas[step] {
+				if ds[step][i] != denseDeltas[step][i] {
+					t.Fatalf("step %d candidate %d: %s tier delta %v, dense %v",
+						step, i, name, ds[step][i], denseDeltas[step][i])
+				}
+			}
+		}
 	}
 }
 

@@ -76,11 +76,15 @@ type RunParams struct {
 	Seed         uint64
 	Workers      int
 	Engine       string // evaluation engine (see diffusion.Engines; "" = mc)
+	Diffusion    string // edge-liveness substrate (see diffusion.Diffusions; "" = liveedge)
 	CandidateCap int    // baseline greedy candidate cap (0 = all users)
 	LimitedK     int    // limited-strategy quota (0 = Dropbox's 32)
 	// SpendBudget makes S3CA return the full-budget deployment, mirroring
 	// the paper's evaluation regime (see core.Options.SpendBudget).
 	SpendBudget bool
+	// ExhaustiveID disables S3CA's CELF-lazy investment loop (see
+	// core.Options.ExhaustiveID).
+	ExhaustiveID bool
 }
 
 func (p RunParams) withDefaults() RunParams {
@@ -118,9 +122,9 @@ func RunOne(algo string, inst *diffusion.Instance, p RunParams) (Measure, error)
 	switch algo {
 	case "S3CA":
 		sol, err := core.Solve(inst, core.Options{
-			Engine:  p.Engine,
+			Engine: p.Engine, Diffusion: p.Diffusion,
 			Samples: p.Samples, Seed: p.Seed, Workers: p.Workers,
-			SpendBudget: p.SpendBudget,
+			SpendBudget: p.SpendBudget, ExhaustiveID: p.ExhaustiveID,
 		})
 		if err != nil {
 			return Measure{}, err
@@ -129,7 +133,7 @@ func RunOne(algo string, inst *diffusion.Instance, p RunParams) (Measure, error)
 		meas.ExploredRatio = float64(sol.Stats.ExploredNodes) / float64(inst.G.NumNodes())
 	case "IM-U", "IM-L", "IM-R", "PM-U", "PM-L", "IM-S", "RAND", "DEG":
 		cfg := baselines.Config{
-			Engine:  p.Engine,
+			Engine: p.Engine, Diffusion: p.Diffusion,
 			Samples: p.Samples, Seed: p.Seed, Workers: p.Workers,
 			CandidateCap: p.CandidateCap, LimitedK: p.LimitedK,
 		}
@@ -166,9 +170,15 @@ func RunOne(algo string, inst *diffusion.Instance, p RunParams) (Measure, error)
 
 	// Re-measure every algorithm's deployment with a common MC estimator so
 	// comparisons share possible worlds regardless of the engine that drove
-	// the search (full evaluations agree across engines anyway).
-	est := diffusion.NewEstimator(inst, p.Samples, p.Seed^0xfeed)
-	est.Workers = p.Workers
+	// the search (full evaluations agree across engines anyway — and across
+	// substrates, which materialize the same coin flips).
+	est, err := diffusion.NewEngineOpts(inst, diffusion.EngineOptions{
+		Engine: diffusion.EngineMC, Samples: p.Samples,
+		Seed: p.Seed ^ 0xfeed, Workers: p.Workers, Diffusion: p.Diffusion,
+	})
+	if err != nil {
+		return Measure{}, err
+	}
 	r := est.Evaluate(dep)
 	meas.Algo = algo
 	meas.Benefit = r.Benefit

@@ -34,6 +34,11 @@ type Graph struct {
 	targets []int32   // out-neighbours, sorted by descending P within each node
 	probs   []float64 // parallel to targets
 	inDeg   []int32   // in-degree per node
+	// byTarget[offsets[v]:offsets[v+1]] holds the local adjacency positions
+	// of v re-ordered so targets ascend — the binary-search index behind
+	// EdgeProb and NeighborRank. The adjacency itself stays probability-
+	// sorted (the model's load-bearing invariant); only lookups use this.
+	byTarget []int32
 }
 
 // Builder accumulates edges and produces an immutable Graph.
@@ -111,16 +116,22 @@ func FromEdges(n int, edges []Edge) (*Graph, error) {
 		lo, hi := g.offsets[v], g.offsets[v+1]
 		adj := adjSorter{targets: g.targets[lo:hi], probs: g.probs[lo:hi]}
 		sort.Sort(adj)
-		// Reject duplicates: after sorting the duplicate pair may not be
-		// adjacent (sorted by prob), so check via a second pass when the
-		// degree is non-trivial.
-		if hi-lo > 1 {
-			seen := make(map[int32]struct{}, hi-lo)
-			for _, t := range g.targets[lo:hi] {
-				if _, dup := seen[t]; dup {
-					return nil, fmt.Errorf("graph: duplicate edge (%d,%d)", v, t)
-				}
-				seen[t] = struct{}{}
+	}
+	// Build the by-target lookup index: per node, the local adjacency
+	// positions sorted by ascending target id. Duplicate detection rides on
+	// the same pass — duplicates are adjacent in target order.
+	g.byTarget = make([]int32, len(edges))
+	for v := 0; v < n; v++ {
+		lo, hi := g.offsets[v], g.offsets[v+1]
+		bt := g.byTarget[lo:hi]
+		for i := range bt {
+			bt[i] = int32(i)
+		}
+		ts := g.targets[lo:hi]
+		sort.Slice(bt, func(i, j int) bool { return ts[bt[i]] < ts[bt[j]] })
+		for i := 1; i < len(bt); i++ {
+			if ts[bt[i]] == ts[bt[i-1]] {
+				return nil, fmt.Errorf("graph: duplicate edge (%d,%d)", v, ts[bt[i]])
 			}
 		}
 	}
@@ -171,14 +182,45 @@ func (g *Graph) OutEdges(v int32) (targets []int32, probs []float64) {
 // edge for Monte-Carlo coin flips.
 func (g *Graph) EdgeIndexBase(v int32) int64 { return g.offsets[v] }
 
+// Probs returns all edge probabilities in global CSR order: the probability
+// of the edge with global index i (see EdgeIndexBase) is Probs()[i]. The
+// slice aliases the graph's internal storage and must not be modified. It is
+// the input of the live-edge world materializer, which flips every edge's
+// coin once per world instead of once per probe.
+func (g *Graph) Probs() []float64 { return g.probs }
+
+// lookupThreshold is the degree below which a linear adjacency scan beats
+// the binary search's branchy indirection.
+const lookupThreshold = 8
+
+// findRank returns the local adjacency position of `to` in `from`'s
+// probability-sorted adjacency, or -1. Small degrees scan linearly;
+// high-degree hubs — where the GPI/pivot paths concentrate their lookups —
+// binary-search the by-target index instead of walking O(degree) entries.
+func (g *Graph) findRank(from, to int32) int {
+	lo, hi := g.offsets[from], g.offsets[from+1]
+	ts := g.targets[lo:hi]
+	if len(ts) <= lookupThreshold {
+		for i, t := range ts {
+			if t == to {
+				return i
+			}
+		}
+		return -1
+	}
+	bt := g.byTarget[lo:hi]
+	i := sort.Search(len(bt), func(i int) bool { return ts[bt[i]] >= to })
+	if i < len(bt) && ts[bt[i]] == to {
+		return int(bt[i])
+	}
+	return -1
+}
+
 // EdgeProb returns the probability of edge (from → to) and whether the edge
 // exists.
 func (g *Graph) EdgeProb(from, to int32) (float64, bool) {
-	ts, ps := g.OutEdges(from)
-	for i, t := range ts {
-		if t == to {
-			return ps[i], true
-		}
+	if i := g.findRank(from, to); i >= 0 {
+		return g.probs[g.offsets[from]+int64(i)], true
 	}
 	return 0, false
 }
@@ -187,13 +229,7 @@ func (g *Graph) EdgeProb(from, to int32) (float64, bool) {
 // descending-probability adjacency, or -1 when the edge does not exist.
 // Position < k means an allocation of k coupons reaches it independently.
 func (g *Graph) NeighborRank(from, to int32) int {
-	ts, _ := g.OutEdges(from)
-	for i, t := range ts {
-		if t == to {
-			return i
-		}
-	}
-	return -1
+	return g.findRank(from, to)
 }
 
 // Edges returns a copy of the full edge list in CSR order.

@@ -82,7 +82,10 @@ func (h *Heap[T]) down(i int) {
 }
 
 // Indexed is a min-heap over int32 keys in [0, n) with decrease-key — the
-// classic Dijkstra workhorse. Each key may appear at most once.
+// shape Dijkstra and lazy greedy (CELF) loops need. Each key may appear at
+// most once. Equal priorities order by ascending key, so pop order is fully
+// deterministic — the CELF ID loop relies on this to reproduce the
+// exhaustive sweep's lowest-id tie-break.
 type Indexed struct {
 	keys     []int32   // heap order
 	priority []float64 // by key
@@ -145,7 +148,11 @@ func (h *Indexed) Pop() (int32, float64, bool) {
 }
 
 func (h *Indexed) less(i, j int) bool {
-	return h.priority[h.keys[i]] < h.priority[h.keys[j]]
+	a, b := h.keys[i], h.keys[j]
+	if h.priority[a] != h.priority[b] {
+		return h.priority[a] < h.priority[b]
+	}
+	return a < b
 }
 
 func (h *Indexed) swap(i, j int) {

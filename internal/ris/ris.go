@@ -76,6 +76,85 @@ func Generate(g *graph.Graph, count int, src *rng.Source) (*Sketches, error) {
 	return s, nil
 }
 
+// LiveFunc reports whether the forward edge with the given global index
+// (graph.EdgeIndexBase(from)+rank) and probability p is live in the given
+// world. It is the seam through which RR-set drawing shares the diffusion
+// substrate of the forward simulators: a diffusion.LiveEdges probe reads a
+// materialized bit, a plain coin hashes — outcomes are identical.
+type LiveFunc func(world uint64, edge uint64, p float64) bool
+
+// GenerateLive draws count RR sets over g like Generate, but decides edge
+// liveness through live — one possible world per RR set, indexed by the
+// set's ordinal — instead of a sequential random stream. Walking the
+// transpose crosses in-edge (u → v) exactly when the forward edge is live
+// in the set's world, so RR sets drawn this way are consistent with the
+// forward Monte-Carlo worlds under common random numbers. Roots still come
+// from src.
+func GenerateLive(g *graph.Graph, count int, src *rng.Source, live LiveFunc) (*Sketches, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("ris: need a positive sketch count, got %d", count)
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("ris: empty graph")
+	}
+	// Transpose with forward edge identities: for each in-edge of v, the
+	// source node and the forward global edge index (whose coin decides
+	// liveness in every engine).
+	revOff := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		revOff[v+1] = revOff[v] + int32(g.InDegree(int32(v)))
+	}
+	revSrc := make([]int32, g.NumEdges())
+	revEdge := make([]int64, g.NumEdges())
+	cursor := make([]int32, n)
+	copy(cursor, revOff[:n])
+	for v := int32(0); v < int32(n); v++ {
+		ts, _ := g.OutEdges(v)
+		base := g.EdgeIndexBase(v)
+		for j, t := range ts {
+			i := cursor[t]
+			revSrc[i] = v
+			revEdge[i] = base + int64(j)
+			cursor[t]++
+		}
+	}
+	probs := g.Probs()
+	s := &Sketches{n: n, covers: make(map[int32][]int32)}
+	visited := make([]int32, n)
+	for i := range visited {
+		visited[i] = -1
+	}
+	var queue []int32
+	for i := 0; i < count; i++ {
+		root := int32(src.Intn(n))
+		queue = queue[:0]
+		queue = append(queue, root)
+		visited[root] = int32(i)
+		var set []int32
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			set = append(set, v)
+			for j := revOff[v]; j < revOff[v+1]; j++ {
+				u := revSrc[j]
+				if visited[u] == int32(i) {
+					continue
+				}
+				e := uint64(revEdge[j])
+				if live(uint64(i), e, probs[e]) {
+					visited[u] = int32(i)
+					queue = append(queue, u)
+				}
+			}
+		}
+		s.sets = append(s.sets, set)
+		for _, v := range set {
+			s.covers[v] = append(s.covers[v], int32(i))
+		}
+	}
+	return s, nil
+}
+
 // Count returns the number of RR sets drawn.
 func (s *Sketches) Count() int { return len(s.sets) }
 

@@ -161,3 +161,37 @@ func (c Coin) Live(world uint64, item uint64, p float64) bool {
 	}
 	return c.Flip(world, item) < p
 }
+
+// WorldMix precomputes the per-world mixing term of Flip for worlds
+// [0, n) — the factor shared by every item, hoisted so batch row fills pay
+// one splitmix64 round per flip instead of three. FillRow consumes it.
+func WorldMix(n int) []uint64 {
+	mix := make([]uint64, n)
+	for w := range mix {
+		mix[w] = splitmix64(uint64(w) ^ 0xd1342543de82ef95)
+	}
+	return mix
+}
+
+// FillRow sets bit w of row for every world w in [0, len(worldMix)) where
+// Live(w, item, p) holds. Outcomes are bit-identical to per-probe Live
+// calls: the decomposition only hoists the world- and item-mixing rounds
+// out of the loop. row must hold at least ⌈len(worldMix)/64⌉ words.
+func (c Coin) FillRow(row []uint64, worldMix []uint64, item uint64, p float64) {
+	if p <= 0 {
+		return
+	}
+	if p >= 1 {
+		for w := range worldMix {
+			row[w>>6] |= 1 << (uint(w) & 63)
+		}
+		return
+	}
+	itemMix := splitmix64(item)
+	for w, wm := range worldMix {
+		x := splitmix64(c.seed ^ wm ^ itemMix)
+		if float64(x>>11)/(1<<53) < p {
+			row[w>>6] |= 1 << (uint(w) & 63)
+		}
+	}
+}

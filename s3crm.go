@@ -184,6 +184,19 @@ type Options struct {
 	// CandidateCap keeps the top users by estimated influence instead of
 	// raw degree). See Engines and DESIGN.md ("Evaluation engines").
 	Engine string
+	// Diffusion selects the edge-liveness substrate behind every engine:
+	// "liveedge" (the default — each possible world's coin flips are
+	// materialized once into a packed bitset that all edge probes read,
+	// falling back to hashing when the bitsets would exceed an internal
+	// memory budget) or "hash" (recompute the stateless hash per probe).
+	// The two substrates produce bit-identical results; see Diffusions.
+	Diffusion string
+	// ExhaustiveID disables S3CA's CELF lazy-greedy investment loop and
+	// re-evaluates every candidate each iteration. The lazy loop is
+	// typically several times faster and picks the same investments except
+	// on adversarially non-submodular instances; this is the escape hatch
+	// and reference implementation.
+	ExhaustiveID bool
 	// Samples is the Monte-Carlo sample count per benefit evaluation
 	// (default 1000, the paper's setting).
 	Samples int
@@ -216,10 +229,12 @@ type Result struct {
 // Solve runs S3CA, the paper's approximation algorithm, on the problem.
 func Solve(p *Problem, opts Options) (*Result, error) {
 	sol, err := core.Solve(p.inst, core.Options{
-		Engine:  opts.Engine,
-		Samples: opts.Samples,
-		Seed:    opts.Seed,
-		Workers: opts.Workers,
+		Engine:       opts.Engine,
+		Diffusion:    opts.Diffusion,
+		Samples:      opts.Samples,
+		Seed:         opts.Seed,
+		Workers:      opts.Workers,
+		ExhaustiveID: opts.ExhaustiveID,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("s3crm: %w", err)
@@ -238,10 +253,15 @@ func Baselines() []string { return []string{"IM-U", "IM-L", "PM-U", "PM-L", "IM-
 // Engines lists the evaluation engines accepted by Options.Engine.
 func Engines() []string { return diffusion.Engines() }
 
+// Diffusions lists the edge-liveness substrates accepted by
+// Options.Diffusion.
+func Diffusions() []string { return diffusion.Diffusions() }
+
 // RunBaseline runs one of the paper's comparison algorithms.
 func RunBaseline(name string, p *Problem, opts Options) (*Result, error) {
 	cfg := baselines.Config{
 		Engine:       opts.Engine,
+		Diffusion:    opts.Diffusion,
 		Samples:      opts.Samples,
 		Seed:         opts.Seed,
 		Workers:      opts.Workers,
@@ -279,7 +299,10 @@ func resultFromDeployment(name string, p *Problem, d *diffusion.Deployment, opts
 	if samples <= 0 {
 		samples = 1000
 	}
-	est, err := diffusion.NewEngine(opts.Engine, p.inst, samples, opts.Seed^0xfeed, opts.Workers)
+	est, err := diffusion.NewEngineOpts(p.inst, diffusion.EngineOptions{
+		Engine: opts.Engine, Samples: samples, Seed: opts.Seed ^ 0xfeed,
+		Workers: opts.Workers, Diffusion: opts.Diffusion,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("s3crm: %w", err)
 	}
