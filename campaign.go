@@ -1,0 +1,489 @@
+package s3crm
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"s3crm/internal/baselines"
+	"s3crm/internal/core"
+	"s3crm/internal/diffusion"
+	"s3crm/internal/progress"
+	"s3crm/internal/rng"
+)
+
+// Campaign is a long-lived, concurrency-safe serving session over one
+// Problem: it constructs the evaluation engine, the diffusion substrate and
+// the scratch pools once and then serves many Solve, RunBaseline, Evaluate
+// and EvaluateBatch calls against the shared state. Live-edge bit rows are
+// materialized once and read by every call; world-cache snapshots are pooled
+// and rebased instead of rebuilt; per-call RNG streams are derived
+// deterministically from a call sequence number, so a campaign's call
+// history is reproducible run to run (see DESIGN.md, "Serving API").
+//
+// All methods are safe for concurrent use. Each call accepts call-level
+// options overriding the campaign's settings for that call only — including
+// WithEngine, so one campaign serves requests across engines. A call-level
+// WithSeed pins the call's streams to that seed alone, making it
+// bit-identical to a one-shot call with the same seed regardless of what
+// else the campaign is doing.
+//
+// Cancelling the call's context aborts the solve mid-iteration: the call
+// returns an error wrapping both ctx.Err() and a *core.PartialError carrying
+// the statistics gathered up to the abort.
+type Campaign struct {
+	p   *Problem
+	cfg config
+	seq atomic.Uint64 // call sequence numbers, starting at 1
+
+	mu         sync.Mutex
+	engines    map[engineKey]*enginePool
+	defaultKey engineKey // the construction-time pool, exempt from eviction
+}
+
+// maxEnginePools bounds the engine-state cache. Calls are keyed by
+// (samples, seed, diffusion, memBudget) — in a serving deployment those
+// come from client requests, so without a cap a client sweeping seeds
+// would grow the map (each entry holds a live-edge substrate) until OOM.
+// Evicted pools stay alive for calls already using them and are rebuilt on
+// the next request for their key; only warmth is lost, never correctness.
+const maxEnginePools = 16
+
+// maxIdleWorldCaches bounds each pool's idle snapshot list; one snapshot
+// can hold dense per-(node, world) state, so keep only what a typical
+// concurrent burst reuses.
+const maxIdleWorldCaches = 8
+
+// engineKey identifies the shared evaluation state two calls may reuse:
+// calls agreeing on these fields see the same possible worlds, so they can
+// share materialized live-edge rows and pooled world-cache snapshots. The
+// engine name is deliberately absent — mc, worldcache and sketch all
+// evaluate through the same underlying estimator.
+type engineKey struct {
+	samples   int
+	seed      uint64
+	diffusion string
+	memBudget int64
+}
+
+// enginePool holds one engine key's shared state: the prototype estimator
+// owning the live-edge substrate (concurrency-safe; per-call views share
+// it) and idle world-cache instances whose snapshots and allocations warm
+// calls rebase instead of rebuilding.
+type enginePool struct {
+	proto *diffusion.Estimator
+
+	mu   sync.Mutex
+	idle []*diffusion.WorldCache
+}
+
+// checkout returns a world cache over the per-call estimator view, reusing
+// an idle instance's snapshot arrays when one is available.
+func (ep *enginePool) checkout(view *diffusion.Estimator) *diffusion.WorldCache {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if n := len(ep.idle); n > 0 {
+		wc := ep.idle[n-1]
+		ep.idle = ep.idle[:n-1]
+		wc.Est = view
+		return wc
+	}
+	return &diffusion.WorldCache{Est: view}
+}
+
+// put returns a world cache to the pool. Only caches from calls that
+// completed without error may come back: a cancelled call can leave the
+// snapshot mid-rebase, and a corrupt snapshot must never seed a future
+// incremental rebase. Beyond maxIdleWorldCaches the cache is dropped for
+// the garbage collector.
+func (ep *enginePool) put(wc *diffusion.WorldCache) {
+	if wc == nil {
+		return
+	}
+	ep.mu.Lock()
+	if len(ep.idle) < maxIdleWorldCaches {
+		ep.idle = append(ep.idle, wc)
+	}
+	ep.mu.Unlock()
+}
+
+// NewCampaign validates the options eagerly and constructs the campaign's
+// default engine: the estimator and its live-edge substrate are built here,
+// once, so every call — and every engine, mc and worldcache alike — reuses
+// them. Option errors (unknown engine or diffusion name, non-positive
+// sample count, …) surface from this call with a "want one of …" message
+// instead of failing deep inside a solve.
+func (p *Problem) NewCampaign(opts ...Option) (*Campaign, error) {
+	cfg, err := defaultConfig().apply(opts)
+	if err != nil {
+		return nil, err
+	}
+	c := &Campaign{
+		p:       p,
+		cfg:     cfg,
+		engines: make(map[engineKey]*enginePool),
+	}
+	c.defaultKey = poolKey(cfg, cfg.seed)
+	if _, err := c.pool(cfg, cfg.seed); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func poolKey(cfg config, seed uint64) engineKey {
+	return engineKey{
+		samples:   cfg.samples,
+		seed:      seed,
+		diffusion: cfg.diffusion,
+		memBudget: cfg.memBudget,
+	}
+}
+
+// Problem returns the problem the campaign serves.
+func (c *Campaign) Problem() *Problem { return c.p }
+
+// pool returns (building on first use) the shared engine state for the
+// given call configuration. The cache is bounded: past maxEnginePools an
+// arbitrary non-default entry is evicted — dropped pools are rebuilt on
+// their next use, so eviction costs warmth, not correctness.
+func (c *Campaign) pool(cfg config, seed uint64) (*enginePool, error) {
+	key := poolKey(cfg, seed)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ep, ok := c.engines[key]; ok {
+		return ep, nil
+	}
+	// EngineMC builds the bare estimator the other engines wrap; the
+	// call-level engine choice is applied per call (see call.engine).
+	ev, err := diffusion.NewEngineOpts(c.p.inst, diffusion.EngineOptions{
+		Engine: diffusion.EngineMC, Samples: cfg.samples, Seed: seed,
+		Diffusion: cfg.diffusion, LiveEdgeMemBudget: cfg.memBudget,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("s3crm: %w", err)
+	}
+	for k := range c.engines {
+		if len(c.engines) < maxEnginePools {
+			break
+		}
+		if k != c.defaultKey {
+			delete(c.engines, k)
+		}
+	}
+	ep := &enginePool{proto: ev.(*diffusion.Estimator)}
+	c.engines[key] = ep
+	return ep, nil
+}
+
+// call is one resolved campaign call: the effective configuration, the
+// sequence number, and the RNG stream seeds derived from them.
+type call struct {
+	cfg config
+	seq uint64
+	// seed drives the call's possible worlds (the estimator coin). It is
+	// the campaign seed unless the call pinned its own with WithSeed, so
+	// unpinned calls share worlds — and live-edge rows, and world-cache
+	// snapshots — with every other unpinned call.
+	seed uint64
+	// scorerSeed decorrelates the solver's snapshot-selection stream. A
+	// pinned call uses the classic one-shot derivation (seed ^ 0x5c04e) so
+	// results match the deprecated entry points bit for bit; an unpinned
+	// call derives it from the call sequence number, drawing fresh,
+	// reproducible selection noise per call.
+	scorerSeed uint64
+}
+
+// newCall applies call-level overrides and assigns the next sequence
+// number.
+func (c *Campaign) newCall(opts []Option) (call, error) {
+	base := c.cfg
+	base.seedPinned = false // pinning is a call-level property
+	cfg, err := base.apply(opts)
+	if err != nil {
+		return call{}, err
+	}
+	cl := call{cfg: cfg, seq: c.seq.Add(1), seed: cfg.seed}
+	if cfg.seedPinned {
+		cl.scorerSeed = cl.seed ^ 0x5c04e
+	} else {
+		cl.scorerSeed = rng.DeriveStream(cl.seed^0x5c04e, cl.seq)
+	}
+	return cl, nil
+}
+
+// progressFor wraps the call's progress sink, stamping each event with the
+// emitting algorithm and the call sequence number.
+func (cl *call) progressFor(algo string) progress.Func {
+	fn := cl.cfg.progress
+	if fn == nil {
+		return nil
+	}
+	seq := cl.seq
+	return func(e progress.Event) {
+		e.Algorithm = algo
+		e.Call = seq
+		fn(e)
+	}
+}
+
+// engineFor builds a per-call evaluation engine over the shared state for
+// the given stream seed: a view of the pool's shared estimator carrying the
+// call's context and worker count, wrapped in a (pooled) world cache when
+// the call runs the worldcache engine. The returned release func must be
+// invoked with the call's final error; it returns the world cache to the
+// pool only on success.
+func (c *Campaign) engineFor(ctx context.Context, cfg config, seed uint64) (ev diffusion.Evaluator, view *diffusion.Estimator, release func(error), err error) {
+	ep, err := c.pool(cfg, seed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	view = ep.proto.View(ctx, cfg.workers)
+	release = func(error) {}
+	switch cfg.engine {
+	case diffusion.EngineWorldCache:
+		wc := ep.checkout(view)
+		ev = wc
+		release = func(callErr error) {
+			if callErr == nil {
+				ep.put(wc)
+			}
+		}
+	default: // mc, sketch: the estimator itself
+		ev = view
+	}
+	return ev, view, release, nil
+}
+
+// engine builds the call's main evaluation engine.
+func (c *Campaign) engine(ctx context.Context, cl call) (diffusion.Evaluator, *diffusion.Estimator, func(error), error) {
+	return c.engineFor(ctx, cl.cfg, cl.seed)
+}
+
+// Solve runs S3CA, the paper's approximation algorithm, against the
+// campaign's shared engine. Cancelling ctx aborts mid-iteration with an
+// error wrapping ctx.Err() and the partial statistics.
+func (c *Campaign) Solve(ctx context.Context, opts ...Option) (*Result, error) {
+	cl, err := c.newCall(opts)
+	if err != nil {
+		return nil, err
+	}
+	ev, view, release, err := c.engine(ctx, cl)
+	if err != nil {
+		return nil, err
+	}
+	// The snapshot-selection scorer is an independent engine over a
+	// decorrelated stream. For pinned calls the stream is stable, so pool
+	// it like the main engine and warm calls reuse its materialized worlds
+	// too; unpinned calls draw a fresh stream per call (by design), so
+	// pooling would only grow the engine map — let the solver construct
+	// the scorer internally instead.
+	var (
+		scorer        diffusion.Evaluator
+		releaseScorer = func(error) {}
+	)
+	if cl.cfg.seedPinned {
+		scorer, _, releaseScorer, err = c.engineFor(ctx, cl.cfg, cl.scorerSeed)
+		if err != nil {
+			release(err)
+			return nil, err
+		}
+	}
+	sol, err := core.SolveCtx(ctx, c.p.inst, core.Options{
+		Engine:            cl.cfg.engine,
+		Diffusion:         cl.cfg.diffusion,
+		LiveEdgeMemBudget: cl.cfg.memBudget,
+		Samples:           cl.cfg.samples,
+		Seed:              cl.seed,
+		ScorerSeed:        cl.scorerSeed,
+		Workers:           cl.cfg.workers,
+		ExhaustiveID:      cl.cfg.exhaustiveID,
+		Evaluator:         ev,
+		Scorer:            scorer,
+		Progress:          cl.progressFor("S3CA"),
+	})
+	release(err)
+	releaseScorer(err)
+	if err != nil {
+		return nil, fmt.Errorf("s3crm: %w", err)
+	}
+	r := resultFrom("S3CA", c.p.inst, sol.Deployment, view)
+	// resultFrom measures on the ctx-carrying view, which breaks out of
+	// its world sweep when cancelled; never hand partial sums to a caller.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("s3crm: final measurement aborted: %w", err)
+	}
+	r.ExploredRatio = float64(sol.Stats.ExploredNodes) / float64(c.p.Users())
+	return r, nil
+}
+
+// RunBaseline runs one of the paper's comparison algorithms (see Baselines)
+// against the campaign's shared engine. Cancelling ctx aborts between
+// greedy steps with an error wrapping ctx.Err().
+func (c *Campaign) RunBaseline(ctx context.Context, name string, opts ...Option) (*Result, error) {
+	cl, err := c.newCall(opts)
+	if err != nil {
+		return nil, err
+	}
+	// The baselines have no incremental search paths: they evaluate whole
+	// deployments, so the bare estimator view serves every engine (no
+	// world cache is checked out); the engine name still selects
+	// sketch-based candidate pruning.
+	ep, err := c.pool(cl.cfg, cl.seed)
+	if err != nil {
+		return nil, err
+	}
+	view := ep.proto.View(ctx, cl.cfg.workers)
+	cfg := baselines.Config{
+		Engine:            cl.cfg.engine,
+		Diffusion:         cl.cfg.diffusion,
+		LiveEdgeMemBudget: cl.cfg.memBudget,
+		Samples:           cl.cfg.samples,
+		Seed:              cl.seed,
+		Workers:           cl.cfg.workers,
+		CandidateCap:      cl.cfg.candidateCap,
+		LimitedK:          cl.cfg.limitedK,
+		Evaluator:         view,
+		Progress:          cl.progressFor(name),
+	}
+	var o *baselines.Outcome
+	switch name {
+	case "IM-U":
+		o, err = baselines.IM(ctx, c.p.inst, cfg)
+	case "IM-L":
+		cfg.Strategy = baselines.Limited
+		o, err = baselines.IM(ctx, c.p.inst, cfg)
+	case "PM-U":
+		o, err = baselines.PM(ctx, c.p.inst, cfg)
+	case "PM-L":
+		cfg.Strategy = baselines.Limited
+		o, err = baselines.PM(ctx, c.p.inst, cfg)
+	case "IM-S":
+		o, err = baselines.IMS(ctx, c.p.inst, cfg)
+	default:
+		return nil, fmt.Errorf("s3crm: unknown baseline %q (want one of %v)", name, Baselines())
+	}
+	if err != nil {
+		return nil, fmt.Errorf("s3crm: %w", err)
+	}
+	r := resultFrom(name, c.p.inst, o.Deployment, view)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("s3crm: final measurement aborted: %w", err)
+	}
+	return r, nil
+}
+
+// Evaluate measures one hand-built deployment against the campaign's shared
+// possible worlds: the expected benefit, the closed-form coupon cost, the
+// redemption rate and hop statistics.
+func (c *Campaign) Evaluate(ctx context.Context, dep Deployment, opts ...Option) (*Result, error) {
+	rs, err := c.EvaluateBatch(ctx, []Deployment{dep}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return rs[0], nil
+}
+
+// EvaluateBatch measures many candidate deployments against the same shared
+// Monte-Carlo samples — common random numbers, so differences between the
+// results are far less noisy than independently sampled evaluations, and
+// any live-edge row materialized by one deployment serves the rest. The
+// deployments are evaluated concurrently across the campaign's workers;
+// results are returned in input order and are bit-identical to sequential
+// evaluation.
+func (c *Campaign) EvaluateBatch(ctx context.Context, deps []Deployment, opts ...Option) ([]*Result, error) {
+	cl, err := c.newCall(opts)
+	if err != nil {
+		return nil, err
+	}
+	ds := make([]*diffusion.Deployment, len(deps))
+	for i, dep := range deps {
+		if ds[i], err = c.p.buildDeployment(dep); err != nil {
+			return nil, err
+		}
+	}
+	ep, err := c.pool(cl.cfg, cl.seed)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*Result, len(ds))
+	workers := cl.cfg.workers
+	if workers > len(ds) {
+		workers = len(ds)
+	}
+	if workers <= 1 || len(ds) < 2 {
+		// Sequential batch: one view, per-evaluation parallelism as
+		// configured. The cancellation check runs after each evaluation —
+		// a cancelled view breaks out of its world sweep with partial
+		// sums, so a result computed under a cancelled ctx is garbage and
+		// must never be returned.
+		view := ep.proto.View(ctx, cl.cfg.workers)
+		for i, d := range ds {
+			results[i] = resultFrom("custom", c.p.inst, d, view)
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("s3crm: evaluate aborted after %d of %d deployments: %w", i, len(ds), err)
+			}
+		}
+		return results, nil
+	}
+	// Parallel batch: fan the deployments out across workers, each worker
+	// evaluating sequentially on its own view (evaluations are independent
+	// and worlds stateless, so the fan-out is bit-identical to the
+	// sequential loop).
+	var wg sync.WaitGroup
+	next := int64(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			view := ep.proto.View(ctx, 0)
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(ds) || ctx.Err() != nil {
+					return
+				}
+				results[i] = resultFrom("custom", c.p.inst, ds[i], view)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		done := 0
+		for _, r := range results {
+			if r != nil {
+				done++
+			}
+		}
+		return nil, fmt.Errorf("s3crm: evaluate aborted after %d of %d deployments: %w", done, len(ds), err)
+	}
+	return results, nil
+}
+
+// resultFrom measures a solved deployment with the given estimator view and
+// assembles the public result.
+func resultFrom(name string, inst *diffusion.Instance, d *diffusion.Deployment, est diffusion.Evaluator) *Result {
+	res := est.Evaluate(d)
+	seedCost := inst.SeedCostOf(d)
+	scCost := inst.SCCostOf(d)
+	out := &Result{
+		Algorithm:   name,
+		Coupons:     map[int]int{},
+		Benefit:     res.Benefit,
+		SeedCost:    seedCost,
+		CouponCost:  scCost,
+		TotalCost:   seedCost + scCost,
+		FarthestHop: res.FarthestHop,
+	}
+	if out.TotalCost > 0 {
+		out.RedemptionRate = out.Benefit / out.TotalCost
+	}
+	for _, s := range d.Seeds() {
+		out.Seeds = append(out.Seeds, int(s))
+	}
+	sort.Ints(out.Seeds)
+	for _, v := range d.Allocated() {
+		out.Coupons[int(v)] = d.K(v)
+	}
+	return out
+}

@@ -11,12 +11,18 @@
 //	s3crm -graph edges.txt -mu 10 -sigma 2 -budget 5000 -algo IM-U
 //
 // Supported algorithms: S3CA (default), IM-U, IM-L, PM-U, PM-L, IM-S.
+// With -progress the solver renders a live per-iteration progress line on
+// stderr (phase, iteration, spent budget, current redemption rate) — the
+// Campaign API's event stream. Interrupting with Ctrl-C cancels the solve
+// mid-iteration.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"time"
 
@@ -48,6 +54,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel Monte-Carlo workers (0 = sequential)")
 		cap      = flag.Int("candidates", 0, "baseline greedy candidate cap (0 = all)")
 		topN     = flag.Int("top", 10, "coupon holders to print")
+		progress = flag.Bool("progress", false, "render a live solver progress line on stderr")
+		timeout  = flag.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
 	)
 	flag.Parse()
 
@@ -65,19 +73,50 @@ func main() {
 		}
 	}
 
-	opts := s3crm.Options{Engine: *engine, Diffusion: *diff, ExhaustiveID: !*lazy, Samples: *samples, Seed: *seed, Workers: *workers, CandidateCap: *cap}
+	opts := []s3crm.Option{
+		s3crm.WithEngine(*engine),
+		s3crm.WithDiffusion(*diff),
+		s3crm.WithExhaustiveID(!*lazy),
+		s3crm.WithSamples(*samples),
+		s3crm.WithSeed(*seed),
+		s3crm.WithWorkers(*workers),
+		s3crm.WithCandidateCap(*cap),
+	}
+	if *progress {
+		opts = append(opts, s3crm.WithProgress(renderProgress))
+	}
+	campaign, err := problem.NewCampaign(opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "s3crm:", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	start := time.Now()
+	// The call-level seed pins the run: output for a given -seed is
+	// bit-identical to the one-shot API (and to earlier releases),
+	// independent of the campaign's call counter.
 	var result *s3crm.Result
 	if *algo == "S3CA" {
-		result, err = s3crm.Solve(problem, opts)
+		result, err = campaign.Solve(ctx, s3crm.WithSeed(*seed))
 	} else {
-		result, err = s3crm.RunBaseline(*algo, problem, opts)
+		result, err = campaign.RunBaseline(ctx, *algo, s3crm.WithSeed(*seed))
+	}
+	elapsed := time.Since(start)
+	if *progress {
+		fmt.Fprintln(os.Stderr) // terminate the live line
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "s3crm:", err)
 		os.Exit(1)
 	}
-	elapsed := time.Since(start)
 
 	fmt.Printf("\n%s finished in %v\n", result.Algorithm, elapsed.Round(time.Millisecond))
 	fmt.Printf("redemption rate: %.4f\n", result.RedemptionRate)
@@ -105,6 +144,13 @@ func main() {
 		fmt.Printf(" %d×%d", a.user, a.k)
 	}
 	fmt.Println()
+}
+
+// renderProgress rewrites one stderr line per solver event — a cheap sink,
+// as the event contract requires.
+func renderProgress(e s3crm.Event) {
+	fmt.Fprintf(os.Stderr, "\r[%s/%s] iter %d  spent %.4g  rate %.4f  evals %d        ",
+		e.Algorithm, e.Phase, e.Iteration, e.Spent, e.Rate, e.Evaluations)
 }
 
 func head(xs []int, n int) []int {

@@ -1,0 +1,307 @@
+// Command s3crmd serves one S3CRM instance over HTTP — the Campaign API as
+// a long-running service. The instance is loaded once at startup and a
+// single concurrency-safe Campaign serves every request, so the evaluation
+// engine, graph indexes and materialized live-edge worlds are shared across
+// the whole process lifetime.
+//
+//	s3crmd -addr :8080 -dataset Epinions -scale 400
+//
+// Endpoints (all request fields optional unless noted):
+//
+//	GET  /healthz    liveness probe
+//	GET  /info       instance shape and campaign defaults
+//	POST /solve      run one algorithm. Body: {"algorithm": "S3CA",
+//	                 "engine": "worldcache", "samples": 1000, "seed": 7,
+//	                 "workers": 4, "candidate_cap": 0, "limited_k": 0,
+//	                 "exhaustive_id": false, "stream": false,
+//	                 "timeout_ms": 0}. algorithm defaults to S3CA; any
+//	                 baseline name (IM-U, IM-L, PM-U, PM-L, IM-S) works.
+//	                 With "stream": true the response is NDJSON: one
+//	                 {"event": …} line per solver progress event, then a
+//	                 final {"result": …} line.
+//	POST /evaluate   measure hand-built deployments in one batch against
+//	                 shared Monte-Carlo samples. Body: {"deployments":
+//	                 [{"seeds": [0], "coupons": {"0": 3}}], "engine": …}.
+//	                 Returns {"results": […]} in input order.
+//
+// Requests honour per-request engine selection and are cancelled when the
+// client disconnects or the per-request timeout expires; a cancelled solve
+// aborts mid-iteration.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"s3crm"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		dataset  = flag.String("dataset", "", "dataset profile to generate (Facebook, Epinions, Google+, Douban)")
+		scale    = flag.Int("scale", 1, "down-scale divisor for the dataset profile")
+		scenario = flag.String("scenario", "", "saved scenario JSON (alternative to -dataset)")
+		engine   = flag.String("engine", "mc", "default evaluation engine: mc, worldcache, sketch")
+		diff     = flag.String("diffusion", "liveedge", "default edge-liveness substrate: liveedge, hash")
+		samples  = flag.Int("samples", 1000, "default Monte-Carlo samples per evaluation")
+		seed     = flag.Uint64("seed", 1, "campaign random seed")
+		workers  = flag.Int("workers", 0, "default parallel Monte-Carlo workers (0 = sequential)")
+		cap      = flag.Int("candidates", 0, "default baseline greedy candidate cap (0 = all)")
+	)
+	flag.Parse()
+
+	problem, err := loadProblem(*dataset, *scale, *scenario, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "s3crmd:", err)
+		os.Exit(1)
+	}
+	campaign, err := problem.NewCampaign(
+		s3crm.WithEngine(*engine),
+		s3crm.WithDiffusion(*diff),
+		s3crm.WithSamples(*samples),
+		s3crm.WithSeed(*seed),
+		s3crm.WithWorkers(*workers),
+		s3crm.WithCandidateCap(*cap),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "s3crmd:", err)
+		os.Exit(1)
+	}
+
+	srv := &server{problem: problem, campaign: campaign, defaults: defaults{
+		Engine: *engine, Diffusion: *diff, Samples: *samples, Workers: *workers,
+	}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", srv.healthz)
+	mux.HandleFunc("GET /info", srv.info)
+	mux.HandleFunc("POST /solve", srv.solve)
+	mux.HandleFunc("POST /evaluate", srv.evaluate)
+
+	log.Printf("s3crmd: serving %d users, %d edges, budget %.4g on %s",
+		problem.Users(), problem.Edges(), problem.Budget(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+func loadProblem(dataset string, scale int, scenario string, seed uint64) (*s3crm.Problem, error) {
+	switch {
+	case scenario != "":
+		f, err := os.Open(scenario)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return s3crm.LoadScenario(f)
+	case dataset != "":
+		return s3crm.GenerateDataset(dataset, scale, seed)
+	default:
+		return nil, fmt.Errorf("need -dataset or -scenario")
+	}
+}
+
+type defaults struct {
+	Engine    string `json:"engine"`
+	Diffusion string `json:"diffusion"`
+	Samples   int    `json:"samples"`
+	Workers   int    `json:"workers"`
+}
+
+type server struct {
+	problem  *s3crm.Problem
+	campaign *s3crm.Campaign
+	defaults defaults
+}
+
+// callParams is the request-level campaign configuration shared by /solve
+// and /evaluate: zero values defer to the campaign's defaults.
+type callParams struct {
+	Engine       string  `json:"engine"`
+	Diffusion    string  `json:"diffusion"`
+	Samples      int     `json:"samples"`
+	Seed         *uint64 `json:"seed"` // set ⇒ pinned, reproducible call
+	Workers      int     `json:"workers"`
+	CandidateCap int     `json:"candidate_cap"`
+	LimitedK     int     `json:"limited_k"`
+	ExhaustiveID bool    `json:"exhaustive_id"`
+	TimeoutMS    int     `json:"timeout_ms"`
+}
+
+func (p callParams) options() []s3crm.Option {
+	var opts []s3crm.Option
+	if p.Engine != "" {
+		opts = append(opts, s3crm.WithEngine(p.Engine))
+	}
+	if p.Diffusion != "" {
+		opts = append(opts, s3crm.WithDiffusion(p.Diffusion))
+	}
+	if p.Samples > 0 {
+		opts = append(opts, s3crm.WithSamples(p.Samples))
+	}
+	if p.Seed != nil {
+		opts = append(opts, s3crm.WithSeed(*p.Seed))
+	}
+	if p.Workers > 0 {
+		opts = append(opts, s3crm.WithWorkers(p.Workers))
+	}
+	if p.CandidateCap > 0 {
+		opts = append(opts, s3crm.WithCandidateCap(p.CandidateCap))
+	}
+	if p.LimitedK > 0 {
+		opts = append(opts, s3crm.WithLimitedK(p.LimitedK))
+	}
+	if p.ExhaustiveID {
+		opts = append(opts, s3crm.WithExhaustiveID(true))
+	}
+	return opts
+}
+
+// ctx derives the request context, applying the per-request timeout.
+func (p callParams) ctx(r *http.Request) (context.Context, context.CancelFunc) {
+	if p.TimeoutMS > 0 {
+		return context.WithTimeout(r.Context(), time.Duration(p.TimeoutMS)*time.Millisecond)
+	}
+	return r.Context(), func() {}
+}
+
+type solveRequest struct {
+	callParams
+	Algorithm string `json:"algorithm"`
+	Stream    bool   `json:"stream"`
+}
+
+type evaluateRequest struct {
+	callParams
+	Deployments []deploymentJSON `json:"deployments"`
+}
+
+type deploymentJSON struct {
+	Seeds   []int       `json:"seeds"`
+	Coupons map[int]int `json:"coupons"` // JSON keys are decimal user ids
+}
+
+func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) info(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"users":      s.problem.Users(),
+		"edges":      s.problem.Edges(),
+		"budget":     s.problem.Budget(),
+		"defaults":   s.defaults,
+		"engines":    s3crm.Engines(),
+		"diffusions": s3crm.Diffusions(),
+		"baselines":  s3crm.Baselines(),
+	})
+}
+
+func (s *server) solve(w http.ResponseWriter, r *http.Request) {
+	var req solveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.Algorithm == "" {
+		req.Algorithm = "S3CA"
+	}
+	ctx, cancel := req.ctx(r)
+	defer cancel()
+	opts := req.options()
+
+	if req.Stream {
+		s.solveStream(ctx, w, req, opts)
+		return
+	}
+	result, err := s.run(ctx, req.Algorithm, opts)
+	if err != nil {
+		writeError(w, statusFor(ctx, err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"result": result})
+}
+
+// solveStream answers with NDJSON: one {"event": …} line per solver
+// progress event, then a final {"result": …} or {"error": …} line. Events
+// are produced synchronously by the solve running in this handler
+// goroutine, so writes never interleave.
+func (s *server) solveStream(ctx context.Context, w http.ResponseWriter, req solveRequest, opts []s3crm.Option) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	opts = append(opts, s3crm.WithProgress(func(e s3crm.Event) {
+		_ = enc.Encode(map[string]any{"event": e})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}))
+	result, err := s.run(ctx, req.Algorithm, opts)
+	if err != nil {
+		_ = enc.Encode(map[string]any{"error": err.Error()})
+	} else {
+		_ = enc.Encode(map[string]any{"result": result})
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func (s *server) run(ctx context.Context, algorithm string, opts []s3crm.Option) (*s3crm.Result, error) {
+	if algorithm == "S3CA" {
+		return s.campaign.Solve(ctx, opts...)
+	}
+	return s.campaign.RunBaseline(ctx, algorithm, opts...)
+}
+
+func (s *server) evaluate(w http.ResponseWriter, r *http.Request) {
+	var req evaluateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Deployments) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("need at least one deployment"))
+		return
+	}
+	ctx, cancel := req.ctx(r)
+	defer cancel()
+	deps := make([]s3crm.Deployment, len(req.Deployments))
+	for i, d := range req.Deployments {
+		deps[i] = s3crm.Deployment{Seeds: d.Seeds, Coupons: d.Coupons}
+	}
+	results, err := s.campaign.EvaluateBatch(ctx, deps, req.options()...)
+	if err != nil {
+		writeError(w, statusFor(ctx, err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+// statusFor maps a call error to an HTTP status: cancelled or timed-out
+// requests report 503/504, everything else is a bad request (validation).
+func statusFor(ctx context.Context, err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || ctx.Err() == context.DeadlineExceeded:
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"s3crm"
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	problem, err := s3crm.GenerateDataset("Facebook", 100, 3) // 40 users
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaign, err := problem.NewCampaign(
+		s3crm.WithSamples(100), s3crm.WithSeed(3), s3crm.WithCandidateCap(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &server{problem: problem, campaign: campaign,
+		defaults: defaults{Engine: "mc", Diffusion: "liveedge", Samples: 100}}
+}
+
+func do(t *testing.T, h http.HandlerFunc, method, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, "/", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h(w, req)
+	return w
+}
+
+func TestHealthz(t *testing.T) {
+	w := do(t, testServer(t).healthz, http.MethodGet, "")
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "ok") {
+		t.Fatalf("healthz: %d %s", w.Code, w.Body.String())
+	}
+}
+
+func TestInfo(t *testing.T) {
+	s := testServer(t)
+	w := do(t, s.info, http.MethodGet, "")
+	var got map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if int(got["users"].(float64)) != s.problem.Users() || got["users"].(float64) <= 0 {
+		t.Fatalf("info users = %v, want %d", got["users"], s.problem.Users())
+	}
+}
+
+func TestSolveEndpoint(t *testing.T) {
+	s := testServer(t)
+	w := do(t, s.solve, http.MethodPost, `{"algorithm":"S3CA","engine":"worldcache","seed":7}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("solve: %d %s", w.Code, w.Body.String())
+	}
+	var got struct {
+		Result struct {
+			Algorithm      string
+			RedemptionRate float64
+			Seeds          []int
+		}
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Result.Algorithm != "S3CA" || got.Result.RedemptionRate <= 0 || len(got.Result.Seeds) == 0 {
+		t.Fatalf("solve result: %+v", got.Result)
+	}
+
+	// Per-request engine selection with a bad engine is a 400 naming the
+	// valid set.
+	w = do(t, s.solve, http.MethodPost, `{"engine":"warp"}`)
+	if w.Code != http.StatusBadRequest || !strings.Contains(w.Body.String(), "want one of") {
+		t.Fatalf("bad engine: %d %s", w.Code, w.Body.String())
+	}
+
+	// Baselines run through the same endpoint.
+	w = do(t, s.solve, http.MethodPost, `{"algorithm":"IM-U","seed":7}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("baseline solve: %d %s", w.Code, w.Body.String())
+	}
+}
+
+func TestSolveStreaming(t *testing.T) {
+	s := testServer(t)
+	w := do(t, s.solve, http.MethodPost, `{"algorithm":"S3CA","seed":7,"stream":true}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("stream solve: %d %s", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type = %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(w.Body.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("stream produced %d lines, want events plus a result", len(lines))
+	}
+	events := 0
+	for _, line := range lines[:len(lines)-1] {
+		var e struct {
+			Event *s3crm.Event `json:"event"`
+		}
+		if err := json.Unmarshal([]byte(line), &e); err != nil || e.Event == nil {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+		if e.Event.Algorithm != "S3CA" || e.Event.Phase == "" {
+			t.Fatalf("malformed event: %+v", e.Event)
+		}
+		events++
+	}
+	var final struct {
+		Result *json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &final); err != nil || final.Result == nil {
+		t.Fatalf("bad final line %q: %v", lines[len(lines)-1], err)
+	}
+	if events == 0 {
+		t.Fatal("stream carried no events")
+	}
+}
+
+func TestEvaluateEndpoint(t *testing.T) {
+	s := testServer(t)
+	body := `{"deployments":[{"seeds":[0],"coupons":{"0":2}},{"seeds":[1,2]}],"seed":7}`
+	w := do(t, s.evaluate, http.MethodPost, body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("evaluate: %d %s", w.Code, w.Body.String())
+	}
+	var got struct {
+		Results []struct {
+			Benefit float64
+			Seeds   []int
+		}
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 2 || got.Results[0].Benefit <= 0 ||
+		len(got.Results[1].Seeds) != 2 {
+		t.Fatalf("evaluate results: %+v", got.Results)
+	}
+
+	w = do(t, s.evaluate, http.MethodPost, `{"deployments":[{"seeds":[999]}]}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("out-of-range seed: %d %s", w.Code, w.Body.String())
+	}
+	w = do(t, s.evaluate, http.MethodPost, `{}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("empty batch: %d %s", w.Code, w.Body.String())
+	}
+}

@@ -1,0 +1,19 @@
+package s3crm
+
+import "s3crm/internal/progress"
+
+// Event is one solver progress report, streamed to the sink installed with
+// WithProgress while a Campaign call runs.
+//
+// Events carry the emitting algorithm ("S3CA", "IM-U", …), the campaign
+// call sequence number (so a shared sink can demux concurrent calls), the
+// solver phase, a phase-local iteration counter, the budget committed so
+// far, the current redemption rate and the evaluation counters. S3CA emits
+// phases "pivot" (queue built), "id" (one event per investment), "gpi" (per
+// seed traversal), "scm" (per examined guaranteed path) and "select" (per
+// re-scored snapshot); the greedy baselines emit "rank" (per seed ranked)
+// and "sweep" (per seed-size configuration measured).
+//
+// The JSON field names are a wire contract: cmd/s3crmd streams events
+// verbatim as NDJSON. See DESIGN.md ("Serving API") for the schema.
+type Event = progress.Event

@@ -2,14 +2,18 @@
 // Airbnb and Booking.com referral policies — real coupon costs and
 // allocation caps, the adoption model of Tang (CIKM'18) deciding who
 // accepts coupons, and gross margins from accounting practice setting the
-// benefit — and watch how the redemption rate moves with the margin.
+// benefit — and watch how the redemption rate moves with the margin. Each
+// re-weighted network is a new problem, so each gets its own campaign
+// session; a progress sink shows the solver working.
 //
 //	go run ./examples/casestudy
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
 	"s3crm"
 )
@@ -21,6 +25,12 @@ func main() {
 	}
 	fmt.Printf("network: %d users, %d friendships\n\n", base.Users(), base.Edges())
 
+	// One shared event sink: the margin sweep below overwrites a single
+	// stderr status line as the solver iterates.
+	progress := func(e s3crm.Event) {
+		fmt.Fprintf(os.Stderr, "\r[%s/%s] iteration %d   ", e.Algorithm, e.Phase, e.Iteration)
+	}
+
 	margins := []float64{20, 40, 60, 80}
 	for _, policy := range s3crm.Policies() {
 		fmt.Printf("%s policy\n", policy)
@@ -31,10 +41,16 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			r, err := s3crm.Solve(problem, s3crm.Options{Samples: 300, Seed: 7})
+			campaign, err := problem.NewCampaign(
+				s3crm.WithSamples(300), s3crm.WithSeed(7), s3crm.WithProgress(progress))
 			if err != nil {
 				log.Fatal(err)
 			}
+			r, err := campaign.Solve(context.Background())
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprint(os.Stderr, "\r\033[K")
 			fmt.Printf("%7.0f  %10.4f  %10.1f  %5d  %12.1f\n",
 				m, r.RedemptionRate, r.Benefit, len(r.Seeds), r.CouponCost)
 		}

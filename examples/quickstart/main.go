@@ -1,10 +1,12 @@
-// Quickstart: build a small social network by hand, run S3CA, and inspect
-// the seed selection and coupon allocation it chooses.
+// Quickstart: build a small social network by hand, start a campaign
+// session, run S3CA, and inspect the seed selection and coupon allocation
+// it chooses.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,7 +36,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	result, err := s3crm.Solve(problem, s3crm.Options{Samples: 5000, Seed: 42})
+	// A Campaign is the serving session: the evaluation engine and its
+	// Monte-Carlo possible worlds are built once here and shared by every
+	// call below — the solve and the manual evaluation see the same
+	// samples, so their rates are directly comparable.
+	campaign, err := problem.NewCampaign(s3crm.WithSamples(5000), s3crm.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	result, err := campaign.Solve(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,10 +63,10 @@ func main() {
 
 	// Compare with a hand-built alternative: recruit the influencer and
 	// give every coupon to them directly.
-	manual, err := problem.Evaluate(s3crm.Deployment{
+	manual, err := campaign.Evaluate(ctx, s3crm.Deployment{
 		Seeds:   []int{0},
 		Coupons: map[int]int{0: 3},
-	}, s3crm.Options{Samples: 5000, Seed: 42})
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

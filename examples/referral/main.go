@@ -1,12 +1,15 @@
 // Referral compares real-world coupon strategies on a synthetic
 // Facebook-like network: the Dropbox-style limited strategy (32 coupons per
 // user), the Uber-style unlimited strategy, and S3CA's optimized
-// per-user allocation — the paper's motivating scenario.
+// per-user allocation — the paper's motivating scenario. One campaign
+// session serves all six algorithm runs, so the Monte-Carlo possible worlds
+// are built once and every algorithm is measured on the same samples.
 //
 //	go run ./examples/referral
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +27,12 @@ func main() {
 	fmt.Printf("Synthetic Facebook-like network: %d users, %d friendships, budget %.0f\n\n",
 		problem.Users(), problem.Edges(), problem.Budget())
 
-	opts := s3crm.Options{Samples: 400, Seed: 2024, CandidateCap: 60}
+	campaign, err := problem.NewCampaign(
+		s3crm.WithSamples(400), s3crm.WithSeed(2024), s3crm.WithCandidateCap(60))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
 
 	type row struct {
 		name string
@@ -35,13 +43,13 @@ func main() {
 	var rows []row
 
 	for _, name := range []string{"IM-L", "IM-U", "PM-L", "PM-U", "IM-S"} {
-		r, err := s3crm.RunBaseline(name, problem, opts)
+		r, err := campaign.RunBaseline(ctx, name)
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
 		rows = append(rows, row{name, r.RedemptionRate, r.Benefit, r.TotalCost})
 	}
-	sol, err := s3crm.Solve(problem, opts)
+	sol, err := campaign.Solve(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -76,7 +77,7 @@ func TestApplyStrategyEquipsReachable(t *testing.T) {
 
 func TestIMPrefersInfluence(t *testing.T) {
 	inst := contrast(t)
-	o, err := IM(inst, Config{Strategy: Unlimited, Samples: 400, Seed: 1})
+	o, err := IM(context.Background(), inst, Config{Strategy: Unlimited, Samples: 400, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestIMPrefersInfluence(t *testing.T) {
 
 func TestPMPrefersProfit(t *testing.T) {
 	inst := contrast(t)
-	o, err := PM(inst, Config{Strategy: Unlimited, Samples: 400, Seed: 1})
+	o, err := PM(context.Background(), inst, Config{Strategy: Unlimited, Samples: 400, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestPMPrefersProfit(t *testing.T) {
 
 func TestIMLimitedUsesQuota(t *testing.T) {
 	inst := contrast(t)
-	o, err := IM(inst, Config{Strategy: Limited, LimitedK: 2, Samples: 400, Seed: 1})
+	o, err := IM(context.Background(), inst, Config{Strategy: Limited, LimitedK: 2, Samples: 400, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestIMLimitedUsesQuota(t *testing.T) {
 func TestIMBudgetInfeasibleSeedsDropped(t *testing.T) {
 	inst := contrast(t)
 	inst.Budget = 50 // hub costs 100: must fall back to the cheap seed
-	o, err := IM(inst, Config{Strategy: Unlimited, Samples: 400, Seed: 1})
+	o, err := IM(context.Background(), inst, Config{Strategy: Unlimited, Samples: 400, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestIMSSpreadsCouponsOnPaths(t *testing.T) {
 		SCCost:   []float64{1, 1, 1, 1, 1, 1, 1},
 		Budget:   20,
 	}
-	o, err := IMS(inst, Config{Strategy: Unlimited, Samples: 400, Seed: 2})
+	o, err := IMS(context.Background(), inst, Config{Strategy: Unlimited, Samples: 400, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +218,7 @@ func optInstance(t testing.TB) *diffusion.Instance {
 
 func TestExhaustiveFindsOptimum(t *testing.T) {
 	inst := optInstance(t)
-	opt, err := Exhaustive(inst, ExhaustiveConfig{MaxSeeds: 1, MaxK: 2, Samples: 40000, Seed: 3})
+	opt, err := Exhaustive(context.Background(), inst, ExhaustiveConfig{MaxSeeds: 1, MaxK: 2, Samples: 40000, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestExhaustiveFindsOptimum(t *testing.T) {
 
 func TestExhaustiveTripwire(t *testing.T) {
 	inst := contrast(t)
-	if _, err := Exhaustive(inst, ExhaustiveConfig{MaxNodes: 4}); err == nil {
+	if _, err := Exhaustive(context.Background(), inst, ExhaustiveConfig{MaxNodes: 4}); err == nil {
 		t.Fatal("exhaustive accepted an instance above the node bound")
 	}
 }
@@ -242,7 +243,7 @@ func TestS3CAWithinOptAndAboveBound(t *testing.T) {
 	// The Fig. 10 validation in miniature: S3CA ≥ worst-case bound and
 	// ≤ OPT (within Monte-Carlo noise).
 	inst := optInstance(t)
-	opt, err := Exhaustive(inst, ExhaustiveConfig{MaxSeeds: 1, MaxK: 2, Samples: 40000, Seed: 3})
+	opt, err := Exhaustive(context.Background(), inst, ExhaustiveConfig{MaxSeeds: 1, MaxK: 2, Samples: 40000, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +274,7 @@ func TestWorstCaseBoundDegenerate(t *testing.T) {
 func TestOutcomeEmptyWhenNothingAffordable(t *testing.T) {
 	inst := contrast(t)
 	inst.Budget = 0.5
-	o, err := IM(inst, Config{Strategy: Unlimited, Samples: 100, Seed: 1})
+	o, err := IM(context.Background(), inst, Config{Strategy: Unlimited, Samples: 100, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,16 +286,16 @@ func TestOutcomeEmptyWhenNothingAffordable(t *testing.T) {
 func TestBaselinesRejectInvalidInstance(t *testing.T) {
 	inst := contrast(t)
 	inst.Benefit = inst.Benefit[:2]
-	if _, err := IM(inst, Config{}); err == nil {
+	if _, err := IM(context.Background(), inst, Config{}); err == nil {
 		t.Fatal("IM accepted invalid instance")
 	}
-	if _, err := PM(inst, Config{}); err == nil {
+	if _, err := PM(context.Background(), inst, Config{}); err == nil {
 		t.Fatal("PM accepted invalid instance")
 	}
-	if _, err := IMS(inst, Config{}); err == nil {
+	if _, err := IMS(context.Background(), inst, Config{}); err == nil {
 		t.Fatal("IMS accepted invalid instance")
 	}
-	if _, err := Exhaustive(inst, ExhaustiveConfig{}); err == nil {
+	if _, err := Exhaustive(context.Background(), inst, ExhaustiveConfig{}); err == nil {
 		t.Fatal("Exhaustive accepted invalid instance")
 	}
 }
@@ -324,7 +325,7 @@ func TestS3CABeatsBaselinesOnCouponScenario(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, strat := range []Strategy{Unlimited, Limited} {
-		im, err := IM(inst, Config{Strategy: strat, Samples: 5000, Seed: 9})
+		im, err := IM(context.Background(), inst, Config{Strategy: strat, Samples: 5000, Seed: 9})
 		if err != nil {
 			t.Fatal(err)
 		}

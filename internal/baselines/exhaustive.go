@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -42,8 +43,9 @@ func (c ExhaustiveConfig) withDefaults() ExhaustiveConfig {
 
 // Exhaustive enumerates every deployment within the configured bounds and
 // returns the one with the maximum redemption rate — the OPT reference of
-// the Fig. 10 approximation validation.
-func Exhaustive(in *diffusion.Instance, cfg ExhaustiveConfig) (*Outcome, error) {
+// the Fig. 10 approximation validation. Cancelling ctx aborts the
+// enumeration with ctx.Err().
+func Exhaustive(ctx context.Context, in *diffusion.Instance, cfg ExhaustiveConfig) (*Outcome, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -56,7 +58,15 @@ func Exhaustive(in *diffusion.Instance, cfg ExhaustiveConfig) (*Outcome, error) 
 
 	var bestOutcome *Outcome
 	bestRate := -1.0
+	stopped := false // latched on cancellation; prunes the whole search
 	consider := func(d *diffusion.Deployment) {
+		if stopped {
+			return
+		}
+		if ctx.Err() != nil { // cheap next to the full MC evaluation below
+			stopped = true
+			return
+		}
 		if in.TotalCost(d) > in.Budget {
 			return
 		}
@@ -79,13 +89,16 @@ func Exhaustive(in *diffusion.Instance, cfg ExhaustiveConfig) (*Outcome, error) 
 	var seeds []int32
 	var chooseSeeds func(start int)
 	chooseSeeds = func(start int) {
+		if stopped {
+			return
+		}
 		if len(seeds) > 0 {
-			enumerateAllocations(in, cfg, seeds, consider)
+			enumerateAllocations(in, cfg, seeds, consider, func() bool { return stopped })
 		}
 		if len(seeds) >= cfg.MaxSeeds {
 			return
 		}
-		for i := start; i < len(seedPool); i++ {
+		for i := start; i < len(seedPool) && !stopped; i++ {
 			cost := in.SeedCost[seedPool[i]]
 			total := cost
 			for _, s := range seeds {
@@ -100,6 +113,9 @@ func Exhaustive(in *diffusion.Instance, cfg ExhaustiveConfig) (*Outcome, error) 
 		}
 	}
 	chooseSeeds(0)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("baselines: exhaustive search aborted: %w", err)
+	}
 
 	if bestOutcome == nil {
 		bestOutcome = emptyOutcome("OPT", in, est)
@@ -109,9 +125,10 @@ func Exhaustive(in *diffusion.Instance, cfg ExhaustiveConfig) (*Outcome, error) 
 
 // enumerateAllocations walks every K assignment over users reachable from
 // the seeds, coupons bounded by min(MaxK, out-degree), pruning on the
-// closed-form cost.
+// closed-form cost. stop short-circuits the walk once the caller has
+// observed a cancellation.
 func enumerateAllocations(in *diffusion.Instance, cfg ExhaustiveConfig,
-	seeds []int32, consider func(*diffusion.Deployment)) {
+	seeds []int32, consider func(*diffusion.Deployment), stop func() bool) {
 
 	mark := reachable(in, seeds)
 	var nodes []int32
@@ -128,7 +145,7 @@ func enumerateAllocations(in *diffusion.Instance, cfg ExhaustiveConfig,
 	}
 	var walk func(i int, cost float64)
 	walk = func(i int, cost float64) {
-		if cost > in.Budget {
+		if cost > in.Budget || stop() {
 			return
 		}
 		if i == len(nodes) {

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -94,7 +95,10 @@ func sketchPrune(in *diffusion.Instance, cfg Config, affordable []int32) ([]int3
 
 // Random selects uniformly random affordable seeds under the configured
 // coupon strategy — the sanity-check baseline below every published curve.
-func Random(in *diffusion.Instance, cfg Config) (*Outcome, error) {
+func Random(ctx context.Context, in *diffusion.Instance, cfg Config) (*Outcome, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("baselines: RAND aborted: %w", err)
+	}
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -121,7 +125,7 @@ func Random(in *diffusion.Instance, cfg Config) (*Outcome, error) {
 // HighDegree seeds the highest-out-degree affordable users — the classic
 // degree heuristic — under the configured coupon strategy, sweeping sizes
 // like IM and keeping the best-influence feasible configuration.
-func HighDegree(in *diffusion.Instance, cfg Config) (*Outcome, error) {
+func HighDegree(ctx context.Context, in *diffusion.Instance, cfg Config) (*Outcome, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -138,7 +142,7 @@ func HighDegree(in *diffusion.Instance, cfg Config) (*Outcome, error) {
 		}
 		return ranked[a] < ranked[b]
 	})
-	best := selectBySweep(in, est, cfg, ranked, func(o *Outcome) float64 { return o.Influence })
+	best := selectBySweep(ctx, in, est, cfg, ranked, func(o *Outcome) float64 { return o.Influence })
 	if best == nil {
 		return emptyOutcome("DEG", in, est), nil
 	}

@@ -1,12 +1,13 @@
 package baselines
 
 import (
+	"context"
 	"testing"
 )
 
 func TestIMWithRISFindsHub(t *testing.T) {
 	inst := contrast(t)
-	o, err := IM(inst, Config{Strategy: Unlimited, Samples: 300, Seed: 4, UseRIS: true, RISSketches: 5000})
+	o, err := IM(context.Background(), inst, Config{Strategy: Unlimited, Samples: 300, Seed: 4, UseRIS: true, RISSketches: 5000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,11 +22,11 @@ func TestIMWithRISFindsHub(t *testing.T) {
 func TestIMRISMatchesGreedyChoice(t *testing.T) {
 	// On the contrast instance both rankings must agree on the hub.
 	inst := contrast(t)
-	greedy, err := IM(inst, Config{Strategy: Unlimited, Samples: 300, Seed: 4})
+	greedy, err := IM(context.Background(), inst, Config{Strategy: Unlimited, Samples: 300, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	risBased, err := IM(inst, Config{Strategy: Unlimited, Samples: 300, Seed: 4, UseRIS: true, RISSketches: 5000})
+	risBased, err := IM(context.Background(), inst, Config{Strategy: Unlimited, Samples: 300, Seed: 4, UseRIS: true, RISSketches: 5000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestIMRISMatchesGreedyChoice(t *testing.T) {
 
 func TestRandomBaseline(t *testing.T) {
 	inst := contrast(t)
-	o, err := Random(inst, Config{Strategy: Unlimited, Samples: 200, Seed: 5})
+	o, err := Random(context.Background(), inst, Config{Strategy: Unlimited, Samples: 200, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestRandomBaseline(t *testing.T) {
 		t.Fatalf("name = %q", o.Name)
 	}
 	// Determinism in the seed.
-	o2, err := Random(inst, Config{Strategy: Unlimited, Samples: 200, Seed: 5})
+	o2, err := Random(context.Background(), inst, Config{Strategy: Unlimited, Samples: 200, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestRandomBaseline(t *testing.T) {
 func TestRandomNoAffordableSeeds(t *testing.T) {
 	inst := contrast(t)
 	inst.Budget = 0.1
-	o, err := Random(inst, Config{Strategy: Unlimited, Samples: 100, Seed: 5})
+	o, err := Random(context.Background(), inst, Config{Strategy: Unlimited, Samples: 100, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestRandomNoAffordableSeeds(t *testing.T) {
 
 func TestHighDegreeBaseline(t *testing.T) {
 	inst := contrast(t)
-	o, err := HighDegree(inst, Config{Strategy: Unlimited, Samples: 200, Seed: 6})
+	o, err := HighDegree(context.Background(), inst, Config{Strategy: Unlimited, Samples: 200, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,10 +86,10 @@ func TestHighDegreeBaseline(t *testing.T) {
 func TestExtraBaselinesRejectInvalid(t *testing.T) {
 	inst := contrast(t)
 	inst.Benefit = inst.Benefit[:1]
-	if _, err := Random(inst, Config{}); err == nil {
+	if _, err := Random(context.Background(), inst, Config{}); err == nil {
 		t.Fatal("Random accepted invalid instance")
 	}
-	if _, err := HighDegree(inst, Config{}); err == nil {
+	if _, err := HighDegree(context.Background(), inst, Config{}); err == nil {
 		t.Fatal("HighDegree accepted invalid instance")
 	}
 }

@@ -2,14 +2,25 @@ package baselines
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 
 	"s3crm/internal/diffusion"
+	"s3crm/internal/progress"
 )
 
 // Config parameterizes the baseline runs.
 type Config struct {
+	// Evaluator, when non-nil, is a pre-built evaluation engine used
+	// instead of constructing one from Engine/Diffusion/Samples/Seed — the
+	// serving layer's injection point (see core.Options.Evaluator). The
+	// remaining engine fields should describe the injected engine: sketch
+	// pruning and RIS ranking still read them.
+	Evaluator diffusion.Evaluator
+	// Progress, when non-nil, receives one event per greedy ranking step
+	// and per sweep configuration. Called synchronously; keep it cheap.
+	Progress progress.Func
 	// Strategy and LimitedK select the coupon policy (LimitedK defaults to
 	// DefaultLimitedK when the strategy is Limited).
 	Strategy Strategy
@@ -60,8 +71,12 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// engine constructs the configured evaluation engine over in.
+// engine returns the injected evaluation engine or constructs the
+// configured one over in.
 func (c Config) engine(in *diffusion.Instance) (diffusion.Evaluator, error) {
+	if c.Evaluator != nil {
+		return c.Evaluator, nil
+	}
 	ev, err := diffusion.NewEngineOpts(in, diffusion.EngineOptions{
 		Engine: c.Engine, Samples: c.Samples, Seed: c.Seed, Workers: c.Workers,
 		Diffusion: c.Diffusion, LiveEdgeMemBudget: c.LiveEdgeMemBudget,
@@ -101,9 +116,10 @@ func (h *celfHeap) Pop() interface{} {
 // greedyRank orders candidate seeds by marginal value under the CELF lazy
 // strategy: each evaluation builds the strategy-consistent deployment for
 // the trial seed set (seeds plus their reachable region's coupon quotas)
-// and measures value(). Ranking stops after maxSeeds selections or when the
-// best marginal value is no longer positive.
-func greedyRank(in *diffusion.Instance, cfg Config,
+// and measures value(). Ranking stops after maxSeeds selections, when the
+// best marginal value is no longer positive, or when ctx is cancelled (the
+// prefix ranked so far is returned; the caller surfaces ctx.Err()).
+func greedyRank(ctx context.Context, in *diffusion.Instance, cfg Config,
 	maxSeeds int, value func(seeds []int32) float64) []int32 {
 
 	candidates := seedCandidates(in, cfg)
@@ -111,7 +127,10 @@ func greedyRank(in *diffusion.Instance, cfg Config,
 	base := 0.0
 
 	h := make(celfHeap, 0, len(candidates))
-	for _, v := range candidates {
+	for i, v := range candidates {
+		if i&15 == 0 && ctx.Err() != nil {
+			return picked
+		}
 		g := value([]int32{v})
 		h = append(h, celfEntry{node: v, gain: g, round: 0})
 	}
@@ -122,6 +141,9 @@ func greedyRank(in *diffusion.Instance, cfg Config,
 	// length is feasible.
 	cumSeedCost := 0.0
 	for len(picked) < maxSeeds && h.Len() > 0 && cumSeedCost <= in.Budget {
+		if ctx.Err() != nil {
+			return picked
+		}
 		top := heap.Pop(&h).(celfEntry)
 		if top.round == len(picked) {
 			if top.gain <= 0 {
@@ -130,6 +152,13 @@ func greedyRank(in *diffusion.Instance, cfg Config,
 			picked = append(picked, top.node)
 			cumSeedCost += in.SeedCost[top.node]
 			base = value(picked)
+			// Rate stays 0: the greedy's value() is influence (IM) or
+			// profit (PM), not a redemption rate — the schema reserves
+			// Rate for phases that track the actual objective (the
+			// "sweep" events do).
+			cfg.Progress.Emit(progress.Event{
+				Phase: "rank", Iteration: len(picked), Spent: cumSeedCost,
+			})
 			continue
 		}
 		// Stale: recompute against the current seed set.
@@ -174,8 +203,9 @@ func seedCandidates(in *diffusion.Instance, cfg Config) []int32 {
 // IM runs greedy influence maximization with the configured coupon
 // strategy, sweeping seed sizes |V|/2^n for n = 0..MaxSweep and keeping the
 // budget-feasible configuration with the maximum influence (the paper's
-// IM-U / IM-L baselines).
-func IM(in *diffusion.Instance, cfg Config) (*Outcome, error) {
+// IM-U / IM-L baselines). Cancelling ctx aborts between greedy steps with
+// ctx.Err().
+func IM(ctx context.Context, in *diffusion.Instance, cfg Config) (*Outcome, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -194,13 +224,19 @@ func IM(in *diffusion.Instance, cfg Config) (*Outcome, error) {
 			return nil, err
 		}
 	} else {
-		ranked = greedyRank(in, cfg, maxSeeds, func(seeds []int32) float64 {
+		ranked = greedyRank(ctx, in, cfg, maxSeeds, func(seeds []int32) float64 {
 			d := applyStrategy(in, seeds, cfg.Strategy, cfg.LimitedK)
 			return est.Evaluate(d).Activated
 		})
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("baselines: IM aborted: %w", err)
+	}
 
-	best := selectBySweep(in, est, cfg, ranked, func(o *Outcome) float64 { return o.Influence })
+	best := selectBySweep(ctx, in, est, cfg, ranked, func(o *Outcome) float64 { return o.Influence })
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("baselines: IM aborted: %w", err)
+	}
 	if best == nil {
 		return emptyOutcome("IM-"+cfg.Strategy.String(), in, est), nil
 	}
@@ -210,14 +246,18 @@ func IM(in *diffusion.Instance, cfg Config) (*Outcome, error) {
 
 // selectBySweep evaluates the ranked prefix at sizes |V|/2^n, drops seeds
 // that break the budget, and keeps the feasible outcome maximizing score.
-func selectBySweep(in *diffusion.Instance, est diffusion.Evaluator, cfg Config,
+func selectBySweep(ctx context.Context, in *diffusion.Instance, est diffusion.Evaluator, cfg Config,
 	ranked []int32, score func(*Outcome) float64) *Outcome {
 
 	n := in.G.NumNodes()
 	tried := map[int]bool{}
 	var best *Outcome
 	var bestScore float64
+	sweep := 0
 	for exp := 0; exp <= cfg.MaxSweep; exp++ {
+		if ctx.Err() != nil {
+			return best
+		}
 		size := n >> exp
 		if size < 1 {
 			size = 1
@@ -238,6 +278,10 @@ func selectBySweep(in *diffusion.Instance, est diffusion.Evaluator, cfg Config,
 			continue
 		}
 		o := measure("", in, est, d)
+		sweep++
+		cfg.Progress.Emit(progress.Event{
+			Phase: "sweep", Iteration: sweep, Spent: o.TotalCost, Rate: o.RedemptionRate,
+		})
 		if best == nil || score(o) > bestScore {
 			best = o
 			bestScore = score(o)

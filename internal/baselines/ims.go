@@ -1,6 +1,8 @@
 package baselines
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"s3crm/internal/diffusion"
@@ -12,8 +14,9 @@ import (
 // shortest paths under edge weight 1 − P(e(i,j)) ("an edge with a higher
 // influence probability having a smaller weight") and uniformly distributes
 // SCs to the users on those paths so that the overall seed plus SC cost
-// satisfies the investment budget.
-func IMS(in *diffusion.Instance, cfg Config) (*Outcome, error) {
+// satisfies the investment budget. Cancelling ctx aborts between steps with
+// ctx.Err().
+func IMS(ctx context.Context, in *diffusion.Instance, cfg Config) (*Outcome, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -25,7 +28,7 @@ func IMS(in *diffusion.Instance, cfg Config) (*Outcome, error) {
 
 	// Stage 1: IM seeds under the configured strategy, but only the seed
 	// set is retained.
-	im, err := IM(in, cfg)
+	im, err := IM(ctx, in, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -61,6 +64,9 @@ func IMS(in *diffusion.Instance, cfg Config) (*Outcome, error) {
 	}
 	scCost := 0.0
 	for round := 1; ; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("baselines: IM-S aborted: %w", err)
+		}
 		progressed := false
 		for _, v := range onPath {
 			if d.K(v) >= in.G.OutDegree(v) || d.K(v) >= round {

@@ -1,6 +1,9 @@
 package baselines
 
 import (
+	"context"
+	"fmt"
+
 	"s3crm/internal/diffusion"
 )
 
@@ -8,7 +11,8 @@ import (
 // seeds are added by marginal profit — expected benefit minus seed cost, as
 // in the paper's Fig. 1(b) worked example — while profit keeps improving
 // and the deployment stays within budget (the PM-U / PM-L baselines).
-func PM(in *diffusion.Instance, cfg Config) (*Outcome, error) {
+// Cancelling ctx aborts between greedy steps with ctx.Err().
+func PM(ctx context.Context, in *diffusion.Instance, cfg Config) (*Outcome, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -30,7 +34,10 @@ func PM(in *diffusion.Instance, cfg Config) (*Outcome, error) {
 		return est.Evaluate(d).Benefit - seedCost
 	}
 
-	ranked := greedyRank(in, cfg, in.G.NumNodes(), profit)
+	ranked := greedyRank(ctx, in, cfg, in.G.NumNodes(), profit)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("baselines: PM aborted: %w", err)
+	}
 	seeds := budgetFeasiblePrefix(in, cfg, ranked)
 	if len(seeds) == 0 {
 		// No seed has positive profit (common under the paper's κ=10 seed
@@ -39,7 +46,10 @@ func PM(in *diffusion.Instance, cfg Config) (*Outcome, error) {
 		// which always deploy a campaign.
 		best := int32(-1)
 		bestProfit := 0.0
-		for _, v := range seedCandidates(in, cfg) {
+		for i, v := range seedCandidates(in, cfg) {
+			if i&15 == 0 && ctx.Err() != nil {
+				return nil, fmt.Errorf("baselines: PM aborted: %w", ctx.Err())
+			}
 			p := profit([]int32{v})
 			if best == -1 || p > bestProfit {
 				best = v

@@ -27,14 +27,34 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"s3crm/internal/diffusion"
+	"s3crm/internal/progress"
 )
 
 // Options configures Solve.
 type Options struct {
+	// Evaluator, when non-nil, is a pre-built evaluation engine the solver
+	// uses instead of constructing one from Engine/Diffusion/Samples/Seed —
+	// the serving layer's injection point: a Campaign builds the engine
+	// (and its live-edge substrate) once and hands per-call views to every
+	// solve. The remaining engine fields still parameterize the snapshot
+	// scorer stream, so they should describe the injected engine.
+	Evaluator diffusion.Evaluator
+	// Scorer, when non-nil, is a pre-built engine for the snapshot
+	// selection pass, replacing the internally constructed
+	// ScorerSeed-derived stream. It must be decorrelated from Evaluator
+	// (distinct coin seed) or selection inherits the greedy's own noise;
+	// the serving layer pools scorers the same way it pools engines.
+	Scorer diffusion.Evaluator
+	// Progress, when non-nil, receives one event per solver step (ID
+	// investment, GPI seed traversal, SCM path examination, snapshot
+	// scored). Called synchronously from the search loops: keep it cheap
+	// and non-blocking.
+	Progress progress.Func
 	// Engine selects the evaluation engine: diffusion.EngineMC (the
 	// default, plain Monte Carlo), diffusion.EngineWorldCache (incremental
 	// world-cache evaluation — the ID loop's candidate deltas and the SCM
@@ -57,6 +77,11 @@ type Options struct {
 	Samples int
 	// Seed seeds the estimator's possible worlds and any tie-breaking.
 	Seed uint64
+	// ScorerSeed, when non-zero, seeds the independent estimator stream
+	// snapshot selection re-scores with; 0 means the classic Seed ^ 0x5c04e.
+	// The serving layer derives it from the campaign call sequence number
+	// so repeated calls draw fresh, reproducible selection noise.
+	ScorerSeed uint64
 	// Workers sets estimator parallelism; 0 means sequential.
 	Workers int
 	// MaxIterations caps the ID investment loop as a safety net; 0 means
@@ -163,10 +188,30 @@ type Solution struct {
 	Trajectory []TrajectoryPoint
 }
 
+// PartialError reports a solve aborted by context cancellation or deadline
+// expiry: the phase that was interrupted and the instrumentation gathered up
+// to the abort. Unwrap yields the context error, so
+// errors.Is(err, context.Canceled) and context.DeadlineExceeded both work.
+type PartialError struct {
+	Phase string // phase interrupted: "pivot", "id", "gpi", "scm" or "select"
+	Stats Stats  // instrumentation up to the abort
+	Err   error  // the context's error
+}
+
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("core: solve aborted during %s after %d ID iterations: %v",
+		e.Phase, e.Stats.IDIterations, e.Err)
+}
+
+func (e *PartialError) Unwrap() error { return e.Err }
+
 // solver carries shared state across the three phases.
 type solver struct {
 	inst       *diffusion.Instance
 	opts       Options
+	ctx        context.Context
+	err        error  // first cancellation observed; sticky
+	phase      string // current phase, for PartialError and events
 	est        diffusion.Evaluator
 	wc         *diffusion.WorldCache // non-nil iff Engine == EngineWorldCache
 	explored   []bool
@@ -203,6 +248,40 @@ func (s *solver) touch(v int32) {
 		s.stats.ExploredNodes++
 	}
 }
+
+// aborted reports whether the solve has been cancelled, latching the
+// context error on first observation. Every phase loop checks it at its
+// head so a cancelled request stops within one step.
+func (s *solver) aborted() bool {
+	if s.err != nil {
+		return true
+	}
+	if s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			s.err = err
+			return true
+		}
+	}
+	return false
+}
+
+// emit reports one progress event from the current phase.
+func (s *solver) emit(iteration int, spent, rate float64) {
+	if s.opts.Progress == nil {
+		return
+	}
+	s.opts.Progress(progress.Event{
+		Phase:          s.phase,
+		Iteration:      iteration,
+		Spent:          spent,
+		Rate:           rate,
+		CandidateEvals: s.stats.CandidateEvals,
+		Evaluations:    s.est.Evals(),
+	})
+}
+
+// enterPhase records the phase for events and PartialError reporting.
+func (s *solver) enterPhase(name string) { s.phase = name }
 
 // benefit evaluates B(S,K) for a deployment: exactly on forests when
 // configured, through the configured engine otherwise.
@@ -245,22 +324,35 @@ func (s *solver) benefitSparse(d *diffusion.Deployment, changed []int32) float64
 
 // Solve runs S3CA on the instance.
 func Solve(inst *diffusion.Instance, opts Options) (*Solution, error) {
+	return SolveCtx(context.Background(), inst, opts)
+}
+
+// SolveCtx runs S3CA on the instance under a context: cancellation or
+// deadline expiry aborts the solve within one phase step and returns a
+// *PartialError wrapping ctx.Err() together with the instrumentation
+// gathered so far.
+func SolveCtx(ctx context.Context, inst *diffusion.Instance, opts Options) (*Solution, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
 	n := inst.G.NumNodes()
 	opts = opts.withDefaults(n)
-	ev, err := diffusion.NewEngineOpts(inst, diffusion.EngineOptions{
-		Engine: opts.Engine, Samples: opts.Samples, Seed: opts.Seed,
-		Workers: opts.Workers, Diffusion: opts.Diffusion,
-		LiveEdgeMemBudget: opts.LiveEdgeMemBudget,
-	})
-	if err != nil {
-		return nil, err
+	ev := opts.Evaluator
+	if ev == nil {
+		var err error
+		ev, err = diffusion.NewEngineOpts(inst, diffusion.EngineOptions{
+			Engine: opts.Engine, Samples: opts.Samples, Seed: opts.Seed,
+			Workers: opts.Workers, Diffusion: opts.Diffusion,
+			LiveEdgeMemBudget: opts.LiveEdgeMemBudget,
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	s := &solver{
 		inst:     inst,
 		opts:     opts,
+		ctx:      ctx,
 		est:      ev,
 		explored: make([]bool, n),
 	}
@@ -268,24 +360,50 @@ func Solve(inst *diffusion.Instance, opts Options) (*Solution, error) {
 		s.wc = wc
 	}
 
+	s.enterPhase("pivot")
 	queue := s.buildPivotQueue()
 	s.stats.QueueSize = len(queue)
+	s.emit(len(queue), 0, 0)
+	if err := s.partial(); err != nil {
+		return nil, err
+	}
 	if len(queue) == 0 {
 		// No affordable seed: the only feasible deployment is empty.
 		empty := diffusion.NewDeployment(n)
 		return s.finish(empty), nil
 	}
 
+	s.enterPhase("id")
 	best := s.investmentDeployment(queue)
+	if err := s.partial(); err != nil {
+		return nil, err
+	}
 
 	if !opts.DisableGPI {
+		s.enterPhase("gpi")
 		forest := s.identifyGuaranteedPaths(best)
 		s.stats.GPCount = len(forest.paths)
+		if err := s.partial(); err != nil {
+			return nil, err
+		}
 		if !opts.DisableSCM && len(forest.paths) > 0 {
+			s.enterPhase("scm")
 			best = s.maneuver(best, forest)
+			if err := s.partial(); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return s.finish(best), nil
+}
+
+// partial converts a recorded cancellation into the error Solve returns.
+func (s *solver) partial() error {
+	if !s.aborted() {
+		return nil
+	}
+	s.stats.Evaluations = s.est.Evals()
+	return &PartialError{Phase: s.phase, Stats: s.stats, Err: s.err}
 }
 
 // finish computes the final metrics for a deployment.

@@ -124,8 +124,12 @@ func (st *dfsState) khat(v int32, endLevel int32) int32 {
 // set stays within Binv − cseed(s). Each visit yields one guaranteed path.
 func (s *solver) identifyGuaranteedPaths(d *diffusion.Deployment) *gpForest {
 	forest := &gpForest{byEnd: make(map[int64]*guaranteedPath)}
-	for _, seed := range d.Seeds() {
+	for i, seed := range d.Seeds() {
+		if s.aborted() {
+			break
+		}
 		s.dfsFromSeed(seed, forest)
+		s.emit(i+1, 0, 0)
 	}
 	return forest
 }

@@ -133,6 +133,9 @@ func (s *solver) investmentLazy(queue []pivotEntry) *diffusion.Deployment {
 	snapshots := []*diffusion.Deployment{d.Clone()}
 
 	for iter := 0; iter < s.opts.MaxIterations; iter++ {
+		if s.aborted() {
+			break
+		}
 		s.stats.IDIterations = iter + 1
 
 		bestNode, bestMR, bestGain, bestDC := s.lazyBest(lz, d, curBenefit, curSeedCost+curSC)
@@ -190,6 +193,7 @@ func (s *solver) investmentLazy(queue []pivotEntry) *diffusion.Deployment {
 			s.refreshAll(lz, d, curBenefit, curSeedCost+curSC)
 		}
 
+		s.emit(iter+1, curSeedCost+curSC, safeRatio(curBenefit, curSeedCost+curSC))
 		snapshots = append(snapshots, d.Clone())
 	}
 	return s.selectSnapshot(snapshots)
@@ -366,6 +370,9 @@ func (s *solver) investmentExhaustive(queue []pivotEntry) *diffusion.Deployment 
 	snapshots := []*diffusion.Deployment{d.Clone()}
 
 	for iter := 0; iter < s.opts.MaxIterations; iter++ {
+		if s.aborted() {
+			break
+		}
 		s.stats.IDIterations = iter + 1
 
 		// Strategy 2/3 candidates: one more SC for an internal node, or a
@@ -463,6 +470,7 @@ func (s *solver) investmentExhaustive(queue []pivotEntry) *diffusion.Deployment 
 			s.record("seed", pivot.node, curBenefit, curSeedCost+curSC)
 		}
 
+		s.emit(iter+1, curSeedCost+curSC, safeRatio(curBenefit, curSeedCost+curSC))
 		snapshots = append(snapshots, d.Clone())
 	}
 	return s.selectSnapshot(snapshots)
@@ -481,6 +489,10 @@ func (s *solver) selectSnapshot(snapshots []*diffusion.Deployment) *diffusion.De
 	if s.opts.SpendBudget {
 		return snapshots[len(snapshots)-1]
 	}
+	if s.aborted() {
+		return snapshots[len(snapshots)-1]
+	}
+	s.enterPhase("select")
 	scorer := s.newScorer()
 	// Under the world-cache engine the scorer is a world cache too, and the
 	// snapshots form a chain differing by one investment each: rebasing
@@ -505,7 +517,10 @@ func (s *solver) selectSnapshot(snapshots []*diffusion.Deployment) *diffusion.De
 	}
 	best := snapshots[0]
 	maxRate := score(best)
-	for _, d := range snapshots[1:] {
+	for i, d := range snapshots[1:] {
+		if s.aborted() {
+			break
+		}
 		r := score(d)
 		if r > maxRate {
 			maxRate = r
@@ -513,6 +528,7 @@ func (s *solver) selectSnapshot(snapshots []*diffusion.Deployment) *diffusion.De
 		if r >= maxRate*(1-s.opts.RateTolerance) {
 			best = d
 		}
+		s.emit(i+1, s.inst.TotalCost(d), r)
 	}
 	return best
 }
@@ -522,19 +538,27 @@ func (s *solver) selectSnapshot(snapshots []*diffusion.Deployment) *diffusion.De
 // solver's own evaluations (but a decorrelated coin, so the selection is
 // unbiased by the noise that guided the greedy).
 func (s *solver) newScorer() diffusion.Evaluator {
+	if s.opts.Scorer != nil {
+		return s.opts.Scorer
+	}
 	engine := diffusion.EngineMC
 	if s.incremental() {
 		engine = diffusion.EngineWorldCache
 	}
+	seed := s.opts.ScorerSeed
+	if seed == 0 {
+		seed = s.opts.Seed ^ 0x5c04e
+	}
 	scorer, err := diffusion.NewEngineOpts(s.inst, diffusion.EngineOptions{
 		Engine: engine, Samples: s.opts.Samples,
-		Seed: s.opts.Seed ^ 0x5c04e, Workers: s.opts.Workers,
+		Seed: seed, Workers: s.opts.Workers,
 		Diffusion: s.opts.Diffusion, LiveEdgeMemBudget: s.opts.LiveEdgeMemBudget,
 	})
 	if err != nil {
-		// Unreachable: Solve validated the same options when it built the
-		// main engine. Fall back to the plain estimator regardless.
-		est := diffusion.NewEstimator(s.inst, s.opts.Samples, s.opts.Seed^0x5c04e)
+		// Reachable only with an injected Evaluator whose companion option
+		// fields name an unknown engine or substrate; fall back to the
+		// plain estimator so selection still happens on a fresh stream.
+		est := diffusion.NewEstimator(s.inst, s.opts.Samples, seed)
 		est.Workers = s.opts.Workers
 		return est
 	}

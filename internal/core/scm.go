@@ -18,7 +18,11 @@ func (s *solver) maneuver(d *diffusion.Deployment, forest *gpForest) *diffusion.
 	bestRate := s.rate(best)
 
 	scored := forest.sortByAmelioration(s, best)
-	for _, sp := range scored {
+	for i, sp := range scored {
+		if s.aborted() {
+			break
+		}
+		s.emit(i+1, in.TotalCost(best), bestRate)
 		gp := sp.gp
 		// Eligibility (Alg. 1 line 28): guaranteed cost within the SC
 		// budget already invested, and the end not already reachable (its
@@ -117,6 +121,9 @@ func (s *solver) tryCreatePath(base *diffusion.Deployment, gp *guaranteedPath, a
 	curCost := in.TotalCost(cur)
 
 	for deficit > 0 {
+		if s.aborted() {
+			return nil, false
+		}
 		ops := s.donorOps(cur, want, deficit)
 		if len(ops) == 0 {
 			return nil, false // no donor has spare coupons

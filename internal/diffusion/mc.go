@@ -1,6 +1,7 @@
 package diffusion
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -29,10 +30,41 @@ type Estimator struct {
 	// materialized once per world). Set by NewEngineOpts; nil means hash.
 	Live *LiveEdges
 
+	// ctx, when non-nil, is checked periodically inside the simulation
+	// loop so a cancelled serving request aborts mid-evaluation instead of
+	// finishing the full sample sweep. Set only on per-call Views; a
+	// cancelled evaluation returns garbage aggregates, so callers must
+	// check ctx.Err() before using any value produced after cancellation.
+	ctx context.Context
+
 	poolOnce sync.Once
 	pool     sync.Pool // of *simScratch, reused across evaluations
 
 	evals atomic.Int64 // number of Evaluate calls, for instrumentation
+}
+
+// cancelled reports whether the estimator's per-call context (if any) has
+// been cancelled — the MC kernel's abort check, also consulted by the
+// world-cache engine's re-simulation sweeps.
+func (e *Estimator) cancelled() bool {
+	return e.ctx != nil && e.ctx.Err() != nil
+}
+
+// View returns a per-call estimator sharing the receiver's possible worlds
+// — the same coin stream and the same (lazily filled, concurrency-safe)
+// live-edge substrate — but carrying its own cancellation context, worker
+// count and instrumentation counters. Views of one estimator may evaluate
+// concurrently; results are identical to the receiver's by construction,
+// because edge liveness depends only on (seed, world, edge).
+func (e *Estimator) View(ctx context.Context, workers int) *Estimator {
+	return &Estimator{
+		Inst:    e.Inst,
+		Samples: e.Samples,
+		Coin:    e.Coin,
+		Workers: workers,
+		Live:    e.Live,
+		ctx:     ctx,
+	}
 }
 
 // NewEstimator returns an estimator over inst with the given sample count
@@ -265,6 +297,12 @@ func (e *Estimator) run(d *Deployment, lo, hi int) Result {
 	defer e.putScratch(s)
 	var sumB, sumC, sumA, sumH, sumX float64
 	for w := lo; w < hi; w++ {
+		if w&63 == 0 && e.cancelled() {
+			// Abort mid-sweep: the partial sums are meaningless, but the
+			// caller is contractually bound to check ctx.Err() before
+			// trusting anything produced after cancellation.
+			break
+		}
 		worldB, worldC, maxHop, activated, explored := e.simWorld(s, d, uint64(w), nil)
 		sumB += worldB
 		sumC += worldC

@@ -267,6 +267,13 @@ func (wc *WorldCache) rebaseRange(d *Deployment, lo, hi int) {
 	defer e.putScratch(s)
 	hint := 16
 	for w := lo; w < hi; w++ {
+		if w&63 == 0 && e.cancelled() {
+			// Abort the sweep. The cache is now inconsistent (some worlds
+			// stale); the caller must discard this WorldCache after seeing
+			// the cancellation — the Campaign layer never pools a cache
+			// whose call returned an error.
+			return
+		}
 		ws := &wc.worlds[w]
 		if cap(ws.rec.nodes) == 0 {
 			// Fresh cache: pre-size this world's record near its

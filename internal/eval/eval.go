@@ -18,6 +18,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -146,18 +147,18 @@ func RunOne(algo string, inst *diffusion.Instance, p RunParams) (Measure, error)
 		)
 		switch algo {
 		case "IM-U", "IM-L":
-			o, err = baselines.IM(inst, cfg)
+			o, err = baselines.IM(context.Background(), inst, cfg)
 		case "IM-R": // IM with reverse-influence-sampling seed ranking
 			cfg.UseRIS = true
-			o, err = baselines.IM(inst, cfg)
+			o, err = baselines.IM(context.Background(), inst, cfg)
 		case "PM-U", "PM-L":
-			o, err = baselines.PM(inst, cfg)
+			o, err = baselines.PM(context.Background(), inst, cfg)
 		case "IM-S":
-			o, err = baselines.IMS(inst, cfg)
+			o, err = baselines.IMS(context.Background(), inst, cfg)
 		case "RAND":
-			o, err = baselines.Random(inst, cfg)
+			o, err = baselines.Random(context.Background(), inst, cfg)
 		case "DEG":
-			o, err = baselines.HighDegree(inst, cfg)
+			o, err = baselines.HighDegree(context.Background(), inst, cfg)
 		}
 		if err != nil {
 			return Measure{}, err

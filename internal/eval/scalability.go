@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -188,7 +189,7 @@ func Approximation(c ScalabilityConfig, nodes int, margins []float64, p RunParam
 			}
 			inst.SeedCost[i] = 2 * float64(deg)
 		}
-		opt, err := baselines.Exhaustive(inst, baselines.ExhaustiveConfig{
+		opt, err := baselines.Exhaustive(context.Background(), inst, baselines.ExhaustiveConfig{
 			MaxSeeds: 2, MaxK: 2, Samples: p.Samples, Seed: p.Seed, MaxNodes: nodes,
 		})
 		if err != nil {

@@ -1,0 +1,50 @@
+// Package progress defines the solver progress event schema shared by the
+// core solver, the baselines and the public serving API.
+//
+// Events are emitted synchronously from inside the search loops: a sink
+// must be cheap and must not block, or it becomes the solver's bottleneck.
+// The public s3crm package re-exports Event (s3crm.Event is an alias), the
+// s3crm CLI renders events as a live progress line and the s3crmd HTTP
+// daemon streams them as NDJSON, so the JSON field names below are a wire
+// contract (DESIGN.md, "Serving API").
+package progress
+
+// Event is one solver progress report.
+type Event struct {
+	// Algorithm labels the run ("S3CA", "IM-U", …). Filled by the serving
+	// layer, not by the inner loops.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Call is the campaign call sequence number the event belongs to,
+	// letting a multiplexed sink demux concurrent calls. Filled by the
+	// serving layer.
+	Call uint64 `json:"call,omitempty"`
+	// Phase names the solver phase emitting the event: "pivot", "id",
+	// "gpi", "scm" and "select" for S3CA; "rank" and "sweep" for the
+	// greedy baselines.
+	Phase string `json:"phase"`
+	// Iteration counts phase-local steps (ID investments, seeds ranked,
+	// paths examined), starting at 1.
+	Iteration int `json:"iteration"`
+	// Spent is the budget committed so far (seed plus closed-form SC
+	// cost) where the phase tracks it; 0 otherwise.
+	Spent float64 `json:"spent"`
+	// Rate is the current redemption rate of the deployment under
+	// construction where the phase tracks it; 0 otherwise.
+	Rate float64 `json:"rate"`
+	// CandidateEvals counts candidate marginal-gain evaluations so far
+	// (S3CA's ID loop only).
+	CandidateEvals int64 `json:"candidate_evals,omitempty"`
+	// Evaluations counts full Monte-Carlo evaluations so far.
+	Evaluations int64 `json:"evaluations,omitempty"`
+}
+
+// Func receives events. A nil Func is "no progress reporting"; emitters
+// must nil-check rather than call unconditionally.
+type Func func(Event)
+
+// Emit calls f with e when f is non-nil — the emitters' nil-check helper.
+func (f Func) Emit(e Event) {
+	if f != nil {
+		f(e)
+	}
+}

@@ -132,6 +132,16 @@ func (s *Source) Split() *Source {
 	return New(s.Uint64())
 }
 
+// DeriveStream maps (seed, stream) to a new seed statistically independent
+// of the input seed and of every other stream index — the serving layer's
+// per-call RNG derivation: stream n of a campaign seeded s is
+// DeriveStream(s, n), deterministic across runs yet decorrelated between
+// calls. Distinct (seed, stream) pairs yield distinct streams with
+// overwhelming probability (one splitmix64 round per word, as in New).
+func DeriveStream(seed, stream uint64) uint64 {
+	return splitmix64(splitmix64(seed) ^ splitmix64(stream^0xa5a5a5a55a5a5a5a))
+}
+
 // Coin is a stateless hash-based coin flipper. Flip(world, item) returns the
 // same uniform value no matter how many times or in what order it is called,
 // which makes Monte-Carlo evaluations of different deployments comparable

@@ -1,0 +1,254 @@
+package s3crm
+
+import (
+	"fmt"
+
+	"s3crm/internal/diffusion"
+)
+
+// Option configures a Campaign at construction (Problem.NewCampaign) or a
+// single call (Campaign.Solve, Campaign.RunBaseline, Campaign.Evaluate,
+// Campaign.EvaluateBatch). Call-level options override the campaign's
+// settings for that call only.
+type Option func(*config) error
+
+// config is the resolved option set a campaign — and, after call-level
+// overrides, each call — runs with.
+type config struct {
+	engine       string
+	diffusion    string
+	samples      int
+	seed         uint64
+	seedPinned   bool // a call-level WithSeed pins the call's RNG streams
+	workers      int
+	limitedK     int
+	candidateCap int
+	exhaustiveID bool
+	memBudget    int64
+	progress     func(Event)
+}
+
+func defaultConfig() config {
+	return config{
+		engine:    diffusion.EngineMC,
+		diffusion: diffusion.DiffusionLiveEdge,
+		samples:   1000,
+	}
+}
+
+// apply runs the options over a copy of the receiver, reporting the first
+// error.
+func (c config) apply(opts []Option) (config, error) {
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(&c); err != nil {
+			return c, fmt.Errorf("s3crm: %w", err)
+		}
+	}
+	return c, nil
+}
+
+// WithEngine selects the evaluation engine: "mc" (plain Monte Carlo, the
+// default and the paper's setting), "worldcache" (incremental world-cache
+// evaluation — the solver's greedy loops replay only the simulation state a
+// candidate change can affect) or "sketch" (reverse-influence-sampling
+// candidate pruning for the baselines). See Engines and DESIGN.md
+// ("Evaluation engines"). The engine name is validated eagerly, at
+// NewCampaign or at the call that carries the option.
+func WithEngine(name string) Option {
+	return func(c *config) error {
+		if name == "" {
+			name = diffusion.EngineMC
+		}
+		for _, e := range diffusion.Engines() {
+			if name == e {
+				c.engine = name
+				return nil
+			}
+		}
+		return fmt.Errorf("unknown engine %q (want one of %v)", name, diffusion.Engines())
+	}
+}
+
+// WithDiffusion selects the edge-liveness substrate behind every engine:
+// "liveedge" (the default — coin flips materialized once per world into
+// packed bit rows all probes read) or "hash" (recompute the stateless hash
+// per probe). The substrates produce bit-identical results; see Diffusions.
+func WithDiffusion(name string) Option {
+	return func(c *config) error {
+		if name == "" {
+			name = diffusion.DiffusionLiveEdge
+		}
+		for _, d := range diffusion.Diffusions() {
+			if name == d {
+				c.diffusion = name
+				return nil
+			}
+		}
+		return fmt.Errorf("unknown diffusion substrate %q (want one of %v)", name, diffusion.Diffusions())
+	}
+}
+
+// WithSamples sets the Monte-Carlo sample count per benefit evaluation
+// (default 1000, the paper's setting).
+func WithSamples(n int) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("samples must be positive, got %d", n)
+		}
+		c.samples = n
+		return nil
+	}
+}
+
+// WithSeed fixes the campaign's random seed: the Monte-Carlo possible
+// worlds every call shares, and derived tie-breaking streams.
+//
+// As a call-level option it additionally pins the call: a pinned call's
+// streams depend only on the given seed (not on the campaign's call
+// counter), so it returns bit-identical results to a one-shot
+// Solve/RunBaseline/Evaluate with the same Options.Seed, whatever calls ran
+// before or run concurrently. Unpinned calls draw per-call streams derived
+// from the campaign seed and the call sequence number (see DESIGN.md,
+// "Serving API").
+func WithSeed(seed uint64) Option {
+	return func(c *config) error {
+		c.seed = seed
+		c.seedPinned = true
+		return nil
+	}
+}
+
+// WithWorkers parallelizes Monte-Carlo evaluation inside a call (0 =
+// sequential). Parallel evaluation is bit-identical to sequential — worlds
+// are stateless — so workers only trade memory for speed.
+func WithWorkers(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("workers must be non-negative, got %d", n)
+		}
+		c.workers = n
+		return nil
+	}
+}
+
+// WithLimitedK overrides the limited coupon strategy quota for baselines
+// (default 32, Dropbox's).
+func WithLimitedK(k int) Option {
+	return func(c *config) error {
+		if k < 0 {
+			return fmt.Errorf("limited-K must be non-negative, got %d", k)
+		}
+		c.limitedK = k
+		return nil
+	}
+}
+
+// WithCandidateCap restricts baseline greedy candidates to the top-N users
+// by degree — or by sketch-estimated influence under the sketch engine
+// (0 = all users).
+func WithCandidateCap(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("candidate cap must be non-negative, got %d", n)
+		}
+		c.candidateCap = n
+		return nil
+	}
+}
+
+// WithExhaustiveID disables S3CA's CELF lazy-greedy investment loop and
+// re-evaluates every candidate each iteration — the reference
+// implementation and the escape hatch for adversarially non-submodular
+// instances (see core.Options.ExhaustiveID).
+func WithExhaustiveID(on bool) Option {
+	return func(c *config) error {
+		c.exhaustiveID = on
+		return nil
+	}
+}
+
+// WithLiveEdgeMemBudget caps the bytes the live-edge substrate may commit
+// to materialized worlds (0 = the package default); past the cap probes
+// fall back to hashing with identical results.
+func WithLiveEdgeMemBudget(bytes int64) Option {
+	return func(c *config) error {
+		if bytes < 0 {
+			return fmt.Errorf("live-edge memory budget must be non-negative, got %d", bytes)
+		}
+		c.memBudget = bytes
+		return nil
+	}
+}
+
+// WithProgress streams solver progress events to fn: one event per ID
+// investment, GPI traversal, SCM path examination and baseline greedy step,
+// carrying the phase, iteration, spent budget and current redemption rate
+// (see Event). fn is called synchronously from the solver's inner loops —
+// possibly from several goroutines when calls run concurrently — so it must
+// be cheap, non-blocking and safe for concurrent use.
+func WithProgress(fn func(Event)) Option {
+	return func(c *config) error {
+		c.progress = fn
+		return nil
+	}
+}
+
+// Options tunes the deprecated one-shot Solve, RunBaseline and
+// Problem.Evaluate entry points.
+//
+// Deprecated: build a Campaign with Problem.NewCampaign and functional
+// options instead; a Campaign amortizes engine construction across calls,
+// supports cancellation, progress streaming and batch evaluation. Options
+// remains as a thin bridge: each one-shot call builds a throwaway Campaign.
+type Options struct {
+	// Engine selects the evaluation engine (see WithEngine).
+	Engine string
+	// Diffusion selects the edge-liveness substrate (see WithDiffusion).
+	Diffusion string
+	// ExhaustiveID disables the CELF lazy-greedy ID loop (see
+	// WithExhaustiveID).
+	ExhaustiveID bool
+	// Samples is the Monte-Carlo sample count per benefit evaluation
+	// (default 1000, the paper's setting).
+	Samples int
+	// Seed makes runs reproducible.
+	Seed uint64
+	// Workers parallelizes Monte-Carlo evaluation (0 = sequential).
+	Workers int
+	// LimitedK overrides the limited coupon strategy quota for baselines
+	// (default 32, Dropbox's).
+	LimitedK int
+	// CandidateCap restricts baseline greedy candidates to the top-N users
+	// by degree (0 = all users).
+	CandidateCap int
+}
+
+// asOptions converts the legacy struct to functional options.
+func (o Options) asOptions() []Option {
+	opts := []Option{WithSeed(o.Seed)}
+	if o.Engine != "" {
+		opts = append(opts, WithEngine(o.Engine))
+	}
+	if o.Diffusion != "" {
+		opts = append(opts, WithDiffusion(o.Diffusion))
+	}
+	if o.Samples > 0 {
+		opts = append(opts, WithSamples(o.Samples))
+	}
+	if o.Workers > 0 {
+		opts = append(opts, WithWorkers(o.Workers))
+	}
+	if o.LimitedK > 0 {
+		opts = append(opts, WithLimitedK(o.LimitedK))
+	}
+	if o.CandidateCap > 0 {
+		opts = append(opts, WithCandidateCap(o.CandidateCap))
+	}
+	if o.ExhaustiveID {
+		opts = append(opts, WithExhaustiveID(true))
+	}
+	return opts
+}

@@ -10,37 +10,50 @@
 // expected benefit of activated users per unit of invested budget — subject
 // to an investment budget.
 //
-// The package exposes:
+// # Problems and campaigns
 //
-//   - ProblemBuilder / Problem — define an instance (graph, costs, budget);
-//   - GenerateDataset — synthetic instances mirroring the paper's Table II
-//     dataset profiles (Facebook, Epinions, Google+, Douban);
-//   - Solve — the paper's S3CA approximation algorithm;
-//   - RunBaseline — the IM-U/IM-L/PM-U/PM-L/IM-S comparison algorithms;
-//   - Problem.Evaluate — Monte-Carlo evaluation of any hand-built
-//     deployment.
+// ProblemBuilder / Problem define an instance (graph, costs, budget);
+// GenerateDataset builds synthetic instances mirroring the paper's Table II
+// dataset profiles (Facebook, Epinions, Google+, Douban).
 //
-// Solve, RunBaseline and Problem.Evaluate all accept an evaluation engine
-// through Options.Engine: "mc" (plain Monte Carlo, the default),
-// "worldcache" (incremental world-cache evaluation — the solver's greedy
-// loops replay only the simulation state a candidate change can affect,
-// typically several times faster at the paper's 1000-sample setting), or
-// "sketch" (reverse-influence-sampling candidate pruning for the
-// baselines). All engines agree on reported metrics within Monte-Carlo
-// noise; see DESIGN.md ("Evaluation engines") for the architecture and
-// fidelity discussion.
+// The serving surface is the Campaign session: Problem.NewCampaign
+// constructs the evaluation engine, the diffusion substrate and the scratch
+// pools once, and then serves any number of concurrent calls against the
+// shared state —
 //
-// See the examples directory for runnable walkthroughs and EXPERIMENTS.md
-// for the paper-reproduction results.
+//	c, err := problem.NewCampaign(s3crm.WithEngine("worldcache"),
+//	        s3crm.WithSamples(1000), s3crm.WithSeed(42))
+//	r, err := c.Solve(ctx)                  // the paper's S3CA algorithm
+//	r, err = c.RunBaseline(ctx, "IM-U")     // IM-U/IM-L/PM-U/PM-L/IM-S
+//	r, err = c.Evaluate(ctx, dep)           // one hand-built deployment
+//	rs, err := c.EvaluateBatch(ctx, deps)   // many, on shared samples
+//
+// Campaign calls accept call-level options (per-request engine selection,
+// seeds, progress sinks), honour context cancellation mid-iteration, and
+// stream per-iteration progress events through WithProgress. The one-shot
+// package-level Solve, RunBaseline and Problem.Evaluate remain as
+// deprecated thin wrappers, each building a throwaway Campaign.
+//
+// # Engines
+//
+// Every call evaluates deployments through an engine selected with
+// WithEngine: "mc" (plain Monte Carlo, the default), "worldcache"
+// (incremental world-cache evaluation — the solver's greedy loops replay
+// only the simulation state a candidate change can affect, typically
+// several times faster at the paper's 1000-sample setting), or "sketch"
+// (reverse-influence-sampling candidate pruning for the baselines). All
+// engines agree on reported metrics within Monte-Carlo noise; see DESIGN.md
+// ("Evaluation engines" and "Serving API") for the architecture.
+//
+// See the examples directory for runnable walkthroughs, cmd/s3crmd for the
+// HTTP serving layer and EXPERIMENTS.md for the paper-reproduction results.
 package s3crm
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"sort"
 
-	"s3crm/internal/baselines"
-	"s3crm/internal/core"
 	"s3crm/internal/costmodel"
 	"s3crm/internal/diffusion"
 	"s3crm/internal/eval"
@@ -76,13 +89,28 @@ func NewProblem(n int) *ProblemBuilder {
 	return b
 }
 
+// checkUser validates a user id against the network size — the single
+// range check shared by the builder and deployment validation. The message
+// carries no package prefix; call sites wrap it with their own context and
+// a single "s3crm: " prefix.
+func checkUser(id, n int) error {
+	if id < 0 || id >= n {
+		return fmt.Errorf("user %d out of range [0,%d)", id, n)
+	}
+	return nil
+}
+
 // AddEdge records a directed influence edge with probability p.
 func (b *ProblemBuilder) AddEdge(from, to int, p float64) *ProblemBuilder {
 	if b.err != nil {
 		return b
 	}
-	if from < 0 || from >= b.n || to < 0 || to >= b.n {
-		b.err = fmt.Errorf("s3crm: edge (%d,%d) out of range [0,%d)", from, to, b.n)
+	if err := checkUser(from, b.n); err != nil {
+		b.err = fmt.Errorf("s3crm: edge (%d,%d): %w", from, to, err)
+		return b
+	}
+	if err := checkUser(to, b.n); err != nil {
+		b.err = fmt.Errorf("s3crm: edge (%d,%d): %w", from, to, err)
 		return b
 	}
 	b.edges = append(b.edges, graph.Edge{From: int32(from), To: int32(to), P: p})
@@ -94,8 +122,8 @@ func (b *ProblemBuilder) SetUser(id int, benefit, seedCost, scCost float64) *Pro
 	if b.err != nil {
 		return b
 	}
-	if id < 0 || id >= b.n {
-		b.err = fmt.Errorf("s3crm: user %d out of range [0,%d)", id, b.n)
+	if err := checkUser(id, b.n); err != nil {
+		b.err = fmt.Errorf("s3crm: %w", err)
 		return b
 	}
 	b.benefit[id] = benefit
@@ -132,7 +160,8 @@ func (b *ProblemBuilder) Build() (*Problem, error) {
 	return &Problem{inst: inst}, nil
 }
 
-// Problem is an immutable S3CRM instance.
+// Problem is an immutable S3CRM instance. It is safe for concurrent use;
+// any number of Campaigns may serve it at once.
 type Problem struct {
 	inst *diffusion.Instance
 }
@@ -172,47 +201,7 @@ func DatasetNames() []string {
 	return names
 }
 
-// Options tunes Solve and RunBaseline.
-type Options struct {
-	// Engine selects the evaluation engine: "mc" (the default — plain
-	// Monte Carlo, the paper's setting), "worldcache" (incremental
-	// world-cache evaluation: the solver snapshots the per-world activation
-	// state of the current deployment and evaluates candidate deltas by
-	// replaying only the affected frontier, typically several times faster
-	// on the greedy ID loop), or "sketch" (Monte-Carlo evaluation with
-	// reverse-influence-sampling candidate pruning in the baselines —
-	// CandidateCap keeps the top users by estimated influence instead of
-	// raw degree). See Engines and DESIGN.md ("Evaluation engines").
-	Engine string
-	// Diffusion selects the edge-liveness substrate behind every engine:
-	// "liveedge" (the default — each possible world's coin flips are
-	// materialized once into a packed bitset that all edge probes read,
-	// falling back to hashing when the bitsets would exceed an internal
-	// memory budget) or "hash" (recompute the stateless hash per probe).
-	// The two substrates produce bit-identical results; see Diffusions.
-	Diffusion string
-	// ExhaustiveID disables S3CA's CELF lazy-greedy investment loop and
-	// re-evaluates every candidate each iteration. The lazy loop is
-	// typically several times faster and picks the same investments except
-	// on adversarially non-submodular instances; this is the escape hatch
-	// and reference implementation.
-	ExhaustiveID bool
-	// Samples is the Monte-Carlo sample count per benefit evaluation
-	// (default 1000, the paper's setting).
-	Samples int
-	// Seed makes runs reproducible.
-	Seed uint64
-	// Workers parallelizes Monte-Carlo evaluation (0 = sequential).
-	Workers int
-	// LimitedK overrides the limited coupon strategy quota for baselines
-	// (default 32, Dropbox's).
-	LimitedK int
-	// CandidateCap restricts baseline greedy candidates to the top-N users
-	// by degree (0 = all users).
-	CandidateCap int
-}
-
-// Result reports a solved deployment.
+// Result reports a solved or evaluated deployment.
 type Result struct {
 	Algorithm      string
 	Seeds          []int       // selected seed users, ascending
@@ -226,130 +215,36 @@ type Result struct {
 	ExploredRatio  float64 // fraction of the network examined (S3CA only)
 }
 
-// Solve runs S3CA, the paper's approximation algorithm, on the problem.
-func Solve(p *Problem, opts Options) (*Result, error) {
-	sol, err := core.Solve(p.inst, core.Options{
-		Engine:       opts.Engine,
-		Diffusion:    opts.Diffusion,
-		Samples:      opts.Samples,
-		Seed:         opts.Seed,
-		Workers:      opts.Workers,
-		ExhaustiveID: opts.ExhaustiveID,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("s3crm: %w", err)
-	}
-	r, err := resultFromDeployment("S3CA", p, sol.Deployment, opts)
-	if err != nil {
-		return nil, err
-	}
-	r.ExploredRatio = float64(sol.Stats.ExploredNodes) / float64(p.Users())
-	return r, nil
-}
-
 // Baselines lists the algorithm names accepted by RunBaseline.
 func Baselines() []string { return []string{"IM-U", "IM-L", "PM-U", "PM-L", "IM-S"} }
 
-// Engines lists the evaluation engines accepted by Options.Engine.
+// Engines lists the evaluation engines accepted by WithEngine.
 func Engines() []string { return diffusion.Engines() }
 
-// Diffusions lists the edge-liveness substrates accepted by
-// Options.Diffusion.
+// Diffusions lists the edge-liveness substrates accepted by WithDiffusion.
 func Diffusions() []string { return diffusion.Diffusions() }
 
-// RunBaseline runs one of the paper's comparison algorithms.
-func RunBaseline(name string, p *Problem, opts Options) (*Result, error) {
-	cfg := baselines.Config{
-		Engine:       opts.Engine,
-		Diffusion:    opts.Diffusion,
-		Samples:      opts.Samples,
-		Seed:         opts.Seed,
-		Workers:      opts.Workers,
-		CandidateCap: opts.CandidateCap,
-		LimitedK:     opts.LimitedK,
-	}
-	var (
-		o   *baselines.Outcome
-		err error
-	)
-	switch name {
-	case "IM-U":
-		o, err = baselines.IM(p.inst, cfg)
-	case "IM-L":
-		cfg.Strategy = baselines.Limited
-		o, err = baselines.IM(p.inst, cfg)
-	case "PM-U":
-		o, err = baselines.PM(p.inst, cfg)
-	case "PM-L":
-		cfg.Strategy = baselines.Limited
-		o, err = baselines.PM(p.inst, cfg)
-	case "IM-S":
-		o, err = baselines.IMS(p.inst, cfg)
-	default:
-		return nil, fmt.Errorf("s3crm: unknown baseline %q (want one of %v)", name, Baselines())
-	}
-	if err != nil {
-		return nil, fmt.Errorf("s3crm: %w", err)
-	}
-	return resultFromDeployment(name, p, o.Deployment, opts)
-}
-
-func resultFromDeployment(name string, p *Problem, d *diffusion.Deployment, opts Options) (*Result, error) {
-	samples := opts.Samples
-	if samples <= 0 {
-		samples = 1000
-	}
-	est, err := diffusion.NewEngineOpts(p.inst, diffusion.EngineOptions{
-		Engine: opts.Engine, Samples: samples, Seed: opts.Seed ^ 0xfeed,
-		Workers: opts.Workers, Diffusion: opts.Diffusion,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("s3crm: %w", err)
-	}
-	res := est.Evaluate(d)
-	seedCost := p.inst.SeedCostOf(d)
-	scCost := p.inst.SCCostOf(d)
-	out := &Result{
-		Algorithm:   name,
-		Coupons:     map[int]int{},
-		Benefit:     res.Benefit,
-		SeedCost:    seedCost,
-		CouponCost:  scCost,
-		TotalCost:   seedCost + scCost,
-		FarthestHop: res.FarthestHop,
-	}
-	if out.TotalCost > 0 {
-		out.RedemptionRate = out.Benefit / out.TotalCost
-	}
-	for _, s := range d.Seeds() {
-		out.Seeds = append(out.Seeds, int(s))
-	}
-	sort.Ints(out.Seeds)
-	for _, v := range d.Allocated() {
-		out.Coupons[int(v)] = d.K(v)
-	}
-	return out, nil
-}
-
-// Deployment is a hand-built campaign for Problem.Evaluate.
+// Deployment is a hand-built campaign plan for Evaluate: the seed set and
+// the coupon allocation.
 type Deployment struct {
 	Seeds   []int
 	Coupons map[int]int
 }
 
-// Evaluate measures an arbitrary deployment: the expected benefit, the
-// closed-form coupon cost, the redemption rate and hop statistics.
-func (p *Problem) Evaluate(dep Deployment, opts Options) (*Result, error) {
-	d := diffusion.NewDeployment(p.Users())
+// buildDeployment validates a public deployment against the problem and
+// converts it to the internal representation.
+func (p *Problem) buildDeployment(dep Deployment) (*diffusion.Deployment, error) {
+	n := p.Users()
+	d := diffusion.NewDeployment(n)
 	for _, s := range dep.Seeds {
-		if s < 0 || s >= p.Users() {
-			return nil, fmt.Errorf("s3crm: seed %d out of range", s)
+		if err := checkUser(s, n); err != nil {
+			return nil, fmt.Errorf("s3crm: seed: %w", err)
 		}
 		d.AddSeed(int32(s))
 	}
 	for v, k := range dep.Coupons {
-		if v < 0 || v >= p.Users() {
-			return nil, fmt.Errorf("s3crm: coupon user %d out of range", v)
+		if err := checkUser(v, n); err != nil {
+			return nil, fmt.Errorf("s3crm: coupon: %w", err)
 		}
 		if k < 0 {
 			return nil, fmt.Errorf("s3crm: negative coupon count for user %d", v)
@@ -359,7 +254,47 @@ func (p *Problem) Evaluate(dep Deployment, opts Options) (*Result, error) {
 		}
 		d.SetK(int32(v), k)
 	}
-	return resultFromDeployment("custom", p, d, opts)
+	return d, nil
+}
+
+// Solve runs S3CA, the paper's approximation algorithm, on the problem.
+//
+// Deprecated: build a Campaign with Problem.NewCampaign and call
+// Campaign.Solve — it amortizes engine construction across calls and
+// supports cancellation, progress streaming and batch evaluation. This
+// wrapper builds a throwaway Campaign per call.
+func Solve(p *Problem, opts Options) (*Result, error) {
+	c, err := p.NewCampaign(opts.asOptions()...)
+	if err != nil {
+		return nil, err
+	}
+	return c.Solve(context.Background(), WithSeed(opts.Seed))
+}
+
+// RunBaseline runs one of the paper's comparison algorithms.
+//
+// Deprecated: build a Campaign with Problem.NewCampaign and call
+// Campaign.RunBaseline (see the Solve deprecation note).
+func RunBaseline(name string, p *Problem, opts Options) (*Result, error) {
+	c, err := p.NewCampaign(opts.asOptions()...)
+	if err != nil {
+		return nil, err
+	}
+	return c.RunBaseline(context.Background(), name, WithSeed(opts.Seed))
+}
+
+// Evaluate measures an arbitrary deployment: the expected benefit, the
+// closed-form coupon cost, the redemption rate and hop statistics.
+//
+// Deprecated: build a Campaign with Problem.NewCampaign and call
+// Campaign.Evaluate or Campaign.EvaluateBatch (see the Solve deprecation
+// note).
+func (p *Problem) Evaluate(dep Deployment, opts Options) (*Result, error) {
+	c, err := p.NewCampaign(opts.asOptions()...)
+	if err != nil {
+		return nil, err
+	}
+	return c.Evaluate(context.Background(), dep, WithSeed(opts.Seed))
 }
 
 // AdoptionCaseStudy re-weights the problem's network with the coupon
