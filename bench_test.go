@@ -7,6 +7,7 @@ package s3crm
 
 import (
 	"context"
+	"runtime"
 	"testing"
 
 	"s3crm/internal/core"
@@ -381,6 +382,48 @@ func BenchmarkCampaignReuse(b *testing.B) {
 		}
 		b.ReportMetric(rate, "redemption")
 	})
+}
+
+// --- Million-node bench profile (the graph-substrate acceptance run) ---
+
+// BenchmarkMillionNodeSolve runs the full S3CA pipeline on a million-node
+// Watts–Strogatz small world (10M directed edges, 1/in-degree weights) —
+// the large-scale profile EXPERIMENTS.md ("Large-graph scaling") documents.
+// The GPI visit cap bounds the guaranteed-path enumeration (the one phase
+// whose faithful form is quadratic in the budget-feasible frontier); the
+// world-cache engine's dense tier is over budget at this size, so delta
+// queries run on the CSR inverted index. Reported metrics: the redemption
+// rate and the end-of-solve heap (the documented memory budget is 2 GiB).
+func BenchmarkMillionNodeSolve(b *testing.B) {
+	g, err := gen.WattsStrogatz(1_000_000, 10, 0.1, rng.New(77))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := costmodel.Assign(g, costmodel.Params{Mu: 10, Sigma: 2}, rng.New(77))
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst := &diffusion.Instance{
+		G: g, Benefit: m.Benefit, SeedCost: m.SeedCost, SCCost: m.SCCost,
+		Budget: 3000,
+	}
+	var rate float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := core.Solve(inst, core.Options{
+			Engine: diffusion.EngineWorldCache, Samples: 100, Seed: 77,
+			GPILimit: 2000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = sol.RedemptionRate
+	}
+	b.StopTimer()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b.ReportMetric(rate, "redemption")
+	b.ReportMetric(float64(ms.HeapInuse)/(1<<20), "heapMiB")
 }
 
 // --- Micro-benchmarks of the substrate hot paths ---

@@ -298,6 +298,7 @@ func (c *Campaign) Solve(ctx context.Context, opts ...Option) (*Result, error) {
 		Seed:              cl.seed,
 		ScorerSeed:        cl.scorerSeed,
 		Workers:           cl.cfg.workers,
+		GPILimit:          cl.cfg.gpiLimit,
 		ExhaustiveID:      cl.cfg.exhaustiveID,
 		Evaluator:         ev,
 		Scorer:            scorer,

@@ -1,5 +1,6 @@
 // Command gengraph generates synthetic social networks and writes them as
-// SNAP-style edge lists (or the compact binary codec with -binary).
+// SNAP-style edge lists (gzip when -out ends in .gz, or the compact binary
+// codec with -binary).
 //
 // Dataset profiles mirror the paper's Table II:
 //
@@ -8,12 +9,21 @@
 // Raw generator access (the PPGG substitute):
 //
 //	gengraph -nodes 10000 -edges 100000 -eta 1.7 -clustering 0.6394 -out g.txt
+//
+// Watts–Strogatz small worlds — the large-scale bench profile; -probs=false
+// drops the probability column so the output matches a raw SNAP download
+// and exercises the ingestion probability models:
+//
+//	gengraph -smallworld -nodes 1000000 -k 10 -beta 0.1 -probs=false -out sw1m.txt.gz
 package main
 
 import (
+	"compress/gzip"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"s3crm/internal/gen"
 	"s3crm/internal/gio"
@@ -25,20 +35,25 @@ func main() {
 	var (
 		dataset    = flag.String("dataset", "", "dataset profile (Facebook, Epinions, Google+, Douban)")
 		scale      = flag.Int("scale", 1, "down-scale divisor for -dataset")
-		nodes      = flag.Int("nodes", 0, "node count for the raw generator")
-		edges      = flag.Int("edges", 0, "edge target for the raw generator")
+		smallworld = flag.Bool("smallworld", false, "generate a Watts–Strogatz small world (-nodes, -k, -beta)")
+		nodes      = flag.Int("nodes", 0, "node count for the raw generators")
+		edges      = flag.Int("edges", 0, "edge target for the pattern-preserving generator")
+		kNear      = flag.Int("k", 10, "small world: nearest neighbours per node (even)")
+		beta       = flag.Float64("beta", 0.1, "small world: rewiring probability")
 		eta        = flag.Float64("eta", 2.5, "power-law exponent")
 		clustering = flag.Float64("clustering", 0.6394, "clustering coefficient target")
 		motifs     = flag.Int("motifs", 0, "motif stamping support (0 = nodes/40)")
 		mutual     = flag.Bool("mutual", true, "add reciprocal friendship edges")
 		seed       = flag.Uint64("seed", 1, "random seed")
-		out        = flag.String("out", "", "output file (default stdout)")
+		out        = flag.String("out", "", "output file; .gz compresses (default stdout)")
 		binary     = flag.Bool("binary", false, "write the compact binary codec instead of text")
+		probs      = flag.Bool("probs", true, "include the probability column in text output")
 		stats      = flag.Bool("stats", false, "print degree/clustering statistics to stderr")
 	)
 	flag.Parse()
 
-	g, err := generate(*dataset, *scale, *nodes, *edges, *eta, *clustering, *motifs, *mutual, *seed)
+	g, err := generate(*dataset, *scale, *smallworld, *nodes, *edges, *kNear, *beta,
+		*eta, *clustering, *motifs, *mutual, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gengraph:", err)
 		os.Exit(1)
@@ -51,29 +66,52 @@ func main() {
 			s.Nodes, s.Edges, s.MeanOut, s.MaxOut, s.PowerLawExponent, cc)
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "gengraph:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
-	}
-	if *binary {
-		err = gio.WriteBinary(w, g)
-	} else {
-		err = gio.WriteEdgeList(w, g)
-	}
-	if err != nil {
+	if err := emit(g, *out, *binary, *probs); err != nil {
 		fmt.Fprintln(os.Stderr, "gengraph:", err)
 		os.Exit(1)
 	}
 }
 
-func generate(dataset string, scale, nodes, edges int, eta, clustering float64,
-	motifs int, mutual bool, seed uint64) (*graph.Graph, error) {
+// emit writes the graph to path (stdout when empty), gzip-compressing when
+// the name ends in .gz. Close errors are reported: gzip buffers its final
+// block and trailer until Close, and the file's own Close is where a full
+// disk surfaces — swallowing either would exit 0 on a truncated artifact.
+func emit(g *graph.Graph, path string, binary, probs bool) error {
+	var w io.Writer = os.Stdout
+	var closers []io.Closer
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		closers = append(closers, f)
+		w = f
+		if strings.HasSuffix(path, ".gz") {
+			gz := gzip.NewWriter(f)
+			closers = append(closers, gz)
+			w = gz
+		}
+	}
+	var err error
+	switch {
+	case binary:
+		err = gio.WriteBinary(w, g)
+	case !probs:
+		err = gio.WriteEdgeListPlain(w, g)
+	default:
+		err = gio.WriteEdgeList(w, g)
+	}
+	// Close innermost first (the gzip trailer must land before the file).
+	for i := len(closers) - 1; i >= 0; i-- {
+		if cerr := closers[i].Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+func generate(dataset string, scale int, smallworld bool, nodes, edges, k int, beta float64,
+	eta, clustering float64, motifs int, mutual bool, seed uint64) (*graph.Graph, error) {
 
 	src := rng.New(seed)
 	if dataset != "" {
@@ -83,8 +121,14 @@ func generate(dataset string, scale, nodes, edges int, eta, clustering float64,
 		}
 		return p.Scaled(scale).Generate(src)
 	}
+	if smallworld {
+		if nodes <= 0 {
+			return nil, fmt.Errorf("-smallworld needs -nodes")
+		}
+		return gen.WattsStrogatz(nodes, k, beta, src)
+	}
 	if nodes <= 0 || edges <= 0 {
-		return nil, fmt.Errorf("need -dataset or both -nodes and -edges")
+		return nil, fmt.Errorf("need -dataset, -smallworld or both -nodes and -edges")
 	}
 	if motifs == 0 {
 		motifs = nodes / 40

@@ -5,10 +5,15 @@
 //
 //	s3crm -dataset Facebook -scale 20 -algo S3CA
 //
-// or a SNAP-style edge list (with optional probability column; absent
-// probabilities default to 1/in-degree) plus cost parameters:
+// or a SNAP-style edge list — plain or gzip, self-loops and duplicate arcs
+// handled, node ids re-mapped — plus cost parameters:
 //
-//	s3crm -graph edges.txt -mu 10 -sigma 2 -budget 5000 -algo IM-U
+//	s3crm -graph soc-Epinions1.txt.gz -budget 5000 -algo IM-U
+//	s3crm -graph edges.txt -probmodel trivalency -budget 5000
+//
+// Influence probabilities follow -probmodel: the file's own column when it
+// has one, else the paper's weighted cascade (1/in-degree); "uniform" and
+// "trivalency" are available explicitly.
 //
 // Supported algorithms: S3CA (default), IM-U, IM-L, PM-U, PM-L, IM-S.
 // With -progress the solver renders a live per-iteration progress line on
@@ -27,17 +32,15 @@ import (
 	"time"
 
 	"s3crm"
-	"s3crm/internal/costmodel"
-	"s3crm/internal/diffusion"
-	"s3crm/internal/gio"
-	"s3crm/internal/rng"
 )
 
 func main() {
 	var (
 		dataset  = flag.String("dataset", "", "dataset profile to generate (Facebook, Epinions, Google+, Douban)")
 		scale    = flag.Int("scale", 1, "down-scale divisor for the dataset profile")
-		graphF   = flag.String("graph", "", "SNAP-style edge list file (alternative to -dataset)")
+		graphF   = flag.String("graph", "", "SNAP-style edge list file, plain or gzip (alternative to -dataset)")
+		probmod  = flag.String("probmodel", "", "influence probabilities for -graph: file, uniform, wc, trivalency (default: file column if present, else wc)")
+		uniformP = flag.Float64("p", 0.1, "edge probability for -probmodel uniform")
 		scenario = flag.String("scenario", "", "saved scenario JSON (alternative to -dataset/-graph)")
 		saveF    = flag.String("save", "", "write the solved instance as scenario JSON")
 		mu       = flag.Float64("mu", 10, "benefit mean for -graph instances")
@@ -49,6 +52,7 @@ func main() {
 		engine   = flag.String("engine", "mc", "evaluation engine: mc, worldcache, sketch")
 		diff     = flag.String("diffusion", "liveedge", "edge-liveness substrate: liveedge (materialized worlds), hash")
 		lazy     = flag.Bool("lazy", true, "CELF lazy-greedy ID loop (false = exhaustive sweep)")
+		gpilimit = flag.Int("gpilimit", 0, "cap guaranteed-path DFS visits per seed (0 = unlimited; set ~2000 for million-node graphs)")
 		samples  = flag.Int("samples", 1000, "Monte-Carlo samples per evaluation")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		workers  = flag.Int("workers", 0, "parallel Monte-Carlo workers (0 = sequential)")
@@ -59,7 +63,7 @@ func main() {
 	)
 	flag.Parse()
 
-	problem, err := buildProblem(*dataset, *scale, *graphF, *scenario, *mu, *sigma, *lambda, *kappa, *budget, *seed)
+	problem, err := buildProblem(*dataset, *scale, *graphF, *scenario, *probmod, *uniformP, *mu, *sigma, *lambda, *kappa, *budget, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "s3crm:", err)
 		os.Exit(1)
@@ -77,6 +81,7 @@ func main() {
 		s3crm.WithEngine(*engine),
 		s3crm.WithDiffusion(*diff),
 		s3crm.WithExhaustiveID(!*lazy),
+		s3crm.WithGPILimit(*gpilimit),
 		s3crm.WithSamples(*samples),
 		s3crm.WithSeed(*seed),
 		s3crm.WithWorkers(*workers),
@@ -169,8 +174,8 @@ func saveScenario(path string, p *s3crm.Problem) error {
 	return p.SaveScenario(f)
 }
 
-func buildProblem(dataset string, scale int, graphFile, scenarioFile string,
-	mu, sigma, lambda, kappa, budget float64, seed uint64) (*s3crm.Problem, error) {
+func buildProblem(dataset string, scale int, graphFile, scenarioFile, probModel string,
+	uniformP, mu, sigma, lambda, kappa, budget float64, seed uint64) (*s3crm.Problem, error) {
 
 	if scenarioFile != "" {
 		f, err := os.Open(scenarioFile)
@@ -186,47 +191,18 @@ func buildProblem(dataset string, scale int, graphFile, scenarioFile string,
 	if graphFile == "" {
 		return nil, fmt.Errorf("need -dataset, -graph or -scenario")
 	}
-	f, err := os.Open(graphFile)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	g, err := gio.ReadEdgeList(f)
-	if err != nil {
-		return nil, err
-	}
-	// Missing probability column: every probability is 0 — re-weight with
-	// the paper's standard 1/in-degree.
-	allZero := true
-	for _, e := range g.Edges() {
-		if e.P != 0 {
-			allZero = false
-			break
-		}
-	}
-	if allZero {
-		g = g.WeightByInDegree()
-	}
-	m, err := costmodel.Assign(g, costmodel.Params{Mu: mu, Sigma: sigma, Lambda: lambda, Kappa: kappa}, rng.New(seed))
-	if err != nil {
-		return nil, err
-	}
 	if budget <= 0 {
 		return nil, fmt.Errorf("-graph instances need an explicit -budget")
 	}
-	inst := &diffusion.Instance{G: g, Benefit: m.Benefit, SeedCost: m.SeedCost, SCCost: m.SCCost, Budget: budget}
-	return problemFromInstance(inst)
-}
-
-// problemFromInstance adapts a raw instance into the public Problem type
-// via the builder (keeping the public API the only construction path).
-func problemFromInstance(inst *diffusion.Instance) (*s3crm.Problem, error) {
-	b := s3crm.NewProblem(inst.G.NumNodes()).Budget(inst.Budget)
-	for _, e := range inst.G.Edges() {
-		b.AddEdge(int(e.From), int(e.To), e.P)
+	problem, stats, err := s3crm.LoadGraphProblem(graphFile, s3crm.GraphConfig{
+		Model: probModel, UniformP: uniformP,
+		Mu: mu, Sigma: sigma, Lambda: lambda, Kappa: kappa,
+		Budget: budget, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
 	}
-	for v := 0; v < inst.G.NumNodes(); v++ {
-		b.SetUser(v, inst.Benefit[v], inst.SeedCost[v], inst.SCCost[v])
-	}
-	return b.Build()
+	fmt.Printf("loaded %s: %d users, %d edges (probmodel %s; dropped %d self-loops, %d duplicates)\n",
+		graphFile, stats.Nodes, stats.Edges, stats.Model, stats.SelfLoops, stats.Duplicates)
+	return problem, nil
 }

@@ -5,6 +5,7 @@
 // the whole process lifetime.
 //
 //	s3crmd -addr :8080 -dataset Epinions -scale 400
+//	s3crmd -addr :8080 -graph soc-Epinions1.txt.gz -budget 5000
 //
 // Endpoints (all request fields optional unless noted):
 //
@@ -48,6 +49,9 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		dataset  = flag.String("dataset", "", "dataset profile to generate (Facebook, Epinions, Google+, Douban)")
 		scale    = flag.Int("scale", 1, "down-scale divisor for the dataset profile")
+		graphF   = flag.String("graph", "", "SNAP-style edge list file, plain or gzip (alternative to -dataset)")
+		probmod  = flag.String("probmodel", "", "influence probabilities for -graph: file, uniform, wc, trivalency (default: file column if present, else wc)")
+		budget   = flag.Float64("budget", 0, "investment budget for -graph instances")
 		scenario = flag.String("scenario", "", "saved scenario JSON (alternative to -dataset)")
 		engine   = flag.String("engine", "mc", "default evaluation engine: mc, worldcache, sketch")
 		diff     = flag.String("diffusion", "liveedge", "default edge-liveness substrate: liveedge, hash")
@@ -58,7 +62,7 @@ func main() {
 	)
 	flag.Parse()
 
-	problem, err := loadProblem(*dataset, *scale, *scenario, *seed)
+	problem, err := loadProblem(*dataset, *scale, *graphF, *probmod, *budget, *scenario, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "s3crmd:", err)
 		os.Exit(1)
@@ -90,7 +94,7 @@ func main() {
 	log.Fatal(http.ListenAndServe(*addr, mux))
 }
 
-func loadProblem(dataset string, scale int, scenario string, seed uint64) (*s3crm.Problem, error) {
+func loadProblem(dataset string, scale int, graphFile, probModel string, budget float64, scenario string, seed uint64) (*s3crm.Problem, error) {
 	switch {
 	case scenario != "":
 		f, err := os.Open(scenario)
@@ -99,10 +103,23 @@ func loadProblem(dataset string, scale int, scenario string, seed uint64) (*s3cr
 		}
 		defer f.Close()
 		return s3crm.LoadScenario(f)
+	case graphFile != "":
+		if budget <= 0 {
+			return nil, fmt.Errorf("-graph instances need an explicit -budget")
+		}
+		problem, stats, err := s3crm.LoadGraphProblem(graphFile, s3crm.GraphConfig{
+			Model: probModel, Budget: budget, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("s3crmd: loaded %s: %d users, %d edges (probmodel %s; dropped %d self-loops, %d duplicates)",
+			graphFile, stats.Nodes, stats.Edges, stats.Model, stats.SelfLoops, stats.Duplicates)
+		return problem, nil
 	case dataset != "":
 		return s3crm.GenerateDataset(dataset, scale, seed)
 	default:
-		return nil, fmt.Errorf("need -dataset or -scenario")
+		return nil, fmt.Errorf("need -dataset, -graph or -scenario")
 	}
 }
 
@@ -129,6 +146,7 @@ type callParams struct {
 	Workers      int     `json:"workers"`
 	CandidateCap int     `json:"candidate_cap"`
 	LimitedK     int     `json:"limited_k"`
+	GPILimit     int     `json:"gpi_limit"`
 	ExhaustiveID bool    `json:"exhaustive_id"`
 	TimeoutMS    int     `json:"timeout_ms"`
 }
@@ -155,6 +173,9 @@ func (p callParams) options() []s3crm.Option {
 	}
 	if p.LimitedK > 0 {
 		opts = append(opts, s3crm.WithLimitedK(p.LimitedK))
+	}
+	if p.GPILimit > 0 {
+		opts = append(opts, s3crm.WithGPILimit(p.GPILimit))
 	}
 	if p.ExhaustiveID {
 		opts = append(opts, s3crm.WithExhaustiveID(true))

@@ -1,29 +1,3 @@
-// Package core implements S3CA — the Seed Selection and Social Coupon
-// allocation Algorithm (Section IV of the paper) — for the S3CRM problem:
-// choose a seed set S, internal nodes I and coupon allocation K(I)
-// maximizing the redemption rate B(S,K)/(Cseed(S)+Csc(K)) under the budget
-// Cseed(S)+Csc(K) <= Binv.
-//
-// S3CA runs three phases:
-//
-//  1. Investment Deployment (ID) — build the pivot-source queue from every
-//     user's standalone marginal redemption, then iteratively invest either
-//     one SC in the user with the best marginal redemption (broadening or
-//     deepening the spread) or a new seed (the pivot source), keeping the
-//     intermediate deployment with the best redemption rate.
-//  2. Guaranteed Path Identification (GPI) — per seed, a depth-first
-//     traversal in descending influence-probability order that enumerates
-//     budget-feasible "guaranteed paths": allocations in which every visited
-//     edge is independent, so inactive high-benefit users could be reached
-//     at full probability.
-//  3. SC Maneuver (SCM) — rank guaranteed paths by amelioration index,
-//     retrieve coupons from low-deterioration-index donors and move them
-//     onto the paths whenever the maneuver gap test passes and the overall
-//     redemption rate improves.
-//
-// Where the paper's pseudocode is ambiguous the implementation follows the
-// prose and worked examples; every such decision is recorded in DESIGN.md
-// ("Fidelity notes").
 package core
 
 import (
@@ -89,6 +63,13 @@ type Options struct {
 	MaxIterations int
 	// DisableGPI skips phases 2 and 3 (ablation: ID only).
 	DisableGPI bool
+	// GPILimit caps the guaranteed-path DFS at this many visits per seed
+	// (0 = unlimited, the paper-faithful enumeration). The per-visit path
+	// sweeps are linear in the visited set, so an uncapped traversal grows
+	// quadratically with the budget-feasible frontier; million-node solves
+	// set a cap (see EXPERIMENTS.md, "Large-graph scaling") and keep the
+	// strongest — first-enumerated — paths.
+	GPILimit int
 	// DisableSCM runs GPI but skips the maneuver phase (ablation).
 	DisableSCM bool
 	// DisablePivot makes ID invest SCs greedily without comparing against

@@ -62,7 +62,15 @@ type dfsState struct {
 
 	act   []float64 // gpBenefit scratch: activation probability down the tree
 	inSet []bool    // gpBenefit scratch: membership of the current path set
-	rp    []float64 // redeem-probability scratch
+
+	// Per-node caches keyed to the node's current K̂ = maxPos+1, refreshed
+	// by updateGPNode exactly where the DFS tree changes shape (a child
+	// gained or a prune reverted). The path sweeps then read array slots
+	// instead of recomputing redeem-probability prefixes per query — the
+	// values and every summation order are unchanged, so the enumeration
+	// stays bit-identical to the uncached implementation.
+	cCost   []float64   // NodeSCCost(v, K̂(v)); 0 for childless nodes
+	rpCache [][]float64 // redeem probabilities of v's adjacency under K̂(v)
 }
 
 // gpiState returns the solver's reusable DFS state, creating it on first
@@ -77,6 +85,8 @@ func (s *solver) gpiState() *dfsState {
 			maxPos:   make([]int32, n),
 			act:      make([]float64, n),
 			inSet:    make([]bool, n),
+			cCost:    make([]float64, n),
+			rpCache:  make([][]float64, n),
 		}
 		for i := range st.level {
 			st.level[i] = -1
@@ -93,6 +103,7 @@ func (st *dfsState) reset(seed int32) {
 		st.level[v] = -1
 		st.children[v] = st.children[v][:0]
 		st.maxPos[v] = 0
+		st.cCost[v] = 0
 	}
 	st.order = st.order[:0]
 	st.seed = seed
@@ -145,10 +156,21 @@ func (s *solver) dfsFromSeed(seed int32, forest *gpForest) {
 	s.touch(seed)
 	forest.record(s, st, seed)
 
-	var walk func(v int32)
-	walk = func(v int32) {
+	// The visit cap (Options.GPILimit) bounds the enumeration per seed: the
+	// DFS explores descending-probability-first, so the cap keeps exactly
+	// the strongest paths — the ones SCM's amelioration ranking would pick
+	// anyway — and drops the long low-probability tail whose per-visit
+	// sweeps grow quadratically with the visited set.
+	visits := 1
+	limit := s.opts.GPILimit
+
+	var walk func(v int32) bool
+	walk = func(v int32) bool {
 		targets, _ := in.G.OutEdges(v)
 		for pos, t := range targets {
+			if limit > 0 && visits >= limit {
+				return false // visit cap reached: unwind the whole traversal
+			}
 			if st.level[t] >= 0 {
 				continue // cross edge; the node keeps its first visit
 			}
@@ -159,6 +181,7 @@ func (s *solver) dfsFromSeed(seed int32, forest *gpForest) {
 			if int32(pos) > st.maxPos[v] || len(st.children[v]) == 1 {
 				st.maxPos[v] = int32(pos)
 			}
+			s.updateGPNode(st, v)
 			st.order = append(st.order, t)
 			cost := s.gpCost(st, t)
 			if cost > budget {
@@ -167,15 +190,38 @@ func (s *solver) dfsFromSeed(seed int32, forest *gpForest) {
 				st.order = st.order[:len(st.order)-1]
 				st.children[v] = st.children[v][:len(st.children[v])-1]
 				recomputeMaxPos(in, st, v)
+				s.updateGPNode(st, v)
 				st.level[t] = -1
-				return
+				return true
 			}
 			s.touch(t)
+			visits++
 			forest.record(s, st, t)
-			walk(t)
+			if !walk(t) {
+				return false
+			}
 		}
+		return true
 	}
 	walk(seed)
+}
+
+// updateGPNode refreshes v's cached guaranteed-allocation cost and redeem
+// probabilities after its DFS children changed. K̂(v) is maxPos+1 (fidelity
+// note 3); childless nodes carry no coupons and cost nothing.
+func (s *solver) updateGPNode(st *dfsState, v int32) {
+	if len(st.children[v]) == 0 {
+		st.cCost[v] = 0
+		return
+	}
+	k := int(st.maxPos[v] + 1)
+	st.cCost[v] = s.inst.NodeSCCost(v, k)
+	_, probs := s.inst.G.OutEdges(v)
+	if cap(st.rpCache[v]) < len(probs) {
+		st.rpCache[v] = make([]float64, len(probs))
+	}
+	st.rpCache[v] = st.rpCache[v][:len(probs)]
+	diffusion.RedeemProbsInto(st.rpCache[v], probs, k)
 }
 
 func recomputeMaxPos(in *diffusion.Instance, st *dfsState, v int32) {
@@ -216,13 +262,15 @@ func (f *gpForest) record(s *solver, st *dfsState, end int32) {
 }
 
 // gpCost computes the guaranteed cost of the path ending at end: the
-// closed-form expected SC cost of the K̂ allocation.
+// closed-form expected SC cost of the K̂ allocation. Per-node costs come
+// from the cCost cache (refreshed by updateGPNode wherever the tree
+// changes), summed in visit order exactly as the uncached sweep did.
 func (s *solver) gpCost(st *dfsState, end int32) float64 {
 	endLevel := st.level[end]
 	total := 0.0
 	for _, v := range st.order {
-		if k := st.khat(v, endLevel); k > 0 {
-			total += s.inst.NodeSCCost(v, int(k))
+		if st.level[v] < endLevel && st.cCost[v] != 0 {
+			total += st.cCost[v]
 		}
 	}
 	return total
@@ -257,12 +305,10 @@ func (s *solver) gpBenefit(st *dfsState, end int32) float64 {
 		if k == 0 {
 			continue
 		}
-		targets, probs := in.G.OutEdges(v)
-		if cap(st.rp) < len(probs) {
-			st.rp = make([]float64, len(probs))
-		}
-		rp := st.rp[:len(probs)]
-		diffusion.RedeemProbsInto(rp, probs, int(k))
+		targets, _ := in.G.OutEdges(v)
+		// k == maxPos+1 whenever khat is non-zero, which is exactly the
+		// allocation the rpCache row was built for.
+		rp := st.rpCache[v]
 		for j, t := range targets {
 			if st.inSet[t] && st.parent[t] == v {
 				st.act[t] = p * rp[j] // tree child: independent edge

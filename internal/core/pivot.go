@@ -1,7 +1,9 @@
 package core
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // pivotEntry is one pivot source: a user evaluated standalone, with the
@@ -25,32 +27,72 @@ type pivotEntry struct {
 // gets one coupon when the coupon's MR is positive and still affordable
 // (DESIGN.md fidelity note 5). A one-coupon single-seed spread has depth
 // one, so both quantities need no Monte Carlo.
+//
+// Users are independent here, so the scan shards across workers by
+// contiguous node ranges (each range yields entries in node order;
+// concatenating ranges reproduces the sequential scan exactly) — on a
+// million-node graph this is the one phase whose cost is O(|V| + |E|)
+// regardless of the budget.
 func (s *solver) buildPivotQueue() []pivotEntry {
 	in := s.inst
 	n := in.G.NumNodes()
-	entries := make([]pivotEntry, 0, 64)
-	for v := int32(0); v < int32(n); v++ {
-		seedCost := in.SeedCost[v]
-		if seedCost > in.Budget {
-			continue // never affordable as a seed
+	scan := func(lo, hi int32) []pivotEntry {
+		entries := make([]pivotEntry, 0, 64)
+		for v := lo; v < hi; v++ {
+			seedCost := in.SeedCost[v]
+			if seedCost > in.Budget {
+				continue // never affordable as a seed
+			}
+			seedMR := safeRatio(in.Benefit[v], seedCost)
+			if seedMR <= 0 {
+				continue
+			}
+			k := 0
+			couponCost := in.NodeSCCost(v, 1)
+			gain := in.StandaloneBenefit(v, 1) - in.Benefit[v]
+			if couponCost > 0 && seedCost+couponCost <= in.Budget && safeRatio(gain, couponCost) > 0 {
+				k = 1
+			}
+			totalCost := seedCost + in.NodeSCCost(v, k)
+			entries = append(entries, pivotEntry{
+				node: v,
+				k:    k,
+				rate: safeRatio(in.StandaloneBenefit(v, k), totalCost),
+			})
 		}
-		seedMR := safeRatio(in.Benefit[v], seedCost)
-		if seedMR <= 0 {
-			continue
+		return entries
+	}
+
+	// Options.Workers governs solver parallelism everywhere (0 means
+	// sequential — callers pinning CPU rely on that), so the scan fans out
+	// only when workers were requested, capped by the machine.
+	var entries []pivotEntry
+	workers := s.opts.Workers
+	if m := runtime.GOMAXPROCS(0); workers > m {
+		workers = m
+	}
+	if workers > 1 && n >= 1<<14 {
+		parts := make([][]pivotEntry, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo, hi := int32(n*w/workers), int32(n*(w+1)/workers)
+			wg.Add(1)
+			go func(w int, lo, hi int32) {
+				defer wg.Done()
+				parts[w] = scan(lo, hi)
+			}(w, lo, hi)
 		}
-		s.touch(v)
-		k := 0
-		couponCost := in.NodeSCCost(v, 1)
-		gain := in.StandaloneBenefit(v, 1) - in.Benefit[v]
-		if couponCost > 0 && seedCost+couponCost <= in.Budget && safeRatio(gain, couponCost) > 0 {
-			k = 1
+		wg.Wait()
+		for _, part := range parts {
+			entries = append(entries, part...)
 		}
-		totalCost := seedCost + in.NodeSCCost(v, k)
-		entries = append(entries, pivotEntry{
-			node: v,
-			k:    k,
-			rate: safeRatio(in.StandaloneBenefit(v, k), totalCost),
-		})
+	} else {
+		entries = scan(0, int32(n))
+	}
+	// Touch sequentially: the scan goroutines must not race on the solver's
+	// explored marks, and every enqueued user counts as examined.
+	for _, e := range entries {
+		s.touch(e.node)
 	}
 	// Priority queue ordered by standalone redemption rate, descending;
 	// ties broken by node id for determinism.

@@ -1,0 +1,50 @@
+// Package diffusion implements the paper's propagation model and its
+// estimators — the evaluation engines every solver phase, baseline and the
+// public Campaign API score deployments through.
+//
+// # Model
+//
+// The model extends the independent cascade (IC) model with a social-coupon
+// (SC) constraint: influence starts from the seed set; every activated user
+// vi holding K[vi] coupons offers them to out-neighbours in descending
+// order of influence probability, and at most K[vi] neighbours redeem. A
+// neighbour at adjacency position j (0-based) therefore redeems with
+// probability P(e(i,j)) when j < K[vi] (an "independent" edge) and with
+// probability P(e(i,j))·P(k̄i) when j >= K[vi] (a "dependent" edge), where
+// P(k̄i) is the probability that fewer than K[vi] earlier neighbours
+// redeemed. A user activates at most once; an already-active neighbour is
+// skipped without consuming a coupon.
+//
+// Three quantities drive the S3CRM objective:
+//
+//   - B(S, K): expected total benefit of activated users — estimated by
+//     Monte-Carlo sampling (Estimator) or computed exactly on forests
+//     (ExactTreeBenefit);
+//   - Cseed(S): the modular seed cost;
+//   - Csc(K): the paper's closed-form expected SC cost, summing
+//     E[ki, csc(vj)] over every allocated node's neighbours regardless of
+//     the allocator's own activation probability (see DESIGN.md, fidelity
+//     note 1 — this matches the paper's worked examples exactly).
+//
+// # Engines and substrates
+//
+// Evaluator is the seam: EngineMC (Estimator — every evaluation simulates
+// all possible worlds from scratch), EngineWorldCache (WorldCache —
+// per-world snapshots answer the greedy loops' delta queries by replaying
+// only the affected worlds and frontiers) and EngineSketch (MC evaluation
+// plus reverse-influence-sampling candidate pruning for the baselines).
+// Edge liveness comes from a stateless hash of (seed, world, edge) — common
+// random numbers, so every deployment sees identical worlds — either
+// recomputed per probe (DiffusionHash) or materialized once per world into
+// packed bit rows (DiffusionLiveEdge, the default; see LiveEdges).
+//
+// The single propagation kernel (Estimator.simWorld) iterates the graph's
+// CSR rows directly — a row's global base offset doubles as the coin-flip
+// edge identity — and is shared by every engine, which is what keeps their
+// reported metrics bit-identical. Work shards across workers by contiguous
+// world ranges (worlds are independent; per-worker partial sums recombine
+// in world order, so parallel evaluation equals sequential exactly); graph
+// construction, by contrast, shards by contiguous node ranges (see
+// internal/graph). Both axes are documented in DESIGN.md, "Graph
+// substrate".
+package diffusion

@@ -1,27 +1,3 @@
-// Package diffusion implements the paper's propagation model and its
-// estimators.
-//
-// The model extends the independent cascade (IC) model with a social-coupon
-// (SC) constraint: influence starts from the seed set; every activated user
-// vi holding K[vi] coupons offers them to out-neighbours in descending
-// order of influence probability, and at most K[vi] neighbours redeem. A
-// neighbour at adjacency position j (0-based) therefore redeems with
-// probability P(e(i,j)) when j < K[vi] (an "independent" edge) and with
-// probability P(e(i,j))·P(k̄i) when j >= K[vi] (a "dependent" edge), where
-// P(k̄i) is the probability that fewer than K[vi] earlier neighbours
-// redeemed. A user activates at most once; an already-active neighbour is
-// skipped without consuming a coupon.
-//
-// Three quantities drive the S3CRM objective:
-//
-//   - B(S, K): expected total benefit of activated users — estimated by
-//     Monte-Carlo sampling (Estimator) or computed exactly on forests
-//     (ExactTreeBenefit);
-//   - Cseed(S): the modular seed cost;
-//   - Csc(K): the paper's closed-form expected SC cost, summing
-//     E[ki, csc(vj)] over every allocated node's neighbours regardless of
-//     the allocator's own activation probability (see DESIGN.md, fidelity
-//     note 1 — this matches the paper's worked examples exactly).
 package diffusion
 
 import (

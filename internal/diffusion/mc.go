@@ -227,7 +227,10 @@ type worldRecord struct {
 // snapshot). This is the single propagation kernel: every engine evaluates
 // worlds through it, which is what keeps the engines in agreement.
 func (e *Estimator) simWorld(s *simScratch, d *Deployment, world uint64, rec *worldRecord) (worldB, worldC float64, maxHop int32, activated, explored int) {
-	g := e.Inst.G
+	// Hoist the CSR arrays once: the inner loop indexes rows by offset
+	// arithmetic instead of per-node accessor calls, and the row's global
+	// base offset doubles as the coin-flip edge identity.
+	offs, allTargets, allProbs := e.Inst.G.CSR()
 	le := e.Live // nil ⇒ hash per probe
 	s.reset()
 	for _, seed := range d.Seeds() {
@@ -250,8 +253,9 @@ func (e *Estimator) simWorld(s *simScratch, d *Deployment, world uint64, rec *wo
 		coupons := d.K(v)
 		stop, redeemed := 0, 0
 		if coupons > 0 {
-			targets, probs := g.OutEdges(v)
-			base := uint64(g.EdgeIndexBase(v))
+			lo, hi := offs[v], offs[v+1]
+			targets, probs := allTargets[lo:hi], allProbs[lo:hi]
+			base := uint64(lo)
 			j := 0
 			for ; j < len(targets); j++ {
 				if redeemed >= coupons {

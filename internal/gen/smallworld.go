@@ -26,22 +26,55 @@ func WattsStrogatz(n, k int, beta float64, src *rng.Source) (*graph.Graph, error
 	if beta < 0 || beta > 1 {
 		return nil, fmt.Errorf("gen: WattsStrogatz beta %v outside [0,1]", beta)
 	}
-	type key struct{ u, v int32 }
-	seen := make(map[key]bool, n*k)
-	var undirected [][2]int32
-	addUndirected := func(u, v int32) bool {
-		if u == v {
-			return false
-		}
-		if u > v {
+	// Undirected membership lives in per-node neighbour lists instead of a
+	// hash set: degrees hover around k, so a membership probe is a short
+	// linear scan, and the million-node profile avoids a 2·n·k-entry map
+	// (hundreds of MB at n = 10^6). The construction consumes the random
+	// stream identically to the historical map-based version, so generated
+	// graphs are unchanged for a given seed.
+	adj := make([][]int32, n)
+	has := func(u, v int32) bool {
+		// Probe the sparser endpoint's list.
+		if len(adj[u]) > len(adj[v]) {
 			u, v = v, u
 		}
-		if seen[key{u, v}] {
-			return false
+		for _, x := range adj[u] {
+			if x == v {
+				return true
+			}
 		}
-		seen[key{u, v}] = true
+		return false
+	}
+	link := func(u, v int32) {
+		if adj[u] == nil {
+			adj[u] = make([]int32, 0, k+2)
+		}
+		if adj[v] == nil {
+			adj[v] = make([]int32, 0, k+2)
+		}
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	unlinkOne := func(u, v int32) {
+		for i, x := range adj[u] {
+			if x == v {
+				adj[u][i] = adj[u][len(adj[u])-1]
+				adj[u] = adj[u][:len(adj[u])-1]
+				return
+			}
+		}
+	}
+	unlink := func(u, v int32) {
+		unlinkOne(u, v)
+		unlinkOne(v, u)
+	}
+	var undirected [][2]int32
+	addUndirected := func(u, v int32) {
+		if u == v || has(u, v) {
+			return
+		}
+		link(u, v)
 		undirected = append(undirected, [2]int32{u, v})
-		return true
 	}
 	// Ring lattice.
 	for u := 0; u < n; u++ {
@@ -61,42 +94,34 @@ func WattsStrogatz(n, k int, beta float64, src *rng.Source) (*graph.Graph, error
 			if w == u {
 				continue
 			}
-			a, b := u, w
-			if a > b {
-				a, b = b, a
-			}
-			if seen[key{a, b}] {
+			if has(u, w) {
 				continue
 			}
-			delete(seen, key{minI32(old[0], old[1]), maxI32(old[0], old[1])})
-			seen[key{a, b}] = true
+			unlink(old[0], old[1])
+			link(u, w)
 			undirected[i] = [2]int32{u, w}
 			break
 		}
 	}
-	edges := make([]graph.Edge, 0, 2*len(undirected))
+	// Emit both directions straight into the streaming CSR builder: the
+	// friendship graph never exists as an []Edge.
+	b := graph.NewStreamBuilder(n)
 	for _, uv := range undirected {
-		edges = append(edges,
-			graph.Edge{From: uv[0], To: uv[1]},
-			graph.Edge{From: uv[1], To: uv[0]})
+		if err := b.Add(uv[0], uv[1]); err != nil {
+			return nil, err
+		}
+		if err := b.Add(uv[1], uv[0]); err != nil {
+			return nil, err
+		}
 	}
-	g, err := graph.FromEdges(n, edges)
+	g, _, err := b.Build(graph.DupError, func(_, _ int32, inDeg int32) float64 {
+		if inDeg > 0 {
+			return 1 / float64(inDeg)
+		}
+		return 0
+	})
 	if err != nil {
 		return nil, err
 	}
-	return g.WeightByInDegree(), nil
-}
-
-func minI32(a, b int32) int32 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxI32(a, b int32) int32 {
-	if a > b {
-		return a
-	}
-	return b
+	return g, nil
 }

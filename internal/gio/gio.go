@@ -19,8 +19,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"strconv"
-	"strings"
 
 	"s3crm/internal/graph"
 )
@@ -32,53 +30,12 @@ import (
 // absent, prob defaults to 0 and callers typically re-weight with
 // (*graph.Graph).WeightByInDegree.
 func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	ids := map[int64]int32{}
-	var edges []graph.Edge
-	intern := func(raw int64) int32 {
-		if id, ok := ids[raw]; ok {
-			return id
-		}
-		id := int32(len(ids))
-		ids[raw] = id
-		return id
-	}
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 2 || len(fields) > 3 {
-			return nil, fmt.Errorf("gio: line %d: want 2 or 3 fields, got %d", lineNo, len(fields))
-		}
-		from, err := strconv.ParseInt(fields[0], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("gio: line %d: bad from id: %v", lineNo, err)
-		}
-		to, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("gio: line %d: bad to id: %v", lineNo, err)
-		}
-		if from < 0 || to < 0 {
-			return nil, fmt.Errorf("gio: line %d: negative node id", lineNo)
-		}
-		p := 0.0
-		if len(fields) == 3 {
-			p, err = strconv.ParseFloat(fields[2], 64)
-			if err != nil {
-				return nil, fmt.Errorf("gio: line %d: bad probability: %v", lineNo, err)
-			}
-		}
-		edges = append(edges, graph.Edge{From: intern(from), To: intern(to), P: p})
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("gio: scanning edge list: %w", err)
-	}
-	return graph.FromEdges(len(ids), edges)
+	g, _, err := LoadEdgeList(r, LoadOptions{
+		Model:         ModelFile,
+		KeepSelfLoops: true,
+		Duplicates:    graph.DupError,
+	})
+	return g, err
 }
 
 // WriteEdgeList emits the graph as SNAP-style text with the probability
@@ -92,6 +49,25 @@ func WriteEdgeList(w io.Writer, g *graph.Graph) error {
 		ts, ps := g.OutEdges(v)
 		for i := range ts {
 			if _, err := fmt.Fprintf(bw, "%d\t%d\t%g\n", v, ts[i], ps[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteEdgeListPlain emits the graph as bare SNAP text — "from<TAB>to" with
+// no probability column — the shape of the published datasets, which is what
+// exercises an ingestion probability model end-to-end.
+func WriteEdgeListPlain(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# Nodes: %d Edges: %d\n", g.NumNodes(), g.NumEdges()); err != nil {
+		return err
+	}
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		ts, _ := g.OutEdges(v)
+		for _, t := range ts {
+			if _, err := fmt.Fprintf(bw, "%d\t%d\n", v, t); err != nil {
 				return err
 			}
 		}

@@ -1,24 +1,12 @@
-// Package graph implements the weighted directed graph substrate underlying
-// the S3CRM reproduction.
-//
-// The paper models the OSN as a weighted digraph G = {V, E} where the weight
-// P(e(i,j)) of edge e(i,j) is the influence probability with which vi
-// activates vj. The social-coupon propagation model offers coupons to
-// out-neighbours in descending order of influence probability, so the graph
-// stores each node's out-adjacency pre-sorted by descending probability
-// (ties broken by node id for determinism). That ordering is the load-bearing
-// invariant of the whole reproduction: the position of a neighbour in the
-// adjacency decides whether its edge is independent (position <= k) or
-// dependent (position > k) for an allocation of k coupons.
-//
-// Graphs are immutable once built. Construction goes through Builder or
-// FromEdges.
 package graph
 
 import (
 	"errors"
 	"fmt"
+	"math"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Edge is one directed edge with its influence probability.
@@ -27,10 +15,13 @@ type Edge struct {
 	P        float64
 }
 
+// MaxEdges is the hard edge-count cap implied by int32 CSR offsets.
+const MaxEdges = math.MaxInt32 - 1
+
 // Graph is an immutable weighted digraph in compressed sparse row form.
 type Graph struct {
 	n       int
-	offsets []int64   // len n+1; out-edge range of node v is [offsets[v], offsets[v+1])
+	offsets []int32   // len n+1; out-edge range of node v is [offsets[v], offsets[v+1])
 	targets []int32   // out-neighbours, sorted by descending P within each node
 	probs   []float64 // parallel to targets
 	inDeg   []int32   // in-degree per node
@@ -39,6 +30,17 @@ type Graph struct {
 	// EdgeProb and NeighborRank. The adjacency itself stays probability-
 	// sorted (the model's load-bearing invariant); only lookups use this.
 	byTarget []int32
+
+	// Reverse CSR, built lazily on first InEdges call (reverse-influence
+	// sampling is the only consumer; the solve path never pays for it).
+	// revSources[revOffsets[v]:revOffsets[v+1]] are v's in-neighbours sorted
+	// by descending forward probability (ties by ascending source id — the
+	// mirror of the forward invariant), and revEdge the forward global edge
+	// index of each slot, so probabilities and coin flips are shared.
+	revOnce    sync.Once
+	revOffsets []int32
+	revSources []int32
+	revEdge    []int32
 }
 
 // Builder accumulates edges and produces an immutable Graph.
@@ -80,15 +82,18 @@ func FromEdges(n int, edges []Edge) (*Graph, error) {
 	if n < 0 {
 		return nil, errors.New("graph: negative node count")
 	}
+	if len(edges) > MaxEdges {
+		return nil, fmt.Errorf("graph: %d edges exceed the int32 CSR cap %d", len(edges), MaxEdges)
+	}
 	g := &Graph{
 		n:       n,
-		offsets: make([]int64, n+1),
+		offsets: make([]int32, n+1),
 		targets: make([]int32, len(edges)),
 		probs:   make([]float64, len(edges)),
 		inDeg:   make([]int32, n),
 	}
 	// Counting sort by source node.
-	counts := make([]int64, n+1)
+	counts := make([]int32, n+1)
 	for _, e := range edges {
 		if e.From < 0 || int(e.From) >= n || e.To < 0 || int(e.To) >= n {
 			return nil, fmt.Errorf("graph: edge (%d,%d) endpoint out of range [0,%d)", e.From, e.To, n)
@@ -103,39 +108,88 @@ func FromEdges(n int, edges []Edge) (*Graph, error) {
 		counts[v+1] += counts[v]
 	}
 	copy(g.offsets, counts)
-	cursor := make([]int64, n)
-	copy(cursor, counts[:n])
+	cursor := counts[:n] // reuse the counting array as the fill cursor
 	for _, e := range edges {
 		i := cursor[e.From]
 		g.targets[i] = e.To
 		g.probs[i] = e.P
 		cursor[e.From]++
 	}
-	// Sort each adjacency by descending probability, ties by ascending id.
-	for v := 0; v < n; v++ {
-		lo, hi := g.offsets[v], g.offsets[v+1]
-		adj := adjSorter{targets: g.targets[lo:hi], probs: g.probs[lo:hi]}
-		sort.Sort(adj)
+	if err := g.finalizeRows(); err != nil {
+		return nil, err
 	}
-	// Build the by-target lookup index: per node, the local adjacency
-	// positions sorted by ascending target id. Duplicate detection rides on
-	// the same pass — duplicates are adjacent in target order.
-	g.byTarget = make([]int32, len(edges))
-	for v := 0; v < n; v++ {
-		lo, hi := g.offsets[v], g.offsets[v+1]
-		bt := g.byTarget[lo:hi]
+	return g, nil
+}
+
+// finalizeRows establishes the adjacency invariants on rows already grouped
+// by source: each row is sorted by descending probability (ties by ascending
+// id) and indexed by ascending target. Duplicate (from,to) pairs — adjacent
+// in target order — are rejected. Rows are independent, so the work shards
+// across workers by contiguous node ranges with results identical to the
+// sequential pass.
+func (g *Graph) finalizeRows() error {
+	g.byTarget = make([]int32, len(g.targets))
+	return shardNodes(g.n, len(g.targets), func(lo, hi int) error {
+		return g.finalizeRange(lo, hi)
+	})
+}
+
+// finalizeRange finalizes the rows of nodes [lo, hi).
+func (g *Graph) finalizeRange(lo, hi int) error {
+	for v := lo; v < hi; v++ {
+		rlo, rhi := g.offsets[v], g.offsets[v+1]
+		adj := adjSorter{targets: g.targets[rlo:rhi], probs: g.probs[rlo:rhi]}
+		sort.Sort(adj)
+		// Build the by-target lookup index: the local adjacency positions
+		// sorted by ascending target id. Duplicate detection rides on the
+		// same pass — duplicates are adjacent in target order.
+		bt := g.byTarget[rlo:rhi]
 		for i := range bt {
 			bt[i] = int32(i)
 		}
-		ts := g.targets[lo:hi]
+		ts := g.targets[rlo:rhi]
 		sort.Slice(bt, func(i, j int) bool { return ts[bt[i]] < ts[bt[j]] })
 		for i := 1; i < len(bt); i++ {
 			if ts[bt[i]] == ts[bt[i-1]] {
-				return nil, fmt.Errorf("graph: duplicate edge (%d,%d)", v, ts[bt[i]])
+				return fmt.Errorf("graph: duplicate edge (%d,%d)", v, ts[bt[i]])
 			}
 		}
 	}
-	return g, nil
+	return nil
+}
+
+// shardNodes runs fn over contiguous node ranges covering [0, n), in
+// parallel when the graph is large enough to pay for the fan-out. The first
+// error wins; fn must touch only state owned by its range.
+func shardNodes(n, edges int, fn func(lo, hi int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	const minEdgesPerShard = 1 << 16
+	if maxShards := edges/minEdgesPerShard + 1; workers > maxShards {
+		workers = maxShards
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return fn(0, n)
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = fn(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 type adjSorter struct {
@@ -177,10 +231,20 @@ func (g *Graph) OutEdges(v int32) (targets []int32, probs []float64) {
 	return g.targets[lo:hi], g.probs[lo:hi]
 }
 
+// CSR exposes the forward adjacency as its raw arrays: node v's out-edges
+// occupy [offsets[v], offsets[v+1]) of targets and probs, and that range's
+// indices are the edges' global indices (the coin-flip identities). Hot
+// loops — the Monte-Carlo kernel, world-cache replays, RIS — iterate these
+// directly instead of re-deriving per-node slices. All three alias the
+// graph's internal storage and must not be modified.
+func (g *Graph) CSR() (offsets, targets []int32, probs []float64) {
+	return g.offsets, g.targets, g.probs
+}
+
 // EdgeIndexBase returns the global index of v's first out-edge. The global
 // index of v's j-th strongest edge is EdgeIndexBase(v)+j; it identifies the
 // edge for Monte-Carlo coin flips.
-func (g *Graph) EdgeIndexBase(v int32) int64 { return g.offsets[v] }
+func (g *Graph) EdgeIndexBase(v int32) int64 { return int64(g.offsets[v]) }
 
 // Probs returns all edge probabilities in global CSR order: the probability
 // of the edge with global index i (see EdgeIndexBase) is Probs()[i]. The
@@ -188,6 +252,71 @@ func (g *Graph) EdgeIndexBase(v int32) int64 { return g.offsets[v] }
 // the input of the live-edge world materializer, which flips every edge's
 // coin once per world instead of once per probe.
 func (g *Graph) Probs() []float64 { return g.probs }
+
+// buildReverse materializes the reverse CSR: a forward sweep scatters every
+// edge into its target's row (counting sort on the already-known in-degrees),
+// then each row is sorted by descending forward probability, ties by
+// ascending source — exactly the order a standalone transpose graph would
+// store, so reverse walks consume random streams identically to one.
+func (g *Graph) buildReverse() {
+	n := g.n
+	g.revOffsets = make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		g.revOffsets[v+1] = g.revOffsets[v] + g.inDeg[v]
+	}
+	g.revSources = make([]int32, len(g.targets))
+	g.revEdge = make([]int32, len(g.targets))
+	cursor := make([]int32, n)
+	copy(cursor, g.revOffsets[:n])
+	for v := int32(0); v < int32(n); v++ {
+		for e := g.offsets[v]; e < g.offsets[v+1]; e++ {
+			t := g.targets[e]
+			i := cursor[t]
+			g.revSources[i] = v
+			g.revEdge[i] = e
+			cursor[t]++
+		}
+	}
+	_ = shardNodes(n, len(g.targets), func(lo, hi int) error {
+		for v := lo; v < hi; v++ {
+			rlo, rhi := g.revOffsets[v], g.revOffsets[v+1]
+			srcs, eidx := g.revSources[rlo:rhi], g.revEdge[rlo:rhi]
+			sort.Sort(revSorter{sources: srcs, edges: eidx, probs: g.probs})
+		}
+		return nil
+	})
+}
+
+type revSorter struct {
+	sources []int32
+	edges   []int32
+	probs   []float64
+}
+
+func (r revSorter) Len() int { return len(r.sources) }
+func (r revSorter) Less(i, j int) bool {
+	pi, pj := r.probs[r.edges[i]], r.probs[r.edges[j]]
+	if pi != pj {
+		return pi > pj
+	}
+	return r.sources[i] < r.sources[j]
+}
+func (r revSorter) Swap(i, j int) {
+	r.sources[i], r.sources[j] = r.sources[j], r.sources[i]
+	r.edges[i], r.edges[j] = r.edges[j], r.edges[i]
+}
+
+// InEdges returns v's in-neighbours sorted by descending influence
+// probability (ties by ascending source id) together with each in-edge's
+// forward global index — the identity under which its probability
+// (Probs()[idx]) and its Monte-Carlo coin live. The reverse CSR is built
+// once, lazily, on first call; the slices alias graph storage and must not
+// be modified. Safe for concurrent use.
+func (g *Graph) InEdges(v int32) (sources, edgeIdx []int32) {
+	g.revOnce.Do(g.buildReverse)
+	lo, hi := g.revOffsets[v], g.revOffsets[v+1]
+	return g.revSources[lo:hi], g.revEdge[lo:hi]
+}
 
 // lookupThreshold is the degree below which a linear adjacency scan beats
 // the binary search's branchy indirection.
@@ -220,7 +349,7 @@ func (g *Graph) findRank(from, to int32) int {
 // exists.
 func (g *Graph) EdgeProb(from, to int32) (float64, bool) {
 	if i := g.findRank(from, to); i >= 0 {
-		return g.probs[g.offsets[from]+int64(i)], true
+		return g.probs[g.offsets[from]+int32(i)], true
 	}
 	return 0, false
 }
@@ -290,22 +419,79 @@ func (g *Graph) InDegrees() []int {
 	return ds
 }
 
+// Reweight returns a copy of the graph with every edge probability replaced
+// by f(from, to, p). The topology is reused — offsets, targets and the
+// in-degree array are cloned without re-running edge validation or the
+// counting sort — and only the per-row probability order is re-established,
+// so re-weighting a million-node graph costs one row finalization, not a
+// full rebuild from an []Edge copy.
+func (g *Graph) Reweight(f func(from, to int32, p float64) float64) (*Graph, error) {
+	ng := &Graph{
+		n:       g.n,
+		offsets: g.offsets, // immutable topology: shared, never written
+		targets: append([]int32(nil), g.targets...),
+		probs:   make([]float64, len(g.probs)),
+		inDeg:   g.inDeg,
+	}
+	for v := int32(0); v < int32(g.n); v++ {
+		for e := g.offsets[v]; e < g.offsets[v+1]; e++ {
+			p := f(v, g.targets[e], g.probs[e])
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return nil, fmt.Errorf("graph: reweighted edge (%d,%d) probability %v outside [0,1]", v, g.targets[e], p)
+			}
+			ng.probs[e] = p
+		}
+	}
+	if err := ng.finalizeRows(); err != nil {
+		// Cannot happen: the topology held no duplicates before re-weighting.
+		panic("graph: Reweight finalize failed: " + err.Error())
+	}
+	return ng, nil
+}
+
 // WeightByInDegree returns a copy of the graph re-weighted with the paper's
 // standard influence probabilities P(e(i,j)) = 1 / indegree(j).
 func (g *Graph) WeightByInDegree() *Graph {
-	edges := g.Edges()
-	for i := range edges {
-		d := g.inDeg[edges[i].To]
-		if d > 0 {
-			edges[i].P = 1 / float64(d)
+	ng, err := g.Reweight(func(_, to int32, _ float64) float64 {
+		if d := g.inDeg[to]; d > 0 {
+			return 1 / float64(d)
 		}
-	}
-	ng, err := FromEdges(g.n, edges)
+		return 0
+	})
 	if err != nil {
-		// Cannot happen: the edge list came from a valid graph.
+		// Cannot happen: 1/indegree is always within [0,1].
 		panic("graph: WeightByInDegree rebuild failed: " + err.Error())
 	}
 	return ng
+}
+
+// PadNodes returns a graph with the node set grown to n (extra ids are
+// isolated: no edges in either direction). The edge arrays are shared with
+// the receiver — only the offsets and in-degree arrays are extended — so
+// padding a million-node ingestion result costs O(extra nodes), not a
+// rebuild.
+func (g *Graph) PadNodes(n int) (*Graph, error) {
+	if n < g.n {
+		return nil, fmt.Errorf("graph: cannot pad %d nodes down to %d", g.n, n)
+	}
+	if n == g.n {
+		return g, nil
+	}
+	ng := &Graph{
+		n:        n,
+		offsets:  make([]int32, n+1),
+		targets:  g.targets,
+		probs:    g.probs,
+		byTarget: g.byTarget,
+		inDeg:    make([]int32, n),
+	}
+	copy(ng.offsets, g.offsets)
+	last := g.offsets[g.n]
+	for v := g.n + 1; v <= n; v++ {
+		ng.offsets[v] = last
+	}
+	copy(ng.inDeg, g.inDeg)
+	return ng, nil
 }
 
 // InducedSubgraph returns the subgraph induced by keep (dense re-labelling

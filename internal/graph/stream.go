@@ -1,0 +1,242 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DupPolicy decides what StreamBuilder.Build does with duplicate (from,to)
+// arcs. The propagation model assigns one coupon slot per neighbour, so
+// parallel edges never survive into a Graph; the policy only chooses between
+// rejecting the input and quietly keeping the first occurrence (what SNAP
+// ingestion wants — several of the published edge lists repeat arcs).
+type DupPolicy int
+
+const (
+	// DupKeepFirst (the zero value) keeps each arc's first occurrence in
+	// stream order and drops the rest, counting them in
+	// BuildStats.Duplicates.
+	DupKeepFirst DupPolicy = iota
+	// DupError rejects the build on the first duplicate arc (FromEdges
+	// semantics).
+	DupError
+)
+
+// ProbAssign computes an edge's influence probability once the full
+// topology is known. It runs after duplicate resolution, so in-degree-based
+// models (the paper's weighted cascade) see the deduplicated graph. A nil
+// ProbAssign keeps the probabilities recorded by Add.
+type ProbAssign func(from, to int32, inDeg int32) float64
+
+// BuildStats reports what Build resolved.
+type BuildStats struct {
+	Arcs       int // arcs recorded by Add
+	Duplicates int // arcs dropped under DupKeepFirst
+}
+
+// StreamBuilder accumulates arcs in columnar form — two int32 words per arc
+// plus an optional probability column — and counting-sorts them directly
+// into a Graph's CSR arrays. Unlike Builder it never materializes an []Edge,
+// so streaming a SNAP-scale edge list peaks at the columnar accumulation
+// plus the final CSR, with no per-edge struct copy in between.
+//
+// The zero number of nodes is fixed up-front; arcs are validated as they
+// arrive so a malformed stream fails at its line, not at Build.
+type StreamBuilder struct {
+	n    int
+	auto bool // n tracks max id seen; Build sizes the graph to maxID+1
+	src  []int32
+	dst  []int32
+	prob []float64 // nil until the first Add with an explicit probability
+}
+
+// NewStreamBuilder returns a streaming builder for a graph with n nodes.
+func NewStreamBuilder(n int) *StreamBuilder {
+	return &StreamBuilder{n: n}
+}
+
+// NewStreamBuilderAuto returns a streaming builder that infers the node
+// count as maxID+1 at Build — the ingestion path, where the dense id remap
+// only knows the count once the stream ends.
+func NewStreamBuilderAuto() *StreamBuilder {
+	return &StreamBuilder{auto: true}
+}
+
+// Add records one arc with probability 0 (to be assigned at Build via
+// ProbAssign, or left 0 as FromEdges would).
+func (b *StreamBuilder) Add(from, to int32) error {
+	if b.auto {
+		if from < 0 || to < 0 {
+			return fmt.Errorf("graph: edge (%d,%d) has a negative endpoint", from, to)
+		}
+		if int(from) >= b.n {
+			b.n = int(from) + 1
+		}
+		if int(to) >= b.n {
+			b.n = int(to) + 1
+		}
+	} else if from < 0 || int(from) >= b.n || to < 0 || int(to) >= b.n {
+		return fmt.Errorf("graph: edge (%d,%d) endpoint out of range [0,%d)", from, to, b.n)
+	}
+	if len(b.src) >= MaxEdges {
+		return fmt.Errorf("graph: edge count exceeds the int32 CSR cap %d", MaxEdges)
+	}
+	b.src = append(b.src, from)
+	b.dst = append(b.dst, to)
+	if b.prob != nil {
+		b.prob = append(b.prob, 0)
+	}
+	return nil
+}
+
+// AddProb records one arc with an explicit probability (an edge list with a
+// probability column). Mixing Add and AddProb is allowed; plain arcs carry
+// probability 0.
+func (b *StreamBuilder) AddProb(from, to int32, p float64) error {
+	if p < 0 || p > 1 {
+		return fmt.Errorf("graph: edge (%d,%d) probability %v outside [0,1]", from, to, p)
+	}
+	if b.prob == nil {
+		b.prob = make([]float64, len(b.src), cap(b.src))
+	}
+	if err := b.Add(from, to); err != nil {
+		return err
+	}
+	b.prob[len(b.src)-1] = p
+	return nil
+}
+
+// NumArcs returns the number of arcs recorded so far.
+func (b *StreamBuilder) NumArcs() int { return len(b.src) }
+
+// Build counting-sorts the accumulated arcs into CSR, resolves duplicates
+// per policy, assigns probabilities (probFn nil keeps the recorded ones) and
+// finalizes the probability-sorted adjacency. The builder's columnar arrays
+// are released as Build consumes them; the builder must not be reused.
+func (b *StreamBuilder) Build(policy DupPolicy, probFn ProbAssign) (*Graph, BuildStats, error) {
+	stats := BuildStats{Arcs: len(b.src)}
+	n, m := b.n, len(b.src)
+	if n < 0 {
+		return nil, stats, fmt.Errorf("graph: negative node count")
+	}
+	g := &Graph{
+		n:       n,
+		offsets: make([]int32, n+1),
+		targets: make([]int32, m),
+		inDeg:   make([]int32, n),
+	}
+	counts := make([]int32, n+1)
+	for _, f := range b.src {
+		counts[f+1]++
+	}
+	for v := 0; v < n; v++ {
+		counts[v+1] += counts[v]
+	}
+	copy(g.offsets, counts)
+	// Scatter targets (and the probability column) into row-grouped order.
+	// The fill is stable per row, so within a row the stream order survives
+	// — which is what lets DupKeepFirst mean "first occurrence".
+	var fileProbs []float64
+	if b.prob != nil {
+		fileProbs = make([]float64, m)
+	}
+	cursor := counts[:n]
+	for i, f := range b.src {
+		at := cursor[f]
+		g.targets[at] = b.dst[i]
+		if fileProbs != nil {
+			fileProbs[at] = b.prob[i]
+		}
+		cursor[f]++
+	}
+	b.src, b.dst, b.prob = nil, nil, nil // release the columnar accumulation
+
+	dropped, err := g.dedupRows(policy, fileProbs)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Duplicates = dropped
+	if dropped > 0 {
+		m -= dropped
+		if fileProbs != nil {
+			fileProbs = fileProbs[:m]
+		}
+	}
+	for _, t := range g.targets {
+		g.inDeg[t]++
+	}
+	// Assign probabilities now that the deduplicated in-degrees are known.
+	g.probs = fileProbs
+	if g.probs == nil {
+		g.probs = make([]float64, m)
+	}
+	if probFn != nil {
+		for v := int32(0); v < int32(n); v++ {
+			for e := g.offsets[v]; e < g.offsets[v+1]; e++ {
+				g.probs[e] = probFn(v, g.targets[e], g.inDeg[g.targets[e]])
+			}
+		}
+	}
+	for i, p := range g.probs {
+		if p < 0 || p > 1 || p != p {
+			return nil, stats, fmt.Errorf("graph: assigned probability %v outside [0,1] on edge index %d", p, i)
+		}
+	}
+	if err := g.finalizeRows(); err != nil {
+		return nil, stats, err
+	}
+	return g, stats, nil
+}
+
+// dedupRows sorts each row by target (stably, so equal targets keep stream
+// order), resolves duplicates per policy and compacts the CSR arrays in
+// place, rewriting offsets. Returns the number of dropped arcs.
+func (g *Graph) dedupRows(policy DupPolicy, fileProbs []float64) (int, error) {
+	n := g.n
+	write := int32(0)
+	var order []int32 // per-row positions sorted by (target, stream order)
+	var rowT []int32  // row snapshot: compaction writes into the row's own range
+	var rowP []float64
+	for v := 0; v < n; v++ {
+		lo, hi := g.offsets[v], g.offsets[v+1]
+		g.offsets[v] = write
+		deg := int(hi - lo)
+		if deg == 0 {
+			continue
+		}
+		rowT = append(rowT[:0], g.targets[lo:hi]...)
+		if fileProbs != nil {
+			rowP = append(rowP[:0], fileProbs[lo:hi]...)
+		}
+		order = order[:0]
+		for i := 0; i < deg; i++ {
+			order = append(order, int32(i))
+		}
+		sort.Slice(order, func(i, j int) bool {
+			if rowT[order[i]] != rowT[order[j]] {
+				return rowT[order[i]] < rowT[order[j]]
+			}
+			return order[i] < order[j]
+		})
+		prev := int32(-1)
+		for _, li := range order {
+			t := rowT[li]
+			if t == prev {
+				if policy == DupError {
+					return 0, fmt.Errorf("graph: duplicate edge (%d,%d)", v, t)
+				}
+				continue
+			}
+			prev = t
+			g.targets[write] = t
+			if fileProbs != nil {
+				fileProbs[write] = rowP[li]
+			}
+			write++
+		}
+	}
+	dropped := len(g.targets) - int(write)
+	g.offsets[n] = write
+	g.targets = g.targets[:write]
+	return dropped, nil
+}

@@ -41,7 +41,12 @@ func Generate(g *graph.Graph, count int, src *rng.Source) (*Sketches, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("ris: empty graph")
 	}
-	rev := g.Reverse()
+	// The transpose walk reads the graph's shared reverse CSR: per node, the
+	// in-neighbours sorted by descending probability (the same order a
+	// materialized transpose graph would store, so the sequential random
+	// stream is consumed identically), with each slot carrying the forward
+	// edge index that addresses its probability.
+	probs := g.Probs()
 	s := &Sketches{n: n, covers: make(map[int32][]int32)}
 	visited := make([]int32, n)
 	for i := range visited {
@@ -57,12 +62,12 @@ func Generate(g *graph.Graph, count int, src *rng.Source) (*Sketches, error) {
 		for head := 0; head < len(queue); head++ {
 			v := queue[head]
 			set = append(set, v)
-			ts, ps := rev.OutEdges(v)
-			for j, t := range ts {
+			srcs, eidx := g.InEdges(v)
+			for j, t := range srcs {
 				if visited[t] == int32(i) {
 					continue
 				}
-				if src.Float64() < ps[j] {
+				if src.Float64() < probs[eidx[j]] {
 					visited[t] = int32(i)
 					queue = append(queue, t)
 				}
@@ -98,27 +103,11 @@ func GenerateLive(g *graph.Graph, count int, src *rng.Source, live LiveFunc) (*S
 	if n == 0 {
 		return nil, fmt.Errorf("ris: empty graph")
 	}
-	// Transpose with forward edge identities: for each in-edge of v, the
-	// source node and the forward global edge index (whose coin decides
-	// liveness in every engine).
-	revOff := make([]int32, n+1)
-	for v := 0; v < n; v++ {
-		revOff[v+1] = revOff[v] + int32(g.InDegree(int32(v)))
-	}
-	revSrc := make([]int32, g.NumEdges())
-	revEdge := make([]int64, g.NumEdges())
-	cursor := make([]int32, n)
-	copy(cursor, revOff[:n])
-	for v := int32(0); v < int32(n); v++ {
-		ts, _ := g.OutEdges(v)
-		base := g.EdgeIndexBase(v)
-		for j, t := range ts {
-			i := cursor[t]
-			revSrc[i] = v
-			revEdge[i] = base + int64(j)
-			cursor[t]++
-		}
-	}
+	// The graph's shared reverse CSR carries exactly what the walk needs:
+	// for each in-edge of v, the source node and the forward global edge
+	// index (whose coin decides liveness in every engine). Liveness is a
+	// per-edge bit, so the walk order within a row cannot change which nodes
+	// an RR set contains.
 	probs := g.Probs()
 	s := &Sketches{n: n, covers: make(map[int32][]int32)}
 	visited := make([]int32, n)
@@ -135,12 +124,12 @@ func GenerateLive(g *graph.Graph, count int, src *rng.Source, live LiveFunc) (*S
 		for head := 0; head < len(queue); head++ {
 			v := queue[head]
 			set = append(set, v)
-			for j := revOff[v]; j < revOff[v+1]; j++ {
-				u := revSrc[j]
+			srcs, eidx := g.InEdges(v)
+			for j, u := range srcs {
 				if visited[u] == int32(i) {
 					continue
 				}
-				e := uint64(revEdge[j])
+				e := uint64(eidx[j])
 				if live(uint64(i), e, probs[e]) {
 					visited[u] = int32(i)
 					queue = append(queue, u)

@@ -23,6 +23,7 @@ type config struct {
 	workers      int
 	limitedK     int
 	candidateCap int
+	gpiLimit     int
 	exhaustiveID bool
 	memBudget    int64
 	progress     func(Event)
@@ -155,6 +156,21 @@ func WithCandidateCap(n int) Option {
 			return fmt.Errorf("candidate cap must be non-negative, got %d", n)
 		}
 		c.candidateCap = n
+		return nil
+	}
+}
+
+// WithGPILimit caps S3CA's guaranteed-path DFS at n visits per seed
+// (0 = unlimited, the paper-faithful enumeration). The traversal explores
+// strongest-probability-first, so the cap keeps the paths the SC maneuver
+// phase ranks highest and is the knob that makes million-node solves
+// tractable — see EXPERIMENTS.md, "Large-graph scaling".
+func WithGPILimit(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("GPI limit must be non-negative, got %d", n)
+		}
+		c.gpiLimit = n
 		return nil
 	}
 }

@@ -1,0 +1,55 @@
+package s3crm
+
+import (
+	"testing"
+
+	"s3crm/internal/core"
+	"s3crm/internal/diffusion"
+	"s3crm/internal/eval"
+	"s3crm/internal/gen"
+)
+
+// TestCSRGoldenParity pins the solver's redemption rate on the existing
+// dataset profiles to the exact float64 values produced before the CSR
+// migration (int32 offsets, shared reverse adjacency, streaming builders,
+// GPI caches). Everything the substrate touches — adjacency order, global
+// edge indexes, coin flips, summation order — must leave these bits alone;
+// a 1-ulp drift here means a representation change leaked into results.
+func TestCSRGoldenParity(t *testing.T) {
+	cases := []struct {
+		name    string
+		preset  gen.Preset
+		scale   int
+		engine  string
+		diff    string
+		rate    float64
+		slowish bool
+	}{
+		{"facebook20-mc-hash", gen.Facebook, 20, diffusion.EngineMC, diffusion.DiffusionHash, 0.43138959694774442, false},
+		{"facebook20-wc-live", gen.Facebook, 20, diffusion.EngineWorldCache, diffusion.DiffusionLiveEdge, 0.43138959694774442, false},
+		{"epinions400-wc-live", gen.Epinions, 400, diffusion.EngineWorldCache, diffusion.DiffusionLiveEdge, 0.47337202259135702, true},
+		{"epinions400-mc-live", gen.Epinions, 400, diffusion.EngineMC, diffusion.DiffusionLiveEdge, 0.47337202259135702, true},
+		{"epinions400-sketch-hash", gen.Epinions, 400, diffusion.EngineSketch, diffusion.DiffusionHash, 0.47337202259135702, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.slowish && testing.Short() {
+				t.Skip("Epinions-profile parity pin skipped in -short mode")
+			}
+			inst, err := eval.BuildInstance(eval.Setup{Preset: tc.preset, Scale: tc.scale, Seed: 77})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sol, err := core.Solve(inst, core.Options{
+				Samples: 200, Seed: 77, Engine: tc.engine, Diffusion: tc.diff,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sol.RedemptionRate != tc.rate {
+				t.Fatalf("redemption rate = %.17g, want the pre-migration %.17g (drift %g)",
+					sol.RedemptionRate, tc.rate, sol.RedemptionRate-tc.rate)
+			}
+		})
+	}
+}
