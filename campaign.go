@@ -60,10 +60,13 @@ const maxIdleWorldCaches = 8
 // calls agreeing on these fields see the same possible worlds, so they can
 // share materialized live-edge rows and pooled world-cache snapshots. The
 // engine name is deliberately absent — mc, worldcache and sketch all
-// evaluate through the same underlying estimator.
+// evaluate through the same underlying estimator — but the triggering
+// model is present: IC and LT calls draw different per-world liveness, so
+// they must never share substrates or snapshots.
 type engineKey struct {
 	samples   int
 	seed      uint64
+	model     string
 	diffusion string
 	memBudget int64
 }
@@ -136,6 +139,7 @@ func poolKey(cfg config, seed uint64) engineKey {
 	return engineKey{
 		samples:   cfg.samples,
 		seed:      seed,
+		model:     cfg.model,
 		diffusion: cfg.diffusion,
 		memBudget: cfg.memBudget,
 	}
@@ -158,7 +162,8 @@ func (c *Campaign) pool(cfg config, seed uint64) (*enginePool, error) {
 	// EngineMC builds the bare estimator the other engines wrap; the
 	// call-level engine choice is applied per call (see call.engine).
 	ev, err := diffusion.NewEngineOpts(c.p.inst, diffusion.EngineOptions{
-		Engine: diffusion.EngineMC, Samples: cfg.samples, Seed: seed,
+		Engine: diffusion.EngineMC, Model: cfg.model,
+		Samples: cfg.samples, Seed: seed,
 		Diffusion: cfg.diffusion, LiveEdgeMemBudget: cfg.memBudget,
 	})
 	if err != nil {
@@ -292,6 +297,7 @@ func (c *Campaign) Solve(ctx context.Context, opts ...Option) (*Result, error) {
 	}
 	sol, err := core.SolveCtx(ctx, c.p.inst, core.Options{
 		Engine:            cl.cfg.engine,
+		Model:             cl.cfg.model,
 		Diffusion:         cl.cfg.diffusion,
 		LiveEdgeMemBudget: cl.cfg.memBudget,
 		Samples:           cl.cfg.samples,
@@ -338,6 +344,7 @@ func (c *Campaign) RunBaseline(ctx context.Context, name string, opts ...Option)
 	view := ep.proto.View(ctx, cl.cfg.workers)
 	cfg := baselines.Config{
 		Engine:            cl.cfg.engine,
+		Model:             cl.cfg.model,
 		Diffusion:         cl.cfg.diffusion,
 		LiveEdgeMemBudget: cl.cfg.memBudget,
 		Samples:           cl.cfg.samples,

@@ -48,6 +48,7 @@ func main() {
 		out        = flag.String("out", "", "output file; .gz compresses (default stdout)")
 		binary     = flag.Bool("binary", false, "write the compact binary codec instead of text")
 		probs      = flag.Bool("probs", true, "include the probability column in text output")
+		ltnorm     = flag.Bool("ltnorm", false, "scale in-weights to sum ≤ 1 (the linear-threshold precondition; the generators' 1/in-degree weights already satisfy it)")
 		stats      = flag.Bool("stats", false, "print degree/clustering statistics to stderr")
 	)
 	flag.Parse()
@@ -57,6 +58,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gengraph:", err)
 		os.Exit(1)
+	}
+	if *ltnorm {
+		g = g.CapInWeights()
 	}
 
 	if *stats {

@@ -15,6 +15,14 @@
 // has one, else the paper's weighted cascade (1/in-degree); "uniform" and
 // "trivalency" are available explicitly.
 //
+// Propagation follows -model: "ic" (independent cascade, the default) or
+// "lt" (linear threshold — in-weights must sum to ≤ 1 per user, which the
+// weighted-cascade probabilities guarantee and -ltnorm establishes for any
+// other weighting):
+//
+//	s3crm -dataset Epinions -scale 400 -model lt -engine worldcache
+//	s3crm -graph edges.txt -probmodel uniform -ltnorm -model lt -budget 5000
+//
 // Supported algorithms: S3CA (default), IM-U, IM-L, PM-U, PM-L, IM-S.
 // With -progress the solver renders a live per-iteration progress line on
 // stderr (phase, iteration, spent budget, current redemption rate) — the
@@ -50,6 +58,8 @@ func main() {
 		budget   = flag.Float64("budget", 0, "investment budget Binv (0 = dataset default)")
 		algo     = flag.String("algo", "S3CA", "algorithm: S3CA, IM-U, IM-L, PM-U, PM-L, IM-S")
 		engine   = flag.String("engine", "mc", "evaluation engine: mc, worldcache, sketch")
+		model    = flag.String("model", "ic", "triggering model: ic (independent cascade), lt (linear threshold)")
+		ltnorm   = flag.Bool("ltnorm", false, "scale -graph in-weights to sum ≤ 1 (the -model lt precondition; wc weights already satisfy it)")
 		diff     = flag.String("diffusion", "liveedge", "edge-liveness substrate: liveedge (materialized worlds), hash")
 		lazy     = flag.Bool("lazy", true, "CELF lazy-greedy ID loop (false = exhaustive sweep)")
 		gpilimit = flag.Int("gpilimit", 0, "cap guaranteed-path DFS visits per seed (0 = unlimited; set ~2000 for million-node graphs)")
@@ -63,7 +73,7 @@ func main() {
 	)
 	flag.Parse()
 
-	problem, err := buildProblem(*dataset, *scale, *graphF, *scenario, *probmod, *uniformP, *mu, *sigma, *lambda, *kappa, *budget, *seed)
+	problem, err := buildProblem(*dataset, *scale, *graphF, *scenario, *probmod, *uniformP, *mu, *sigma, *lambda, *kappa, *budget, *seed, *ltnorm)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "s3crm:", err)
 		os.Exit(1)
@@ -79,6 +89,7 @@ func main() {
 
 	opts := []s3crm.Option{
 		s3crm.WithEngine(*engine),
+		s3crm.WithModel(*model),
 		s3crm.WithDiffusion(*diff),
 		s3crm.WithExhaustiveID(!*lazy),
 		s3crm.WithGPILimit(*gpilimit),
@@ -175,7 +186,7 @@ func saveScenario(path string, p *s3crm.Problem) error {
 }
 
 func buildProblem(dataset string, scale int, graphFile, scenarioFile, probModel string,
-	uniformP, mu, sigma, lambda, kappa, budget float64, seed uint64) (*s3crm.Problem, error) {
+	uniformP, mu, sigma, lambda, kappa, budget float64, seed uint64, ltnorm bool) (*s3crm.Problem, error) {
 
 	if scenarioFile != "" {
 		f, err := os.Open(scenarioFile)
@@ -197,7 +208,7 @@ func buildProblem(dataset string, scale int, graphFile, scenarioFile, probModel 
 	problem, stats, err := s3crm.LoadGraphProblem(graphFile, s3crm.GraphConfig{
 		Model: probModel, UniformP: uniformP,
 		Mu: mu, Sigma: sigma, Lambda: lambda, Kappa: kappa,
-		Budget: budget, Seed: seed,
+		Budget: budget, Seed: seed, NormalizeLT: ltnorm,
 	})
 	if err != nil {
 		return nil, err

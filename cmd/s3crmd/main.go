@@ -12,11 +12,14 @@
 //	GET  /healthz    liveness probe
 //	GET  /info       instance shape and campaign defaults
 //	POST /solve      run one algorithm. Body: {"algorithm": "S3CA",
-//	                 "engine": "worldcache", "samples": 1000, "seed": 7,
-//	                 "workers": 4, "candidate_cap": 0, "limited_k": 0,
-//	                 "exhaustive_id": false, "stream": false,
-//	                 "timeout_ms": 0}. algorithm defaults to S3CA; any
-//	                 baseline name (IM-U, IM-L, PM-U, PM-L, IM-S) works.
+//	                 "engine": "worldcache", "model": "lt", "samples": 1000,
+//	                 "seed": 7, "workers": 4, "candidate_cap": 0,
+//	                 "limited_k": 0, "exhaustive_id": false,
+//	                 "stream": false, "timeout_ms": 0}. algorithm defaults
+//	                 to S3CA; any baseline name (IM-U, IM-L, PM-U, PM-L,
+//	                 IM-S) works. Unknown engine/model/diffusion values are
+//	                 rejected with 400 and the option layer's "want one of"
+//	                 message.
 //	                 With "stream": true the response is NDJSON: one
 //	                 {"event": …} line per solver progress event, then a
 //	                 final {"result": …} line.
@@ -54,6 +57,8 @@ func main() {
 		budget   = flag.Float64("budget", 0, "investment budget for -graph instances")
 		scenario = flag.String("scenario", "", "saved scenario JSON (alternative to -dataset)")
 		engine   = flag.String("engine", "mc", "default evaluation engine: mc, worldcache, sketch")
+		model    = flag.String("model", "ic", "default triggering model: ic (independent cascade), lt (linear threshold)")
+		ltnorm   = flag.Bool("ltnorm", false, "scale -graph in-weights to sum ≤ 1 (the lt-model precondition; wc weights already satisfy it)")
 		diff     = flag.String("diffusion", "liveedge", "default edge-liveness substrate: liveedge, hash")
 		samples  = flag.Int("samples", 1000, "default Monte-Carlo samples per evaluation")
 		seed     = flag.Uint64("seed", 1, "campaign random seed")
@@ -62,13 +67,14 @@ func main() {
 	)
 	flag.Parse()
 
-	problem, err := loadProblem(*dataset, *scale, *graphF, *probmod, *budget, *scenario, *seed)
+	problem, err := loadProblem(*dataset, *scale, *graphF, *probmod, *budget, *scenario, *seed, *ltnorm)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "s3crmd:", err)
 		os.Exit(1)
 	}
 	campaign, err := problem.NewCampaign(
 		s3crm.WithEngine(*engine),
+		s3crm.WithModel(*model),
 		s3crm.WithDiffusion(*diff),
 		s3crm.WithSamples(*samples),
 		s3crm.WithSeed(*seed),
@@ -81,7 +87,8 @@ func main() {
 	}
 
 	srv := &server{problem: problem, campaign: campaign, defaults: defaults{
-		Engine: *engine, Diffusion: *diff, Samples: *samples, Workers: *workers,
+		Engine: *engine, Model: *model, Diffusion: *diff,
+		Samples: *samples, Workers: *workers,
 	}}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", srv.healthz)
@@ -94,7 +101,7 @@ func main() {
 	log.Fatal(http.ListenAndServe(*addr, mux))
 }
 
-func loadProblem(dataset string, scale int, graphFile, probModel string, budget float64, scenario string, seed uint64) (*s3crm.Problem, error) {
+func loadProblem(dataset string, scale int, graphFile, probModel string, budget float64, scenario string, seed uint64, ltnorm bool) (*s3crm.Problem, error) {
 	switch {
 	case scenario != "":
 		f, err := os.Open(scenario)
@@ -108,7 +115,7 @@ func loadProblem(dataset string, scale int, graphFile, probModel string, budget 
 			return nil, fmt.Errorf("-graph instances need an explicit -budget")
 		}
 		problem, stats, err := s3crm.LoadGraphProblem(graphFile, s3crm.GraphConfig{
-			Model: probModel, Budget: budget, Seed: seed,
+			Model: probModel, Budget: budget, Seed: seed, NormalizeLT: ltnorm,
 		})
 		if err != nil {
 			return nil, err
@@ -125,6 +132,7 @@ func loadProblem(dataset string, scale int, graphFile, probModel string, budget 
 
 type defaults struct {
 	Engine    string `json:"engine"`
+	Model     string `json:"model"`
 	Diffusion string `json:"diffusion"`
 	Samples   int    `json:"samples"`
 	Workers   int    `json:"workers"`
@@ -140,6 +148,7 @@ type server struct {
 // and /evaluate: zero values defer to the campaign's defaults.
 type callParams struct {
 	Engine       string  `json:"engine"`
+	Model        string  `json:"model"`
 	Diffusion    string  `json:"diffusion"`
 	Samples      int     `json:"samples"`
 	Seed         *uint64 `json:"seed"` // set ⇒ pinned, reproducible call
@@ -155,6 +164,9 @@ func (p callParams) options() []s3crm.Option {
 	var opts []s3crm.Option
 	if p.Engine != "" {
 		opts = append(opts, s3crm.WithEngine(p.Engine))
+	}
+	if p.Model != "" {
+		opts = append(opts, s3crm.WithModel(p.Model))
 	}
 	if p.Diffusion != "" {
 		opts = append(opts, s3crm.WithDiffusion(p.Diffusion))
@@ -218,6 +230,7 @@ func (s *server) info(w http.ResponseWriter, _ *http.Request) {
 		"budget":     s.problem.Budget(),
 		"defaults":   s.defaults,
 		"engines":    s3crm.Engines(),
+		"models":     s3crm.Models(),
 		"diffusions": s3crm.Diffusions(),
 		"baselines":  s3crm.Baselines(),
 	})

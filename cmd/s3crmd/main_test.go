@@ -72,17 +72,40 @@ func TestSolveEndpoint(t *testing.T) {
 		t.Fatalf("solve result: %+v", got.Result)
 	}
 
-	// Per-request engine selection with a bad engine is a 400 naming the
-	// valid set.
-	w = do(t, s.solve, http.MethodPost, `{"engine":"warp"}`)
-	if w.Code != http.StatusBadRequest || !strings.Contains(w.Body.String(), "want one of") {
-		t.Fatalf("bad engine: %d %s", w.Code, w.Body.String())
-	}
-
 	// Baselines run through the same endpoint.
 	w = do(t, s.solve, http.MethodPost, `{"algorithm":"IM-U","seed":7}`)
 	if w.Code != http.StatusOK {
 		t.Fatalf("baseline solve: %d %s", w.Code, w.Body.String())
+	}
+
+	// Per-request triggering-model selection: LT solves end-to-end.
+	w = do(t, s.solve, http.MethodPost, `{"model":"lt","engine":"worldcache","seed":7}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("lt solve: %d %s", w.Code, w.Body.String())
+	}
+}
+
+// TestSolveRejectsUnknownNames: unknown engine, triggering-model and
+// diffusion values in POST /solve answer 400 with exactly the functional
+// options' "want one of" message, so clients see the valid set.
+func TestSolveRejectsUnknownNames(t *testing.T) {
+	s := testServer(t)
+	cases := []struct{ body, want string }{
+		{`{"engine":"warp"}`, `unknown engine "warp" (want one of [mc worldcache sketch])`},
+		{`{"model":"voter"}`, `unknown triggering model "voter" (want one of [ic lt])`},
+		{`{"diffusion":"quantum"}`, `unknown diffusion substrate "quantum" (want one of [liveedge hash])`},
+	}
+	for _, tc := range cases {
+		w := do(t, s.solve, http.MethodPost, tc.body)
+		var got struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &got); err != nil {
+			t.Fatalf("%s: %v", tc.body, err)
+		}
+		if w.Code != http.StatusBadRequest || !strings.Contains(got.Error, tc.want) {
+			t.Errorf("%s: got %d %q, want 400 containing %q", tc.body, w.Code, got.Error, tc.want)
+		}
 	}
 }
 

@@ -73,14 +73,17 @@ func TestDocsMentionCurrentSurface(t *testing.T) {
 	}
 	for _, want := range []string{
 		"NewCampaign", "EvaluateBatch", "cmd/s3crm", "s3crmd", "gengraph",
-		"LoadGraphProblem", "BENCH_4.json", "worldcache", "liveedge",
+		"LoadGraphProblem", "BENCH_5.json", "worldcache", "liveedge",
+		"WithModel", "-model lt",
 		"DESIGN.md", "EXPERIMENTS.md",
 	} {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("README.md no longer mentions %q", want)
 		}
 	}
-	if _, err := os.Stat("BENCH_4.json"); err != nil {
-		t.Error("BENCH_4.json is not committed at the repo root")
+	for _, artifact := range []string{"BENCH_4.json", "BENCH_5.json"} {
+		if _, err := os.Stat(artifact); err != nil {
+			t.Errorf("%s is not committed at the repo root", artifact)
+		}
 	}
 }

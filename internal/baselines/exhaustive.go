@@ -19,6 +19,9 @@ type ExhaustiveConfig struct {
 	MaxK     int // maximum coupons per user (default 2)
 	Samples  int // Monte-Carlo samples per evaluation (default 2000)
 	Seed     uint64
+	// Model selects the triggering model the enumeration evaluates under
+	// (see diffusion.Models; empty means diffusion.ModelIC).
+	Model string
 	// MaxNodes aborts with an error when the instance exceeds this many
 	// users (default 24) — a tripwire against accidentally exponential
 	// runs.
@@ -54,7 +57,14 @@ func Exhaustive(ctx context.Context, in *diffusion.Instance, cfg ExhaustiveConfi
 	if n > cfg.MaxNodes {
 		return nil, fmt.Errorf("baselines: exhaustive search on %d users exceeds the %d-user bound", n, cfg.MaxNodes)
 	}
-	est := diffusion.NewEstimator(in, cfg.Samples, cfg.Seed)
+	ev, err := diffusion.NewEngineOpts(in, diffusion.EngineOptions{
+		Model: cfg.Model, Samples: cfg.Samples, Seed: cfg.Seed,
+		Diffusion: diffusion.DiffusionHash, // tiny instances: skip materialization
+	})
+	if err != nil {
+		return nil, fmt.Errorf("baselines: %w", err)
+	}
+	est := ev.(*diffusion.Estimator)
 
 	var bestOutcome *Outcome
 	bestRate := -1.0

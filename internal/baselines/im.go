@@ -27,9 +27,15 @@ type Config struct {
 	LimitedK int
 	// Engine selects the evaluation engine (see diffusion.Engines; empty
 	// means diffusion.EngineMC). Under diffusion.EngineSketch, CandidateCap
-	// prunes greedy seed candidates by estimated IC influence (RR-set cover
-	// counts) instead of raw out-degree.
+	// prunes greedy seed candidates by estimated influence (RR-set cover
+	// counts under the configured triggering model) instead of raw
+	// out-degree.
 	Engine string
+	// Model selects the triggering model deciding per-world edge liveness
+	// (see diffusion.Models; empty means diffusion.ModelIC). It drives
+	// both the forward evaluations and RR-set drawing: linear-threshold
+	// sketches walk a single sampled in-edge per step.
+	Model string
 	// Diffusion selects the edge-liveness substrate (see
 	// diffusion.Diffusions; empty means diffusion.DiffusionLiveEdge —
 	// materialized live-edge worlds within LiveEdgeMemBudget, hashing past
@@ -78,7 +84,8 @@ func (c Config) engine(in *diffusion.Instance) (diffusion.Evaluator, error) {
 		return c.Evaluator, nil
 	}
 	ev, err := diffusion.NewEngineOpts(in, diffusion.EngineOptions{
-		Engine: c.Engine, Samples: c.Samples, Seed: c.Seed, Workers: c.Workers,
+		Engine: c.Engine, Model: c.Model,
+		Samples: c.Samples, Seed: c.Seed, Workers: c.Workers,
 		Diffusion: c.Diffusion, LiveEdgeMemBudget: c.LiveEdgeMemBudget,
 	})
 	if err != nil {

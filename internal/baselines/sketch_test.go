@@ -73,3 +73,25 @@ func TestSeedCandidatesSketchDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestSeedCandidatesSketchPruningLT drives the linear-threshold RR-set
+// paths end-to-end — ris.GenerateLT under the hash substrate and
+// ris.GenerateLiveLT over the LT chosen-in-edge substrate — through
+// sketchPrune: on the hub-vs-spreader instance (every node has a single
+// in-edge, so it is LT-valid as-is) both must keep the certain spreader. A
+// hard failure in either LT walk would fall back to degree pruning and
+// keep the hub, so the assertion catches silent breakage too.
+func TestSeedCandidatesSketchPruningLT(t *testing.T) {
+	inst := sketchInstance(t)
+	for _, diff := range diffusion.Diffusions() {
+		cfg := Config{
+			CandidateCap: 1, Samples: 50, Seed: 3, RISSketches: 2000,
+			Engine: diffusion.EngineSketch, Model: diffusion.ModelLT,
+			Diffusion: diff,
+		}.withDefaults()
+		got := seedCandidates(inst, cfg)
+		if len(got) != 1 || got[0] != 1 {
+			t.Fatalf("diffusion=%s: LT sketch pruning kept %v, want the certain spreader [1]", diff, got)
+		}
+	}
+}

@@ -36,11 +36,20 @@ type Options struct {
 	// diffusion.EngineSketch (evaluates like MC; sketches accelerate the
 	// baselines' seed ranking, not the solver).
 	Engine string
+	// Model selects the triggering model deciding per-world edge liveness
+	// (see diffusion.Models): diffusion.ModelIC (the default, independent
+	// per-edge coins — the paper's setting) or diffusion.ModelLT (linear
+	// threshold via its live-edge equivalence — each node selects at most
+	// one live in-edge, requiring in-weights summing to at most 1). The
+	// propagation kernel, the world-cache replays and the sketches all
+	// follow the selected model.
+	Model string
 	// Diffusion selects the edge-liveness substrate (see
 	// diffusion.Diffusions): diffusion.DiffusionLiveEdge (the default —
-	// coin flips materialized once per world into packed bitsets, read by
-	// every probe) or diffusion.DiffusionHash (recompute the stateless hash
-	// per probe). Outcomes are identical; only speed and memory differ.
+	// per-world liveness materialized once into the model's row layout,
+	// read by every probe) or diffusion.DiffusionHash (recompute the
+	// stateless per-probe function every time). Outcomes are identical;
+	// only speed and memory differ.
 	Diffusion string
 	// LiveEdgeMemBudget caps the bytes the live-edge substrate may commit
 	// to materialized worlds (<= 0 means diffusion.DefaultLiveEdgeMemBudget);
@@ -322,7 +331,8 @@ func SolveCtx(ctx context.Context, inst *diffusion.Instance, opts Options) (*Sol
 	if ev == nil {
 		var err error
 		ev, err = diffusion.NewEngineOpts(inst, diffusion.EngineOptions{
-			Engine: opts.Engine, Samples: opts.Samples, Seed: opts.Seed,
+			Engine: opts.Engine, Model: opts.Model,
+			Samples: opts.Samples, Seed: opts.Seed,
 			Workers: opts.Workers, Diffusion: opts.Diffusion,
 			LiveEdgeMemBudget: opts.LiveEdgeMemBudget,
 		})

@@ -550,7 +550,7 @@ func (s *solver) newScorer() diffusion.Evaluator {
 		seed = s.opts.Seed ^ 0x5c04e
 	}
 	scorer, err := diffusion.NewEngineOpts(s.inst, diffusion.EngineOptions{
-		Engine: engine, Samples: s.opts.Samples,
+		Engine: engine, Model: s.opts.Model, Samples: s.opts.Samples,
 		Seed: seed, Workers: s.opts.Workers,
 		Diffusion: s.opts.Diffusion, LiveEdgeMemBudget: s.opts.LiveEdgeMemBudget,
 	})

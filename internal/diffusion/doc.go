@@ -4,8 +4,10 @@
 //
 // # Model
 //
-// The model extends the independent cascade (IC) model with a social-coupon
-// (SC) constraint: influence starts from the seed set; every activated user
+// The model extends a triggering model — independent cascade (ModelIC, the
+// paper's setting and the default) or linear threshold (ModelLT, via its
+// live-edge equivalence; see Models) — with a social-coupon (SC)
+// constraint: influence starts from the seed set; every activated user
 // vi holding K[vi] coupons offers them to out-neighbours in descending
 // order of influence probability, and at most K[vi] neighbours redeem. A
 // neighbour at adjacency position j (0-based) therefore redeems with
@@ -33,10 +35,12 @@
 // per-world snapshots answer the greedy loops' delta queries by replaying
 // only the affected worlds and frontiers) and EngineSketch (MC evaluation
 // plus reverse-influence-sampling candidate pruning for the baselines).
-// Edge liveness comes from a stateless hash of (seed, world, edge) — common
-// random numbers, so every deployment sees identical worlds — either
-// recomputed per probe (DiffusionHash) or materialized once per world into
-// packed bit rows (DiffusionLiveEdge, the default; see LiveEdges).
+// Edge liveness comes from a stateless hash — of (seed, world, edge) under
+// ModelIC, of (seed, world, target node) walked down the in-row under
+// ModelLT — giving common random numbers, so every deployment sees
+// identical worlds; it is either recomputed per probe (DiffusionHash) or
+// materialized once per world into the model's row layout
+// (DiffusionLiveEdge, the default; see LiveEdges).
 //
 // The single propagation kernel (Estimator.simWorld) iterates the graph's
 // CSR rows directly — a row's global base offset doubles as the coin-flip

@@ -45,11 +45,18 @@ type Evaluator interface {
 }
 
 // EngineOptions configures NewEngineOpts: which engine to build, its
-// Monte-Carlo parameters, and the diffusion substrate the propagation kernel
-// probes edge liveness through.
+// Monte-Carlo parameters, the triggering model that owns per-world edge
+// liveness, and the diffusion substrate the propagation kernel probes that
+// liveness through.
 type EngineOptions struct {
 	// Engine names the evaluation engine (see Engines); empty means EngineMC.
 	Engine string
+	// Model names the triggering model deciding per-world edge liveness
+	// (see Models); empty means ModelIC. Under ModelLT the instance's
+	// in-weights must satisfy the linear-threshold precondition
+	// (ValidateLTWeights), checked here so misconfigured instances fail at
+	// construction rather than deep inside a solve.
+	Model string
 	// Samples is the possible-world count; Seed seeds the coin stream.
 	Samples int
 	Seed    uint64
@@ -78,13 +85,31 @@ func NewEngineOpts(inst *Instance, o EngineOptions) (Evaluator, error) {
 	default:
 		return nil, fmt.Errorf("diffusion: unknown engine %q (want one of %v)", o.Engine, Engines())
 	}
+	model, err := normalizeModel(o.Model)
+	if err != nil {
+		return nil, err
+	}
 	switch o.Diffusion {
-	case "", DiffusionLiveEdge:
-		est.Live = NewLiveEdges(inst.G, o.Samples, est.Coin, o.LiveEdgeMemBudget)
-	case DiffusionHash:
-		// probe the coin directly
+	case "", DiffusionLiveEdge, DiffusionHash:
 	default:
 		return nil, fmt.Errorf("diffusion: unknown diffusion substrate %q (want one of %v)", o.Diffusion, Diffusions())
+	}
+	switch model {
+	case ModelIC:
+		if o.Diffusion != DiffusionHash {
+			est.Live = NewLiveEdges(inst.G, o.Samples, est.Coin, o.LiveEdgeMemBudget)
+		}
+		// Under DiffusionHash the estimator probes the coin directly
+		// (Live == nil) — PR 1's behaviour, bit-for-bit.
+	case ModelLT:
+		if err := ValidateLTWeights(inst.G); err != nil {
+			return nil, err
+		}
+		// LT always probes through the substrate: even hash-per-probe
+		// evaluation needs the reverse CSR's in-rows for the categorical
+		// walk. Only materialization is gated by the diffusion choice.
+		est.Live = NewLTLiveEdges(inst.G, o.Samples, est.Coin, o.LiveEdgeMemBudget,
+			o.Diffusion != DiffusionHash)
 	}
 	if o.Engine == EngineWorldCache {
 		return &WorldCache{Est: est}, nil

@@ -8,19 +8,25 @@ import (
 // the most the exhaustive ground-truth evaluator will attempt.
 const maxExactEdges = 24
 
-// ExactBenefit computes B(S, K) exactly by enumerating every possible
-// world over the edges reachable from the deployment — the brute-force
-// ground truth the Monte-Carlo estimator is validated against on small
-// non-tree graphs (ExactTreeBenefit covers forests of any size).
-//
-// Only edges leaving users that hold coupons and are reachable from the
-// seeds can influence the outcome, so the enumeration is restricted to
-// those; an error is returned when more than 24 such edges exist.
-func ExactBenefit(in *Instance, d *Deployment) (float64, error) {
+// maxExactWorlds bounds ExactBenefitLT's enumeration the same way: the
+// product of per-node choice counts may not exceed 2^24.
+const maxExactWorlds = 1 << 24
+
+// exactEdge is one edge the exhaustive evaluators enumerate over,
+// identified by its source and local adjacency position (the key the
+// propagation sweep probes liveness under).
+type exactEdge struct {
+	from int32
+	pos  int
+	p    float64
+}
+
+// relevantEdges collects the edges that can influence a deployment's
+// outcome: out-edges of coupon-holding users reachable from the seeds
+// (reachability over all edges — a superset of the true spread, which is
+// safe). Both exhaustive evaluators restrict their enumerations to these.
+func relevantEdges(in *Instance, d *Deployment) []exactEdge {
 	g := in.G
-	// Collect the edges that can matter: out-edges of coupon-holding
-	// users reachable from the seeds (over all edges — superset of the
-	// true spread, which is safe).
 	reach := make([]bool, g.NumNodes())
 	queue := make([]int32, 0, 16)
 	for _, s := range d.Seeds() {
@@ -42,12 +48,7 @@ func ExactBenefit(in *Instance, d *Deployment) (float64, error) {
 			}
 		}
 	}
-	type edge struct {
-		from int32
-		pos  int
-		p    float64
-	}
-	var edges []edge
+	var edges []exactEdge
 	for v := int32(0); v < int32(g.NumNodes()); v++ {
 		if !reach[v] || d.K(v) == 0 {
 			continue
@@ -55,22 +56,25 @@ func ExactBenefit(in *Instance, d *Deployment) (float64, error) {
 		_, probs := g.OutEdges(v)
 		for j, p := range probs {
 			if p > 0 {
-				edges = append(edges, edge{from: v, pos: j, p: p})
+				edges = append(edges, exactEdge{from: v, pos: j, p: p})
 			}
 		}
 	}
-	if len(edges) > maxExactEdges {
-		return 0, fmt.Errorf("diffusion: exact enumeration over %d edges exceeds the %d-edge bound", len(edges), maxExactEdges)
-	}
+	return edges
+}
 
-	// live[v][j] tells the propagation whether v's j-th strongest edge is
-	// live in the current world.
-	live := make(map[int64]bool, len(edges))
+// exactPropagator returns a closure running the capacity-constrained
+// propagation sweep over one fully decided world: live[key(v, j)] tells it
+// whether v's j-th strongest edge is live. The sweep is the single place
+// both exhaustive evaluators share with the Monte-Carlo kernel's semantics
+// — offer scans in descending-probability order, coupons consumed only by
+// redemptions — so model differences live entirely in how the live map is
+// populated.
+func exactPropagator(in *Instance, d *Deployment, live map[int64]bool) func() float64 {
+	g := in.G
 	key := func(v int32, j int) int64 { return int64(v)<<32 | int64(j) }
-
 	active := make([]bool, g.NumNodes())
-	var propagate func() float64
-	propagate = func() float64 {
+	return func() float64 {
 		for i := range active {
 			active[i] = false
 		}
@@ -107,7 +111,25 @@ func ExactBenefit(in *Instance, d *Deployment) (float64, error) {
 		}
 		return total
 	}
+}
 
+// ExactBenefit computes B(S, K) exactly under the independent-cascade model
+// by enumerating every possible world over the edges reachable from the
+// deployment — the brute-force ground truth the Monte-Carlo estimator is
+// validated against on small non-tree graphs (ExactTreeBenefit covers
+// forests of any size, under either model).
+//
+// Only edges leaving users that hold coupons and are reachable from the
+// seeds can influence the outcome, so the enumeration is restricted to
+// those; an error is returned when more than 24 such edges exist.
+func ExactBenefit(in *Instance, d *Deployment) (float64, error) {
+	edges := relevantEdges(in, d)
+	if len(edges) > maxExactEdges {
+		return 0, fmt.Errorf("diffusion: exact enumeration over %d edges exceeds the %d-edge bound", len(edges), maxExactEdges)
+	}
+	live := make(map[int64]bool, len(edges))
+	key := func(v int32, j int) int64 { return int64(v)<<32 | int64(j) }
+	propagate := exactPropagator(in, d, live)
 	total := 0.0
 	var walk func(i int, prob float64)
 	walk = func(i int, prob float64) {
@@ -125,5 +147,77 @@ func ExactBenefit(in *Instance, d *Deployment) (float64, error) {
 		walk(i+1, prob*(1-e.p))
 	}
 	walk(0, 1)
+	return total, nil
+}
+
+// ExactBenefitLT computes B(S, K) exactly under the linear-threshold model
+// via its live-edge equivalence: each node independently selects at most
+// one live in-edge, edge (u, v) with probability w(u, v) and none with the
+// remaining 1 − Σ w mass. The enumeration therefore branches per target
+// node over its relevant in-edges (choices among irrelevant in-edges —
+// sources that can never transmit — collapse into the "none" outcome
+// exactly, since a live edge from an inactive source changes nothing), and
+// the propagation sweep is shared with ExactBenefit. An error is returned
+// when the product of per-node choice counts exceeds 2^24 or the relevant
+// in-weights of some node sum past 1 (ValidateLTWeights' precondition).
+func ExactBenefitLT(in *Instance, d *Deployment) (float64, error) {
+	edges := relevantEdges(in, d)
+	// Group the relevant edges by target node, preserving order.
+	g := in.G
+	targetOf := func(e exactEdge) int32 {
+		ts, _ := g.OutEdges(e.from)
+		return ts[e.pos]
+	}
+	var order []int32
+	groups := make(map[int32][]exactEdge)
+	for _, e := range edges {
+		t := targetOf(e)
+		if _, ok := groups[t]; !ok {
+			order = append(order, t)
+		}
+		groups[t] = append(groups[t], e)
+	}
+	worlds := 1
+	for _, t := range order {
+		worlds *= len(groups[t]) + 1
+		if worlds > maxExactWorlds {
+			return 0, fmt.Errorf("diffusion: exact LT enumeration exceeds the %d-world bound", maxExactWorlds)
+		}
+	}
+	live := make(map[int64]bool, len(edges))
+	key := func(v int32, j int) int64 { return int64(v)<<32 | int64(j) }
+	propagate := exactPropagator(in, d, live)
+	total := 0.0
+	var walk func(i int, prob float64) error
+	walk = func(i int, prob float64) error {
+		if prob == 0 {
+			return nil
+		}
+		if i == len(order) {
+			total += prob * propagate()
+			return nil
+		}
+		group := groups[order[i]]
+		sum := 0.0
+		for _, e := range group {
+			sum += e.p
+			live[key(e.from, e.pos)] = true
+			if err := walk(i+1, prob*e.p); err != nil {
+				return err
+			}
+			live[key(e.from, e.pos)] = false
+		}
+		if sum > 1+ltWeightTolerance {
+			return fmt.Errorf("diffusion: node %d relevant in-weights sum to %v > 1, violating the linear-threshold precondition", order[i], sum)
+		}
+		none := 1 - sum
+		if none < 0 {
+			none = 0
+		}
+		return walk(i+1, prob*none)
+	}
+	if err := walk(0, 1); err != nil {
+		return 0, err
+	}
 	return total, nil
 }

@@ -11,19 +11,22 @@ import (
 // through core.Options, baselines.Config, eval.RunParams and the public
 // s3crm.Options.
 const (
-	// DiffusionLiveEdge (the default) materializes coin flips into live-edge
-	// bit rows — for each probed edge, one bit per possible world — so the
-	// propagation kernel, the world-cache frontier replay and RIS sketch
-	// generation read a bit instead of recomputing a splitmix64 hash chain
-	// per probe. Under common random numbers edge liveness is
-	// deployment-independent, which is what makes the one-off
-	// materialization sound. Rows are filled lazily on first probe (edges no
-	// cascade ever reaches cost nothing) and capped by a memory budget,
-	// beyond which probes fall back to hashing — results are identical
-	// either way.
+	// DiffusionLiveEdge (the default) materializes each world's edge
+	// liveness once so the propagation kernel, the world-cache frontier
+	// replay and RIS sketch generation read precomputed state instead of
+	// recomputing a splitmix64 hash chain per probe. What is materialized
+	// is owned by the triggering model: under IC, per-edge bit rows (one
+	// bit per possible world); under LT, per-node chosen-in-edge rows (the
+	// forward index of the node's selected in-edge per world). Under common
+	// random numbers liveness is deployment-independent, which is what
+	// makes the one-off materialization sound. Rows are filled lazily on
+	// first probe (state no cascade ever reaches costs nothing) and capped
+	// by a memory budget, beyond which probes fall back to hashing —
+	// results are identical either way.
 	DiffusionLiveEdge = "liveedge"
-	// DiffusionHash recomputes the stateless hash on every edge probe
-	// (PR 1's behaviour): zero memory overhead, identical outcomes.
+	// DiffusionHash recomputes the stateless per-probe function every time
+	// (PR 1's behaviour for IC; for LT, the categorical in-row walk):
+	// zero memory overhead, identical outcomes.
 	DiffusionHash = "hash"
 )
 
@@ -35,34 +38,52 @@ func Diffusions() []string { return []string{DiffusionLiveEdge, DiffusionHash} }
 // two-million-edge graph even if every edge is probed.
 const DefaultLiveEdgeMemBudget = int64(256) << 20
 
-// LiveEdges is the materialized live-edge substrate: per global edge index,
-// a packed row of one bit per possible world holding the outcome of
-// rng.Coin.Live for that (world, edge) pair. The layout is edge-major
-// because probe locality is by edge, not by world — every evaluation of
-// every deployment probes the same cascade-adjacent edges across all
-// worlds, so a row filled once (Samples hash flips) serves every subsequent
-// evaluation, while edges no cascade reaches are never materialized at all.
+// LiveEdges is the materialized per-world edge-liveness substrate — the
+// object every engine probes through Live(world, edge), with the layout
+// owned by the triggering model:
+//
+//   - IC: per global edge index, a packed row of one bit per possible world
+//     holding the outcome of rng.Coin.Live for that (world, edge) pair. The
+//     layout is edge-major because probe locality is by edge — every
+//     evaluation of every deployment probes the same cascade-adjacent edges
+//     across all worlds, so a row filled once (Samples hash flips) serves
+//     every subsequent evaluation.
+//   - LT: per node, a row of Samples forward edge indexes — the in-edge the
+//     node selects in each world under the live-edge equivalence (-1 when
+//     the selection lands past the in-weight sum), drawn by one uniform per
+//     (world, node) walked down the shared reverse CSR's sorted in-row. A
+//     probe of edge e answers chosen[target(e)][world] == e, so at most one
+//     in-edge of a node is ever live in a world.
 //
 // Rows fill lazily on first probe and the total is capped by a byte budget;
-// once the budget is exhausted the remaining edges hash per probe, with
-// identical outcomes (the bits are Coin's own flips). Filling is safe for
-// concurrent use: workers racing on a row each build the (identical,
-// deterministic) bits and the first CAS wins.
+// once the budget is exhausted the remaining probes hash per probe, with
+// identical outcomes (the rows hold the hash function's own draws). Filling
+// is safe for concurrent use: workers racing on a row each build the
+// (identical, deterministic) contents and the first CAS wins.
 type LiveEdges struct {
-	coin     rng.Coin
-	probs    []float64 // global CSR edge probabilities (aliases graph storage)
-	samples  int
+	coin    rng.Coin
+	probs   []float64 // global CSR edge probabilities (aliases graph storage)
+	samples int
+	spent   atomic.Int64 // bytes committed to filled rows
+	budget  int64
+
+	// IC state: per-edge bit rows.
 	words    int      // row words: (samples+63)/64
 	worldMix []uint64 // per-world hash term, hoisted out of row fills
 	rows     []atomic.Pointer[[]uint64]
-	spent    atomic.Int64 // bytes committed to filled rows
-	budget   int64
+
+	// LT state: per-node chosen-in-edge rows over the shared reverse CSR.
+	lt          bool
+	materialize bool         // false ⇒ every LT probe walks the in-row by hash
+	g           *graph.Graph // reverse CSR access for the categorical walk
+	targets     []int32      // global edge index → target node (aliases CSR)
+	chosen      []atomic.Pointer[[]int32]
 }
 
-// NewLiveEdges returns the substrate for samples worlds over g using coin,
-// or nil when the budget cannot hold even a single row — the caller then
-// probes the coin directly, with identical outcomes. memBudget <= 0 means
-// DefaultLiveEdgeMemBudget.
+// NewLiveEdges returns the independent-cascade substrate for samples worlds
+// over g using coin, or nil when the budget cannot hold even a single row —
+// the caller then probes the coin directly, with identical outcomes.
+// memBudget <= 0 means DefaultLiveEdgeMemBudget.
 func NewLiveEdges(g *graph.Graph, samples int, coin rng.Coin, memBudget int64) *LiveEdges {
 	if memBudget <= 0 {
 		memBudget = DefaultLiveEdgeMemBudget
@@ -85,10 +106,48 @@ func NewLiveEdges(g *graph.Graph, samples int, coin rng.Coin, memBudget int64) *
 	}
 }
 
+// NewLTLiveEdges returns the linear-threshold substrate for samples worlds
+// over g using coin. Unlike the IC constructor it is required under LT even
+// for hash-per-probe evaluation — the categorical in-row walk needs the
+// reverse CSR — so materialize selects between DiffusionLiveEdge (per-node
+// chosen rows within memBudget, hashing past it) and DiffusionHash (walk on
+// every probe). Outcomes are identical either way. nil is returned only for
+// empty-edge or zero-sample inputs, where no probe can ever occur.
+// memBudget <= 0 means DefaultLiveEdgeMemBudget.
+//
+// Callers must have established the LT precondition (ValidateLTWeights):
+// in-weight sums above 1 would truncate the categorical walk.
+func NewLTLiveEdges(g *graph.Graph, samples int, coin rng.Coin, memBudget int64, materialize bool) *LiveEdges {
+	if memBudget <= 0 {
+		memBudget = DefaultLiveEdgeMemBudget
+	}
+	if samples <= 0 || g.NumEdges() == 0 {
+		return nil
+	}
+	_, targets, _ := g.CSR()
+	le := &LiveEdges{
+		coin:    coin,
+		probs:   g.Probs(),
+		samples: samples,
+		budget:  memBudget,
+		lt:      true,
+		g:       g,
+		targets: targets,
+	}
+	if materialize && int64(samples)*4 <= memBudget {
+		le.materialize = true
+		le.chosen = make([]atomic.Pointer[[]int32], g.NumNodes())
+	}
+	return le
+}
+
 // Live reports whether the edge with the given global index is live in
-// world, materializing the edge's row on first probe (or hashing when the
+// world, materializing the owning row on first probe (or hashing when the
 // memory budget is spent). world must be < the substrate's sample count.
 func (le *LiveEdges) Live(world uint64, edge uint64) bool {
+	if le.lt {
+		return le.ltLive(world, edge)
+	}
 	rp := le.rows[edge].Load()
 	if rp == nil {
 		if rp = le.fill(edge); rp == nil {
@@ -98,9 +157,9 @@ func (le *LiveEdges) Live(world uint64, edge uint64) bool {
 	return (*rp)[world>>6]&(1<<(world&63)) != 0
 }
 
-// fill materializes one edge's row, flipping its coin once per world. It
-// returns nil — leaving the row unmaterialized — when the byte budget is
-// exhausted.
+// fill materializes one edge's IC bit row, flipping its coin once per
+// world. It returns nil — leaving the row unmaterialized — when the byte
+// budget is exhausted.
 func (le *LiveEdges) fill(edge uint64) *[]uint64 {
 	rowBytes := int64(le.words) * 8
 	if le.spent.Add(rowBytes) > le.budget {
@@ -116,9 +175,79 @@ func (le *LiveEdges) fill(edge uint64) *[]uint64 {
 	return &row
 }
 
-// Materialized reports whether the edge's row is currently materialized —
-// instrumentation for tests and memory diagnostics.
+// ltLive answers an LT probe: the edge is live exactly when its target
+// selected it, read from the node's materialized chosen row when available
+// and recomputed by the categorical walk otherwise — bit-identical by
+// construction, since the rows hold ltChoice's own draws.
+func (le *LiveEdges) ltLive(world uint64, edge uint64) bool {
+	t := le.targets[edge]
+	if le.materialize {
+		rp := le.chosen[t].Load()
+		if rp == nil {
+			rp = le.fillLT(t)
+		}
+		if rp != nil {
+			return (*rp)[world] == int32(edge)
+		}
+	}
+	return le.ltChoice(world, t) == int32(edge)
+}
+
+// ltItemKey maps a node id into a coin item key disjoint from every global
+// edge index (edge indexes are bounded by the int32 CSR cap, well below
+// 2^40), so at a shared seed the LT selection uniforms never coincide with
+// IC's per-edge coin flips — the two models' streams share no draws.
+func ltItemKey(t int32) uint64 { return uint64(uint32(t)) | 1<<40 }
+
+// ltChoice returns the forward global index of the in-edge node t selects
+// in world, or -1 when the draw lands past the in-weight sum (no live
+// in-edge — the 1 − Σ w mass of the LT live-edge distribution). One
+// uniform per (world, node) is walked down the reverse CSR's sorted in-row;
+// the accumulation order is fixed by that row, so every caller — row fills
+// and per-probe hashing alike — computes the identical choice.
+func (le *LiveEdges) ltChoice(world uint64, t int32) int32 {
+	_, eidx := le.g.InEdges(t)
+	if len(eidx) == 0 {
+		return -1
+	}
+	u := le.coin.Flip(world, ltItemKey(t))
+	cum := 0.0
+	for _, e := range eidx {
+		cum += le.probs[e]
+		if u < cum {
+			return e
+		}
+	}
+	return -1
+}
+
+// fillLT materializes node t's chosen-in-edge row, drawing its categorical
+// choice once per world. It returns nil — leaving the row unmaterialized —
+// when the byte budget is exhausted.
+func (le *LiveEdges) fillLT(t int32) *[]int32 {
+	rowBytes := int64(le.samples) * 4
+	if le.spent.Add(rowBytes) > le.budget {
+		le.spent.Add(-rowBytes)
+		return nil
+	}
+	row := make([]int32, le.samples)
+	for w := range row {
+		row[w] = le.ltChoice(uint64(w), t)
+	}
+	if !le.chosen[t].CompareAndSwap(nil, &row) {
+		le.spent.Add(-rowBytes) // a racing worker won; use its copy
+		return le.chosen[t].Load()
+	}
+	return &row
+}
+
+// Materialized reports whether the row owning the edge's liveness is
+// currently materialized — the edge's bit row under IC, its target's
+// chosen row under LT. Instrumentation for tests and memory diagnostics.
 func (le *LiveEdges) Materialized(edge uint64) bool {
+	if le.lt {
+		return le.materialize && le.chosen[le.targets[edge]].Load() != nil
+	}
 	return le.rows[edge].Load() != nil
 }
 

@@ -53,59 +53,86 @@ func liveEdgeDeployments(inst *Instance) []*Deployment {
 	return ds
 }
 
-// TestLiveEdgeMatchesHash pins the substrate's core guarantee: the
-// materialized bitsets hold exactly the coin flips the hashed kernel would
-// recompute, so every metric of every evaluation is bit-identical.
-func TestLiveEdgeMatchesHash(t *testing.T) {
+// substratePair returns hash- and live-substrate estimators for the given
+// triggering model over shared possible worlds: under IC the hash side
+// probes the coin directly (Live == nil); under LT both sides carry the LT
+// substrate, differing only in materialization.
+func substratePair(t testing.TB, inst *Instance, model string, samples int, seed uint64, workers int) (hashed, lived *Estimator) {
+	t.Helper()
+	hashed = NewEstimator(inst, samples, seed)
+	hashed.Workers = workers
+	lived = NewEstimator(inst, samples, seed)
+	lived.Workers = workers
+	switch model {
+	case ModelIC:
+		lived.Live = NewLiveEdges(inst.G, samples, lived.Coin, 0)
+	case ModelLT:
+		hashed.Live = NewLTLiveEdges(inst.G, samples, hashed.Coin, 0, false)
+		lived.Live = NewLTLiveEdges(inst.G, samples, lived.Coin, 0, true)
+	default:
+		t.Fatalf("unknown model %q", model)
+	}
+	if lived.Live == nil {
+		t.Fatal("live substrate unexpectedly over the default memory budget")
+	}
+	return hashed, lived
+}
+
+// TestLiveVsHashParity pins the substrate's core guarantee for both
+// triggering models: the materialized rows hold exactly the draws the
+// hashed kernel would recompute — per-edge coin flips under IC, per-node
+// in-edge selections under LT — so every metric of every evaluation is
+// bit-identical across substrates.
+func TestLiveVsHashParity(t *testing.T) {
 	inst := liveEdgeInstance(t)
 	const samples = 200
-	for _, workers := range []int{0, 4} {
-		hashed := NewEstimator(inst, samples, 7)
-		hashed.Workers = workers
-		lived := NewEstimator(inst, samples, 7)
-		lived.Workers = workers
-		lived.Live = NewLiveEdges(inst.G, samples, lived.Coin, 0)
-		if lived.Live == nil {
-			t.Fatal("live-edge substrate unexpectedly over the default memory budget")
-		}
-		for i, d := range liveEdgeDeployments(inst) {
-			a := hashed.Evaluate(d)
-			b := lived.Evaluate(d)
-			if a != b {
-				t.Fatalf("workers=%d deployment %d: hashed %v != live-edge %v", workers, i, a, b)
+	for _, model := range Models() {
+		t.Run(model, func(t *testing.T) {
+			for _, workers := range []int{0, 4} {
+				hashed, lived := substratePair(t, inst, model, samples, 7, workers)
+				for i, d := range liveEdgeDeployments(inst) {
+					a := hashed.Evaluate(d)
+					b := lived.Evaluate(d)
+					if a != b {
+						t.Fatalf("workers=%d deployment %d: hashed %v != live %v", workers, i, a, b)
+					}
+				}
 			}
-		}
+		})
 	}
 }
 
 // TestLiveEdgeWorldCacheParity checks the frontier replay reads the same
-// bits: Rebase results and DeltaBenefits answers agree exactly across
-// substrates.
+// liveness under both models: Rebase results and DeltaBenefits answers
+// agree exactly across substrates.
 func TestLiveEdgeWorldCacheParity(t *testing.T) {
 	inst := liveEdgeInstance(t)
 	const samples = 150
-	hashed := NewWorldCache(inst, samples, 11, 0)
-	lived := NewWorldCache(inst, samples, 11, 0)
-	lived.Est.Live = NewLiveEdges(inst.G, samples, lived.Est.Coin, 0)
-
-	for i, d := range liveEdgeDeployments(inst) {
-		ra, rb := hashed.Rebase(d), lived.Rebase(d)
-		if ra != rb {
-			t.Fatalf("deployment %d: rebase differs: %v vs %v", i, ra, rb)
-		}
-		cands := make([]int32, 0, inst.G.NumNodes())
-		for v := int32(0); v < int32(inst.G.NumNodes()); v++ {
-			if d.K(v) < inst.G.OutDegree(v) {
-				cands = append(cands, v)
+	for _, model := range Models() {
+		t.Run(model, func(t *testing.T) {
+			he, le := substratePair(t, inst, model, samples, 11, 0)
+			hashed := &WorldCache{Est: he}
+			lived := &WorldCache{Est: le}
+			for i, d := range liveEdgeDeployments(inst) {
+				ra, rb := hashed.Rebase(d), lived.Rebase(d)
+				if ra != rb {
+					t.Fatalf("deployment %d: rebase differs: %v vs %v", i, ra, rb)
+				}
+				cands := make([]int32, 0, inst.G.NumNodes())
+				for v := int32(0); v < int32(inst.G.NumNodes()); v++ {
+					if d.K(v) < inst.G.OutDegree(v) {
+						cands = append(cands, v)
+					}
+				}
+				da := hashed.DeltaBenefits(cands)
+				db := lived.DeltaBenefits(cands)
+				for j := range da {
+					if da[j] != db[j] {
+						t.Fatalf("deployment %d candidate %d: delta %v vs %v", i, cands[j], da[j], db[j])
+					}
+				}
 			}
-		}
-		da := hashed.DeltaBenefits(cands)
-		db := lived.DeltaBenefits(cands)
-		for j := range da {
-			if da[j] != db[j] {
-				t.Fatalf("deployment %d candidate %d: delta %v vs %v", i, cands[j], da[j], db[j])
-			}
-		}
+		})
 	}
 }
 
@@ -158,6 +185,47 @@ func TestLiveEdgeMemCapFallback(t *testing.T) {
 	for i, d := range liveEdgeDeployments(inst) {
 		if a, b := capped.Evaluate(d), hashed.Evaluate(d); a != b {
 			t.Fatalf("deployment %d: capped substrate %v != hash substrate %v", i, a, b)
+		}
+	}
+}
+
+// TestLTLiveEdgeMemCapFallback exercises the LT budget path: a budget
+// holding only a few chosen rows makes later probes recompute the
+// categorical walk per probe, with identical outcomes; evaluations through
+// a capped engine match the hash substrate exactly.
+func TestLTLiveEdgeMemCapFallback(t *testing.T) {
+	inst := liveEdgeInstance(t)
+	const samples = 100
+	rowBytes := int64(samples) * 4
+	tiny := NewLTLiveEdges(inst.G, samples, rng.NewCoin(3), 3*rowBytes, true)
+	ref := NewLTLiveEdges(inst.G, samples, rng.NewCoin(3), 0, false)
+	for e := 0; e < inst.G.NumEdges(); e++ {
+		for w := uint64(0); w < uint64(samples); w += 7 {
+			if got, want := tiny.Live(w, uint64(e)), ref.Live(w, uint64(e)); got != want {
+				t.Fatalf("edge %d world %d: capped %v, hash %v", e, w, got, want)
+			}
+		}
+	}
+	if spent := tiny.SpentBytes(); spent > 3*rowBytes {
+		t.Fatalf("substrate committed %d bytes under a %d-byte budget", spent, 3*rowBytes)
+	}
+	capped, err := NewEngineOpts(inst, EngineOptions{
+		Engine: EngineWorldCache, Model: ModelLT, Samples: samples, Seed: 3,
+		Diffusion: DiffusionLiveEdge, LiveEdgeMemBudget: 3 * rowBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashed, err := NewEngineOpts(inst, EngineOptions{
+		Engine: EngineWorldCache, Model: ModelLT, Samples: samples, Seed: 3,
+		Diffusion: DiffusionHash,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range liveEdgeDeployments(inst) {
+		if a, b := capped.Evaluate(d), hashed.Evaluate(d); a != b {
+			t.Fatalf("deployment %d: capped LT substrate %v != hash LT substrate %v", i, a, b)
 		}
 	}
 }

@@ -10,13 +10,18 @@ import (
 )
 
 // Estimator estimates B(S, K) by Monte-Carlo simulation of the
-// capacity-constrained IC model. It is the EngineMC implementation of
-// Evaluator and the simulation substrate the world-cache engine builds on.
+// capacity-constrained triggering model. It is the EngineMC implementation
+// of Evaluator and the simulation substrate the world-cache engine builds
+// on. The kernel itself is model-agnostic — it sweeps reachability over a
+// possible world's fixed edge-liveness assignment — and the triggering
+// model (IC or LT, see Models) owns how that assignment is drawn, behind
+// the Live substrate.
 //
-// Edge liveness is decided by a stateless hash of (seed, world, edge), so
-// two deployments evaluated by the same Estimator see identical possible
-// worlds — common random numbers. Marginal gains B(D') − B(D) computed from
-// the same Estimator are therefore far less noisy than with independent
+// Edge liveness is a stateless function of (seed, world, edge) — under IC a
+// per-edge hash, under LT a per-target-node categorical draw — so two
+// deployments evaluated by the same Estimator see identical possible worlds
+// — common random numbers. Marginal gains B(D') − B(D) computed from the
+// same Estimator are therefore far less noisy than with independent
 // sampling, which is what makes the greedy marginal-redemption comparisons
 // of S3CA stable at modest sample counts.
 type Estimator struct {
@@ -24,10 +29,13 @@ type Estimator struct {
 	Samples int // number of possible worlds; must be > 0
 	Coin    rng.Coin
 	Workers int // parallel workers; <= 1 means sequential
-	// Live, when non-nil, is the materialized live-edge substrate: edge
-	// probes read a precomputed bit instead of hashing. Outcomes are
-	// identical to Coin by construction (the bits are Coin's own flips,
-	// materialized once per world). Set by NewEngineOpts; nil means hash.
+	// Live, when non-nil, is the model-aware liveness substrate: edge
+	// probes read precomputed per-world state instead of hashing. Outcomes
+	// are identical to per-probe hashing by construction (the rows hold
+	// the hash function's own draws, materialized once per world). Set by
+	// NewEngineOpts; nil means the independent-cascade hash probed through
+	// Coin directly — under ModelLT the substrate is always present, since
+	// even hash-per-probe evaluation walks the reverse CSR.
 	Live *LiveEdges
 
 	// ctx, when non-nil, is checked periodically inside the simulation

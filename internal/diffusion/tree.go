@@ -14,6 +14,13 @@ import (
 // This is the evaluator behind the paper's worked examples (Fig. 1, 3, 5)
 // and the ground truth the Monte-Carlo estimator is validated against. An
 // error is returned when the reachable subgraph is not a forest.
+//
+// The evaluation is valid under both triggering models: whenever the
+// reachable subgraph is a forest, each reachable node has a single relevant
+// in-edge, and the LT live-edge selection makes that edge live with exactly
+// its weight — the same marginal as an independent IC coin — while sibling
+// edges (distinct targets, hence distinct selections) stay independent, so
+// IC and LT coincide on forests.
 func ExactTreeBenefit(in *Instance, d *Deployment) (float64, error) {
 	g := in.G
 	n := g.NumNodes()

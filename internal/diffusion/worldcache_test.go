@@ -168,15 +168,44 @@ func TestWorldCacheParallelRebaseMatchesSequential(t *testing.T) {
 	}
 }
 
-// TestWorldCacheIncrementalRebaseExact pins the incremental rebase: moving
-// the base through a chain of coupon-only changes (adds and removals) must
-// leave the cache in exactly the state a from-scratch Rebase would build —
-// same Result, same per-world snapshots, same delta answers.
+// newModelWorldCache builds a world cache whose estimator probes liveness
+// under the given triggering model (IC hashes the coin directly; LT always
+// carries the substrate).
+func newModelWorldCache(t testing.TB, inst *Instance, samples int, seed uint64, model string) *WorldCache {
+	t.Helper()
+	wc := NewWorldCache(inst, samples, seed, 0)
+	if model == ModelLT {
+		wc.Est.Live = NewLTLiveEdges(inst.G, samples, wc.Est.Coin, 0, true)
+	}
+	return wc
+}
+
+// TestWorldCacheIncrementalRebaseExact pins the incremental rebase under
+// both triggering models: moving the base through a chain of coupon-only
+// changes (adds and removals) must leave the cache in exactly the state a
+// from-scratch Rebase would build — same Result, same per-world snapshots,
+// same delta answers. The inertness and patch arguments only rely on edge
+// liveness being a fixed per-world property, so they must hold for LT's
+// correlated liveness exactly as for IC's independent coins.
 func TestWorldCacheIncrementalRebaseExact(t *testing.T) {
+	for _, model := range Models() {
+		t.Run(model, func(t *testing.T) {
+			testWorldCacheIncrementalRebaseExact(t, model)
+		})
+	}
+}
+
+func testWorldCacheIncrementalRebaseExact(t *testing.T, model string) {
 	inst := randomInstance(t, 40, 140, 51)
+	if model == ModelLT {
+		// The random weights overshoot the LT in-weight bound; scale them
+		// into range (CapInWeights re-sorts rows, so deployments are drawn
+		// against the capped graph's adjacency).
+		inst.G = inst.G.CapInWeights()
+	}
 	d := randomDeployment(inst, 2, 6, 52)
 	const samples = 300
-	inc := NewWorldCache(inst, samples, 53, 0)
+	inc := newModelWorldCache(t, inst, samples, 53, model)
 	inc.Rebase(d)
 
 	src := rng.New(54)
@@ -201,7 +230,7 @@ func TestWorldCacheIncrementalRebaseExact(t *testing.T) {
 		}
 		got := inc.Rebase(d)
 
-		fresh := NewWorldCache(inst, samples, 53, 0)
+		fresh := newModelWorldCache(t, inst, samples, 53, model)
 		want := fresh.Rebase(d)
 		if got != want {
 			t.Fatalf("step %d: incremental rebase %v, from-scratch %v", step, got, want)
@@ -252,7 +281,7 @@ func TestWorldCacheIncrementalRebaseExact(t *testing.T) {
 			}
 		}
 		got := inc.Rebase(d)
-		fresh := NewWorldCache(inst, samples, 53, 0)
+		fresh := newModelWorldCache(t, inst, samples, 53, model)
 		want := fresh.Rebase(d)
 		if got != want {
 			t.Fatalf("seed step %d: incremental path %v, from-scratch %v", step, got, want)

@@ -77,6 +77,7 @@ type RunParams struct {
 	Seed         uint64
 	Workers      int
 	Engine       string // evaluation engine (see diffusion.Engines; "" = mc)
+	Model        string // triggering model (see diffusion.Models; "" = ic)
 	Diffusion    string // edge-liveness substrate (see diffusion.Diffusions; "" = liveedge)
 	CandidateCap int    // baseline greedy candidate cap (0 = all users)
 	LimitedK     int    // limited-strategy quota (0 = Dropbox's 32)
@@ -123,7 +124,7 @@ func RunOne(algo string, inst *diffusion.Instance, p RunParams) (Measure, error)
 	switch algo {
 	case "S3CA":
 		sol, err := core.Solve(inst, core.Options{
-			Engine: p.Engine, Diffusion: p.Diffusion,
+			Engine: p.Engine, Model: p.Model, Diffusion: p.Diffusion,
 			Samples: p.Samples, Seed: p.Seed, Workers: p.Workers,
 			SpendBudget: p.SpendBudget, ExhaustiveID: p.ExhaustiveID,
 		})
@@ -134,7 +135,7 @@ func RunOne(algo string, inst *diffusion.Instance, p RunParams) (Measure, error)
 		meas.ExploredRatio = float64(sol.Stats.ExploredNodes) / float64(inst.G.NumNodes())
 	case "IM-U", "IM-L", "IM-R", "PM-U", "PM-L", "IM-S", "RAND", "DEG":
 		cfg := baselines.Config{
-			Engine: p.Engine, Diffusion: p.Diffusion,
+			Engine: p.Engine, Model: p.Model, Diffusion: p.Diffusion,
 			Samples: p.Samples, Seed: p.Seed, Workers: p.Workers,
 			CandidateCap: p.CandidateCap, LimitedK: p.LimitedK,
 		}
@@ -174,7 +175,7 @@ func RunOne(algo string, inst *diffusion.Instance, p RunParams) (Measure, error)
 	// the search (full evaluations agree across engines anyway — and across
 	// substrates, which materialize the same coin flips).
 	est, err := diffusion.NewEngineOpts(inst, diffusion.EngineOptions{
-		Engine: diffusion.EngineMC, Samples: p.Samples,
+		Engine: diffusion.EngineMC, Model: p.Model, Samples: p.Samples,
 		Seed: p.Seed ^ 0xfeed, Workers: p.Workers, Diffusion: p.Diffusion,
 	})
 	if err != nil {

@@ -125,7 +125,10 @@ func ScalabilityByBudget(c ScalabilityConfig, nodes int, budgets []float64, p Ru
 
 func runScale(inst *diffusion.Instance, p RunParams) (ScaleRow, error) {
 	start := time.Now()
-	sol, err := core.Solve(inst, core.Options{Engine: p.Engine, Samples: p.Samples, Seed: p.Seed, Workers: p.Workers})
+	sol, err := core.Solve(inst, core.Options{
+		Engine: p.Engine, Model: p.Model, Diffusion: p.Diffusion,
+		Samples: p.Samples, Seed: p.Seed, Workers: p.Workers,
+	})
 	if err != nil {
 		return ScaleRow{}, err
 	}
@@ -190,12 +193,15 @@ func Approximation(c ScalabilityConfig, nodes int, margins []float64, p RunParam
 			inst.SeedCost[i] = 2 * float64(deg)
 		}
 		opt, err := baselines.Exhaustive(context.Background(), inst, baselines.ExhaustiveConfig{
-			MaxSeeds: 2, MaxK: 2, Samples: p.Samples, Seed: p.Seed, MaxNodes: nodes,
+			MaxSeeds: 2, MaxK: 2, Samples: p.Samples, Seed: p.Seed, Model: p.Model, MaxNodes: nodes,
 		})
 		if err != nil {
 			return nil, err
 		}
-		sol, err := core.Solve(inst, core.Options{Engine: p.Engine, Samples: p.Samples, Seed: p.Seed, Workers: p.Workers})
+		sol, err := core.Solve(inst, core.Options{
+			Engine: p.Engine, Model: p.Model, Diffusion: p.Diffusion,
+			Samples: p.Samples, Seed: p.Seed, Workers: p.Workers,
+		})
 		if err != nil {
 			return nil, err
 		}

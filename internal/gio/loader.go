@@ -59,6 +59,12 @@ type LoadOptions struct {
 	// Duplicates selects the duplicate-arc policy (default
 	// graph.DupKeepFirst; graph.DupError restores strict validation).
 	Duplicates graph.DupPolicy
+	// NormalizeLT scales each node's in-weights down to sum to at most 1
+	// after probability assignment (graph.CapInWeights) — the
+	// linear-threshold live-edge precondition. ModelWeightedCascade
+	// satisfies the bound by construction and passes through bit-identical;
+	// the other models may overshoot it on high-in-degree nodes.
+	NormalizeLT bool
 }
 
 func (o LoadOptions) withDefaults() (LoadOptions, error) {
@@ -189,6 +195,9 @@ func LoadEdgeList(r io.Reader, opts LoadOptions) (*graph.Graph, LoadStats, error
 	g, bstats, err := b.Build(opts.Duplicates, probAssign(opts))
 	if err != nil {
 		return nil, stats, fmt.Errorf("gio: %w", err)
+	}
+	if opts.NormalizeLT {
+		g = g.CapInWeights()
 	}
 	stats.Duplicates = int64(bstats.Duplicates)
 	stats.Nodes = g.NumNodes()

@@ -301,3 +301,50 @@ func TestWriteEdgeListPlain(t *testing.T) {
 		}
 	}
 }
+
+// TestLoadEdgeListNormalizeLT: the NormalizeLT option rescales in-weights
+// to the linear-threshold bound — uniform probabilities on a node with
+// many in-edges overshoot it, weighted-cascade weights pass through.
+func TestLoadEdgeListNormalizeLT(t *testing.T) {
+	// Ids appear in ascending order, so the dense re-mapping is the
+	// identity: node 2 takes three 0.5-weight in-edges (sum 1.5), node 1
+	// a single one.
+	list := "0 1\n0 2\n3 2\n4 2\n"
+	g, _, err := LoadEdgeList(strings.NewReader(list),
+		LoadOptions{Model: ModelUniform, UniformP: 0.5, NormalizeLT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := make([]float64, g.NumNodes())
+	for _, e := range g.Edges() {
+		sums[e.To] += e.P
+	}
+	for v, s := range sums {
+		if s > 1+1e-12 {
+			t.Fatalf("node %d in-weights sum to %g after NormalizeLT", v, s)
+		}
+	}
+	// Node 2's in-edges scaled to 1/3 each; node 1's single in-edge kept.
+	if p, ok := g.EdgeProb(0, 1); !ok || p != 0.5 {
+		t.Fatalf("in-bound edge rescaled: %v", p)
+	}
+	if p, ok := g.EdgeProb(3, 2); !ok || p != 0.5/1.5 {
+		t.Fatalf("overweight in-edge = %v, want %v", p, 0.5/1.5)
+	}
+	norm, _, err := LoadEdgeList(strings.NewReader(list),
+		LoadOptions{Model: ModelWeightedCascade, NormalizeLT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _, err := LoadEdgeList(strings.NewReader(list),
+		LoadOptions{Model: ModelWeightedCascade})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := norm.Edges(), plain.Edges()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("NormalizeLT disturbed weighted-cascade edge %v vs %v", a[i], b[i])
+		}
+	}
+}

@@ -1,20 +1,8 @@
 package graph
 
-// Reverse returns the transpose graph: every edge (u, v, p) becomes
-// (v, u, p). Reverse adjacency is the substrate of reverse-influence
-// sampling (the paper's reverse-greedy speedup [15]).
-func (g *Graph) Reverse() *Graph {
-	edges := g.Edges()
-	for i := range edges {
-		edges[i].From, edges[i].To = edges[i].To, edges[i].From
-	}
-	rg, err := FromEdges(g.n, edges)
-	if err != nil {
-		// Cannot happen: transposing a valid edge list keeps it valid.
-		panic("graph: Reverse rebuild failed: " + err.Error())
-	}
-	return rg
-}
+// Reverse adjacency is served by the lazily-built shared reverse CSR (see
+// InEdges); the legacy full-copy Reverse() transpose was deleted once its
+// last consumers migrated there.
 
 // StronglyConnectedComponents returns a component label per node and the
 // component count, using Tarjan's algorithm with an explicit stack (safe

@@ -7,34 +7,44 @@ import (
 	"s3crm/internal/rng"
 )
 
-func TestReverse(t *testing.T) {
-	g := diamond(t)
-	r := g.Reverse()
-	if r.NumEdges() != g.NumEdges() {
-		t.Fatalf("edge count changed: %d vs %d", r.NumEdges(), g.NumEdges())
+func TestCapInWeights(t *testing.T) {
+	// Node 3 takes in-weights 0.8 + 0.7 = 1.5 (over the LT bound); node 1
+	// and 2 take a single in-edge each (within it).
+	g, err := FromEdges(4, []Edge{
+		{From: 0, To: 1, P: 0.9}, {From: 0, To: 2, P: 0.3},
+		{From: 1, To: 3, P: 0.8}, {From: 2, To: 3, P: 0.7},
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
-	for _, e := range g.Edges() {
-		p, ok := r.EdgeProb(e.To, e.From)
-		if !ok || p != e.P {
-			t.Fatalf("edge (%d,%d,%g) not reversed", e.From, e.To, e.P)
+	capped := g.CapInWeights()
+	if p, _ := capped.EdgeProb(0, 1); p != 0.9 {
+		t.Fatalf("in-bound weight rescaled: %g", p)
+	}
+	sum := 0.8 + 0.7 // the accumulation CapInWeights performs
+	if p, _ := capped.EdgeProb(1, 3); p != 0.8/sum {
+		t.Fatalf("edge (1,3) = %g, want %g", p, 0.8/sum)
+	}
+	if p, _ := capped.EdgeProb(2, 3); p != 0.7/sum {
+		t.Fatalf("edge (2,3) = %g, want %g", p, 0.7/sum)
+	}
+	// Every node's in-weights now sum to at most 1 (+ ulp slack).
+	sums := make([]float64, capped.NumNodes())
+	for _, e := range capped.Edges() {
+		sums[e.To] += e.P
+	}
+	for v, s := range sums {
+		if s > 1+1e-12 {
+			t.Fatalf("node %d in-weights still sum to %g", v, s)
 		}
 	}
-	// Degrees swap roles.
-	if r.OutDegree(3) != g.InDegree(3) || r.InDegree(0) != g.OutDegree(0) {
-		t.Fatal("degrees not transposed")
-	}
-}
-
-func TestReverseTwiceIsIdentity(t *testing.T) {
-	g := diamond(t)
-	rr := g.Reverse().Reverse()
-	e1, e2 := g.Edges(), rr.Edges()
-	if len(e1) != len(e2) {
-		t.Fatal("double reverse changed size")
-	}
+	// A weighted-cascade graph (sums exactly 1) passes through bit-identical.
+	wc := g.WeightByInDegree()
+	same := wc.CapInWeights()
+	e1, e2 := wc.Edges(), same.Edges()
 	for i := range e1 {
 		if e1[i] != e2[i] {
-			t.Fatalf("double reverse changed edge %d", i)
+			t.Fatalf("CapInWeights disturbed a weighted-cascade edge: %v vs %v", e1[i], e2[i])
 		}
 	}
 }

@@ -449,6 +449,34 @@ func (g *Graph) Reweight(f func(from, to int32, p float64) float64) (*Graph, err
 	return ng, nil
 }
 
+// CapInWeights returns a copy of the graph with every node's in-weights
+// scaled down to sum to at most 1: rows whose incoming probabilities sum to
+// s > 1 have each divided by s, and rows already within the bound are left
+// untouched. This establishes the linear-threshold live-edge precondition
+// (Σ_u w(u,v) ≤ 1) for weightings that overshoot it — uniform or trivalency
+// probabilities on high-in-degree nodes — while preserving weighted-cascade
+// graphs (1/in-degree sums to exactly 1) bit for bit. Scaling can reorder a
+// row's descending-probability adjacency relative to the input graph, so
+// coin-flip edge identities are those of the returned graph, not the
+// receiver's.
+func (g *Graph) CapInWeights() *Graph {
+	sums := make([]float64, g.n)
+	for e, t := range g.targets {
+		sums[t] += g.probs[e]
+	}
+	ng, err := g.Reweight(func(_, to int32, p float64) float64 {
+		if s := sums[to]; s > 1 {
+			return p / s
+		}
+		return p
+	})
+	if err != nil {
+		// Cannot happen: scaling down keeps probabilities within [0,1].
+		panic("graph: CapInWeights rebuild failed: " + err.Error())
+	}
+	return ng
+}
+
 // WeightByInDegree returns a copy of the graph re-weighted with the paper's
 // standard influence probabilities P(e(i,j)) = 1 / indegree(j).
 func (g *Graph) WeightByInDegree() *Graph {

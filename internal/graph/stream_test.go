@@ -157,14 +157,23 @@ func TestStreamBuilderProbAssign(t *testing.T) {
 }
 
 // TestInEdgesMatchesReverse: the lazy reverse CSR must list exactly the
-// rows a materialized transpose graph stores, in the same order.
+// rows a materialized transpose graph would store, in the same order. The
+// reference transpose is built through FromEdges with swapped endpoints —
+// the construction the deleted full-copy Reverse() performed.
 func TestInEdgesMatchesReverse(t *testing.T) {
 	edges := dedupKeepFirst(genEdges(300, 2000, true))
 	g, err := FromEdges(300, edges)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rev := g.Reverse()
+	transposed := make([]Edge, 0, len(edges))
+	for _, e := range g.Edges() {
+		transposed = append(transposed, Edge{From: e.To, To: e.From, P: e.P})
+	}
+	rev, err := FromEdges(300, transposed)
+	if err != nil {
+		t.Fatal(err)
+	}
 	probs := g.Probs()
 	for v := int32(0); int(v) < g.NumNodes(); v++ {
 		srcs, eidx := g.InEdges(v)

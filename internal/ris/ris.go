@@ -1,12 +1,15 @@
-// Package ris implements reverse-influence sampling (RIS) for the plain
-// independent-cascade model — the "reverse greedy" estimator family the
-// paper cites ([15], Tang et al.) as the standard way to speed up influence
-// estimation for seed ranking.
+// Package ris implements reverse-influence sampling (RIS) for the
+// triggering models the diffusion layer serves — the "reverse greedy"
+// estimator family the paper cites ([15], Tang et al.) as the standard way
+// to speed up influence estimation for seed ranking.
 //
 // A reverse-reachable (RR) set is drawn by picking a uniform random root
-// and walking the transpose graph, crossing each in-edge with its influence
-// probability. A node's expected influence is proportional to the fraction
-// of RR sets containing it, and the classic greedy max-cover over RR sets
+// and walking the transpose graph under the model's live-edge view: the
+// independent-cascade walk (Generate) crosses each in-edge with its
+// influence probability, while the linear-threshold walk (GenerateLT)
+// samples at most one in-edge per step, with probability equal to its
+// weight. A node's expected influence is proportional to the fraction of
+// RR sets containing it, and the classic greedy max-cover over RR sets
 // yields near-optimal seed rankings orders of magnitude faster than forward
 // Monte-Carlo ranking.
 //
@@ -31,9 +34,14 @@ type Sketches struct {
 	covers map[int32][]int32 // node → indices of RR sets containing it
 }
 
-// Generate draws count RR sets over g. It panics on a nil graph and
-// returns an error for non-positive counts or empty graphs.
-func Generate(g *graph.Graph, count int, src *rng.Source) (*Sketches, error) {
+// drawSets is the scaffolding every RR-set generator shares: count sets,
+// each grown breadth-first from a uniform random root, with per-set
+// deduplication via generation-stamped visited marks and the cover index
+// built as sets complete. How the transpose walk crosses in-edges is the
+// only thing the models differ in, so that one decision is delegated to
+// step, called once per dequeued node with the set ordinal, visited lookup
+// and enqueue callbacks.
+func drawSets(g *graph.Graph, count int, src *rng.Source, step func(set int32, v int32, visited func(int32) bool, enqueue func(int32))) (*Sketches, error) {
 	if count <= 0 {
 		return nil, fmt.Errorf("ris: need a positive sketch count, got %d", count)
 	}
@@ -41,44 +49,91 @@ func Generate(g *graph.Graph, count int, src *rng.Source) (*Sketches, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("ris: empty graph")
 	}
-	// The transpose walk reads the graph's shared reverse CSR: per node, the
-	// in-neighbours sorted by descending probability (the same order a
-	// materialized transpose graph would store, so the sequential random
-	// stream is consumed identically), with each slot carrying the forward
-	// edge index that addresses its probability.
-	probs := g.Probs()
 	s := &Sketches{n: n, covers: make(map[int32][]int32)}
 	visited := make([]int32, n)
 	for i := range visited {
 		visited[i] = -1
 	}
 	var queue []int32
+	cur := int32(-1)
+	isVisited := func(u int32) bool { return visited[u] == cur }
+	enqueue := func(u int32) {
+		visited[u] = cur
+		queue = append(queue, u)
+	}
 	for i := 0; i < count; i++ {
+		cur = int32(i)
 		root := int32(src.Intn(n))
 		queue = queue[:0]
 		queue = append(queue, root)
-		visited[root] = int32(i)
+		visited[root] = cur
 		var set []int32
 		for head := 0; head < len(queue); head++ {
 			v := queue[head]
 			set = append(set, v)
-			srcs, eidx := g.InEdges(v)
-			for j, t := range srcs {
-				if visited[t] == int32(i) {
-					continue
-				}
-				if src.Float64() < probs[eidx[j]] {
-					visited[t] = int32(i)
-					queue = append(queue, t)
-				}
-			}
+			step(cur, v, isVisited, enqueue)
 		}
 		s.sets = append(s.sets, set)
 		for _, v := range set {
-			s.covers[v] = append(s.covers[v], int32(i))
+			s.covers[v] = append(s.covers[v], cur)
 		}
 	}
 	return s, nil
+}
+
+// Generate draws count RR sets over g under the independent-cascade model.
+// It panics on a nil graph and returns an error for non-positive counts or
+// empty graphs.
+func Generate(g *graph.Graph, count int, src *rng.Source) (*Sketches, error) {
+	// The transpose walk reads the graph's shared reverse CSR: per node, the
+	// in-neighbours sorted by descending probability (the same order a
+	// materialized transpose graph would store, so the sequential random
+	// stream is consumed identically), with each slot carrying the forward
+	// edge index that addresses its probability. Visited in-neighbours are
+	// skipped before the draw, so the stream matches the historical
+	// generator exactly.
+	probs := g.Probs()
+	return drawSets(g, count, src, func(_ int32, v int32, visited func(int32) bool, enqueue func(int32)) {
+		srcs, eidx := g.InEdges(v)
+		for j, t := range srcs {
+			if visited(t) {
+				continue
+			}
+			if src.Float64() < probs[eidx[j]] {
+				enqueue(t)
+			}
+		}
+	})
+}
+
+// GenerateLT draws count RR sets over g under the linear-threshold model's
+// live-edge equivalence: every dequeued node selects at most one live
+// in-edge — edge (u, v) with probability equal to its weight, none with the
+// remaining mass — so each step of the transpose walk crosses a single
+// sampled in-edge instead of flipping a coin per in-edge, and an RR set is
+// the chain of selections ending at a node that selects nothing (or closes
+// a cycle). One uniform is drawn per dequeued node with in-edges, walked
+// down the reverse CSR's sorted in-row exactly as the forward engines'
+// substrate does.
+func GenerateLT(g *graph.Graph, count int, src *rng.Source) (*Sketches, error) {
+	probs := g.Probs()
+	return drawSets(g, count, src, func(_ int32, v int32, visited func(int32) bool, enqueue func(int32)) {
+		srcs, eidx := g.InEdges(v)
+		if len(eidx) == 0 {
+			return
+		}
+		u := src.Float64()
+		cum := 0.0
+		for j, e := range eidx {
+			cum += probs[e]
+			if u < cum {
+				if t := srcs[j]; !visited(t) {
+					enqueue(t)
+				}
+				break
+			}
+		}
+	})
 }
 
 // LiveFunc reports whether the forward edge with the given global index
@@ -96,52 +151,40 @@ type LiveFunc func(world uint64, edge uint64, p float64) bool
 // forward Monte-Carlo worlds under common random numbers. Roots still come
 // from src.
 func GenerateLive(g *graph.Graph, count int, src *rng.Source, live LiveFunc) (*Sketches, error) {
-	if count <= 0 {
-		return nil, fmt.Errorf("ris: need a positive sketch count, got %d", count)
-	}
-	n := g.NumNodes()
-	if n == 0 {
-		return nil, fmt.Errorf("ris: empty graph")
-	}
+	return generateLive(g, count, src, live, false)
+}
+
+// GenerateLiveLT draws count RR sets through a linear-threshold liveness
+// source (e.g. diffusion's LT substrate): each reverse step probes a node's
+// in-edges until the single one its world selected answers live — at most
+// one can under LT — and follows it. The sets are identical to probing the
+// whole in-row; the early exit only skips probes that must answer false.
+func GenerateLiveLT(g *graph.Graph, count int, src *rng.Source, live LiveFunc) (*Sketches, error) {
+	return generateLive(g, count, src, live, true)
+}
+
+func generateLive(g *graph.Graph, count int, src *rng.Source, live LiveFunc, singleParent bool) (*Sketches, error) {
 	// The graph's shared reverse CSR carries exactly what the walk needs:
 	// for each in-edge of v, the source node and the forward global edge
 	// index (whose coin decides liveness in every engine). Liveness is a
 	// per-edge bit, so the walk order within a row cannot change which nodes
 	// an RR set contains.
 	probs := g.Probs()
-	s := &Sketches{n: n, covers: make(map[int32][]int32)}
-	visited := make([]int32, n)
-	for i := range visited {
-		visited[i] = -1
-	}
-	var queue []int32
-	for i := 0; i < count; i++ {
-		root := int32(src.Intn(n))
-		queue = queue[:0]
-		queue = append(queue, root)
-		visited[root] = int32(i)
-		var set []int32
-		for head := 0; head < len(queue); head++ {
-			v := queue[head]
-			set = append(set, v)
-			srcs, eidx := g.InEdges(v)
-			for j, u := range srcs {
-				if visited[u] == int32(i) {
-					continue
-				}
-				e := uint64(eidx[j])
-				if live(uint64(i), e, probs[e]) {
-					visited[u] = int32(i)
-					queue = append(queue, u)
+	return drawSets(g, count, src, func(set int32, v int32, visited func(int32) bool, enqueue func(int32)) {
+		srcs, eidx := g.InEdges(v)
+		for j, u := range srcs {
+			if visited(u) {
+				continue
+			}
+			e := uint64(eidx[j])
+			if live(uint64(set), e, probs[e]) {
+				enqueue(u)
+				if singleParent {
+					break // LT: no other in-edge of v can be live
 				}
 			}
 		}
-		s.sets = append(s.sets, set)
-		for _, v := range set {
-			s.covers[v] = append(s.covers[v], int32(i))
-		}
-	}
-	return s, nil
+	})
 }
 
 // Count returns the number of RR sets drawn.

@@ -161,3 +161,108 @@ func TestCount(t *testing.T) {
 		t.Fatalf("Count = %d, want 123", s.Count())
 	}
 }
+
+// ltTestGraph is a small LT-valid graph (every node's in-weights sum to at
+// most 1) with a two-in-edge node, so the categorical walk has a real
+// choice to make: 0→2 (0.5), 1→2 (0.4), 2→3 (0.9).
+func ltTestGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromEdges(4, []graph.Edge{
+		{From: 0, To: 2, P: 0.5}, {From: 1, To: 2, P: 0.4},
+		{From: 2, To: 3, P: 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestGenerateLTSetsAreChains pins the structural consequence of the LT
+// live-edge view: each node selects at most one in-edge, so an RR set is a
+// simple chain — every entry after the first must be an in-neighbour of
+// its predecessor.
+func TestGenerateLTSetsAreChains(t *testing.T) {
+	g := ltTestGraph(t)
+	s, err := GenerateLT(g, 2000, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, set := range s.sets {
+		for j := 1; j < len(set); j++ {
+			if _, ok := g.EdgeProb(set[j], set[j-1]); !ok {
+				t.Fatalf("set %d: entry %d (%d) is not an in-neighbour of %d",
+					i, j, set[j], set[j-1])
+			}
+		}
+	}
+}
+
+// TestGenerateLTFrequencies checks the LT RR-set marginals on a two-node
+// graph 0→1 (w 0.6): node 0 appears in every set rooted at 0 (half of
+// them) plus the sets rooted at 1 whose selection is live (0.6 of the
+// other half) — 0.8 of all sets; node 1 only in its own roots — 0.5.
+func TestGenerateLTFrequencies(t *testing.T) {
+	g, err := graph.FromEdges(2, []graph.Edge{{From: 0, To: 1, P: 0.6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const count = 20000
+	s, err := GenerateLT(g, count, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := float64(s.CoverCount(0))/count, 0.8; math.Abs(got-want) > 0.02 {
+		t.Fatalf("node 0 cover frequency %v, want ≈ %v", got, want)
+	}
+	if got, want := float64(s.CoverCount(1))/count, 0.5; math.Abs(got-want) > 0.02 {
+		t.Fatalf("node 1 cover frequency %v, want ≈ %v", got, want)
+	}
+}
+
+// TestGenerateLiveLTMatchesFullProbe proves the single-parent early exit
+// is purely an optimization: against a LiveFunc with at most one live
+// in-edge per (world, node) — the LT substrate's contract — GenerateLiveLT
+// and the full-row-probing GenerateLive must draw identical sets (roots
+// come from identical sequential streams, and the skipped probes could
+// only have answered false).
+func TestGenerateLiveLTMatchesFullProbe(t *testing.T) {
+	g := ltTestGraph(t)
+	// Map each forward edge index to its target and in-row position.
+	target := make([]int32, g.NumEdges())
+	pos := make([]int, g.NumEdges())
+	for v := int32(0); int(v) < g.NumNodes(); v++ {
+		_, eidx := g.InEdges(v)
+		for j, e := range eidx {
+			target[e] = v
+			pos[e] = j
+		}
+	}
+	// Deterministic single-parent liveness: in world w, node v selects
+	// in-row position (w+v) mod (indeg+1), with indeg meaning "none".
+	live := func(world, edge uint64, _ float64) bool {
+		v := target[edge]
+		_, eidx := g.InEdges(v)
+		return pos[edge] == int((world+uint64(uint32(v)))%uint64(len(eidx)+1))
+	}
+	a, err := GenerateLiveLT(g, 500, rng.New(7), live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateLive(g, 500, rng.New(7), live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.sets) != len(b.sets) {
+		t.Fatalf("set counts differ: %d vs %d", len(a.sets), len(b.sets))
+	}
+	for i := range a.sets {
+		if len(a.sets[i]) != len(b.sets[i]) {
+			t.Fatalf("set %d sizes differ: %v vs %v", i, a.sets[i], b.sets[i])
+		}
+		for j := range a.sets[i] {
+			if a.sets[i][j] != b.sets[i][j] {
+				t.Fatalf("set %d entry %d differs: %v vs %v", i, j, a.sets[i], b.sets[i])
+			}
+		}
+	}
+}

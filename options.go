@@ -16,6 +16,7 @@ type Option func(*config) error
 // overrides, each call — runs with.
 type config struct {
 	engine       string
+	model        string
 	diffusion    string
 	samples      int
 	seed         uint64
@@ -32,6 +33,7 @@ type config struct {
 func defaultConfig() config {
 	return config{
 		engine:    diffusion.EngineMC,
+		model:     diffusion.ModelIC,
 		diffusion: diffusion.DiffusionLiveEdge,
 		samples:   1000,
 	}
@@ -73,10 +75,39 @@ func WithEngine(name string) Option {
 	}
 }
 
+// WithModel selects the triggering model deciding per-world edge liveness
+// behind every engine: "ic" (independent cascade, the default and the
+// paper's setting — one independent coin per edge) or "lt" (linear
+// threshold via its live-edge equivalence — each user selects at most one
+// live in-edge, with probability equal to the edge's weight). The model is
+// validated eagerly, and under "lt" the campaign's construction also checks
+// the instance satisfies the LT precondition (every user's in-weights sum
+// to at most 1 — the weighted-cascade "wc" probability model guarantees
+// it; see GraphConfig.NormalizeLT for arbitrary weightings). See Models and
+// DESIGN.md ("Triggering models").
+func WithModel(name string) Option {
+	return func(c *config) error {
+		if name == "" {
+			name = diffusion.ModelIC
+		}
+		for _, m := range diffusion.Models() {
+			if name == m {
+				c.model = name
+				return nil
+			}
+		}
+		return fmt.Errorf("unknown triggering model %q (want one of %v)", name, diffusion.Models())
+	}
+}
+
 // WithDiffusion selects the edge-liveness substrate behind every engine:
-// "liveedge" (the default — coin flips materialized once per world into
-// packed bit rows all probes read) or "hash" (recompute the stateless hash
-// per probe). The substrates produce bit-identical results; see Diffusions.
+// "liveedge" (the default — per-world liveness materialized once into the
+// triggering model's row layout, per-edge coin-flip bit rows under "ic" and
+// per-user chosen-in-edge rows under "lt", read by all probes) or "hash"
+// (recompute the stateless per-probe function every time — the (seed,
+// world, edge) coin under "ic", the categorical in-row walk under "lt").
+// Within a model the substrates produce bit-identical results; see
+// Diffusions.
 func WithDiffusion(name string) Option {
 	return func(c *config) error {
 		if name == "" {
@@ -222,6 +253,8 @@ func WithProgress(fn func(Event)) Option {
 type Options struct {
 	// Engine selects the evaluation engine (see WithEngine).
 	Engine string
+	// Model selects the triggering model (see WithModel).
+	Model string
 	// Diffusion selects the edge-liveness substrate (see WithDiffusion).
 	Diffusion string
 	// ExhaustiveID disables the CELF lazy-greedy ID loop (see
@@ -247,6 +280,9 @@ func (o Options) asOptions() []Option {
 	opts := []Option{WithSeed(o.Seed)}
 	if o.Engine != "" {
 		opts = append(opts, WithEngine(o.Engine))
+	}
+	if o.Model != "" {
+		opts = append(opts, WithModel(o.Model))
 	}
 	if o.Diffusion != "" {
 		opts = append(opts, WithDiffusion(o.Diffusion))

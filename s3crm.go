@@ -47,8 +47,11 @@
 // only the simulation state a candidate change can affect, typically
 // several times faster at the paper's 1000-sample setting), or "sketch"
 // (reverse-influence-sampling candidate pruning for the baselines). All
-// engines agree on reported metrics within Monte-Carlo noise; see DESIGN.md
-// ("Evaluation engines" and "Serving API") for the architecture.
+// engines agree on reported metrics within Monte-Carlo noise, and every
+// engine serves both triggering models — WithModel("ic"), the default
+// independent cascade, or WithModel("lt"), linear threshold via its
+// live-edge equivalence; see DESIGN.md ("Evaluation engines", "Triggering
+// models" and "Serving API") for the architecture.
 //
 // See the examples directory for runnable walkthroughs, cmd/s3crmd for the
 // HTTP serving layer and EXPERIMENTS.md for the paper-reproduction results.
@@ -222,6 +225,13 @@ type GraphConfig struct {
 	KeepSelfLoops bool
 	// StrictDuplicates rejects repeated arcs instead of keeping the first.
 	StrictDuplicates bool
+	// NormalizeLT scales each user's in-weights down to sum to at most 1
+	// after probability assignment — the linear-threshold live-edge
+	// precondition (see WithModel). The weighted-cascade model satisfies
+	// the bound by construction and passes through unchanged; uniform,
+	// trivalency and file weightings may need it before solving with
+	// WithModel("lt").
+	NormalizeLT bool
 }
 
 // GraphStats reports what LoadGraphProblem's streaming ingestion saw.
@@ -263,6 +273,7 @@ func LoadGraphProblem(path string, cfg GraphConfig) (*Problem, GraphStats, error
 		UniformP:      cfg.UniformP,
 		Seed:          cfg.Seed,
 		KeepSelfLoops: cfg.KeepSelfLoops,
+		NormalizeLT:   cfg.NormalizeLT,
 	}
 	if cfg.StrictDuplicates {
 		lo.Duplicates = graph.DupError
@@ -273,7 +284,8 @@ func LoadGraphProblem(path string, cfg GraphConfig) (*Problem, GraphStats, error
 	}
 	if auto && !ls.HasProbColumn {
 		// No probability column anywhere: fall back to the paper's standard
-		// 1/in-degree weighting.
+		// 1/in-degree weighting (which satisfies the LT in-weight bound by
+		// construction, so NormalizeLT has nothing left to do).
 		model = gio.ModelWeightedCascade
 		g = g.WeightByInDegree()
 	}
@@ -329,6 +341,11 @@ func Baselines() []string { return []string{"IM-U", "IM-L", "PM-U", "PM-L", "IM-
 
 // Engines lists the evaluation engines accepted by WithEngine.
 func Engines() []string { return diffusion.Engines() }
+
+// Models lists the triggering models accepted by WithModel: "ic"
+// (independent cascade, the default) and "lt" (linear threshold via its
+// live-edge equivalence). Every engine and diffusion substrate serves both.
+func Models() []string { return diffusion.Models() }
 
 // Diffusions lists the edge-liveness substrates accepted by WithDiffusion.
 func Diffusions() []string { return diffusion.Diffusions() }
