@@ -245,6 +245,10 @@ func (c *Campaign) engineFor(ctx context.Context, cfg config, seed uint64) (ev d
 		return nil, nil, nil, err
 	}
 	view = ep.proto.View(ctx, cfg.workers)
+	// The eval mode is a per-call kernel choice, deliberately absent from
+	// engineKey: scalar and bit-parallel calls share worlds, substrates and
+	// snapshots, so it is stamped on the view rather than baked into the pool.
+	view.EvalMode = cfg.evalMode
 	release = func(error) {}
 	switch cfg.engine {
 	case diffusion.EngineWorldCache:
@@ -300,6 +304,7 @@ func (c *Campaign) Solve(ctx context.Context, opts ...Option) (*Result, error) {
 		Model:             cl.cfg.model,
 		Diffusion:         cl.cfg.diffusion,
 		LiveEdgeMemBudget: cl.cfg.memBudget,
+		EvalMode:          cl.cfg.evalMode,
 		Samples:           cl.cfg.samples,
 		Seed:              cl.seed,
 		ScorerSeed:        cl.scorerSeed,
@@ -342,11 +347,13 @@ func (c *Campaign) RunBaseline(ctx context.Context, name string, opts ...Option)
 		return nil, err
 	}
 	view := ep.proto.View(ctx, cl.cfg.workers)
+	view.EvalMode = cl.cfg.evalMode
 	cfg := baselines.Config{
 		Engine:            cl.cfg.engine,
 		Model:             cl.cfg.model,
 		Diffusion:         cl.cfg.diffusion,
 		LiveEdgeMemBudget: cl.cfg.memBudget,
+		EvalMode:          cl.cfg.evalMode,
 		Samples:           cl.cfg.samples,
 		Seed:              cl.seed,
 		Workers:           cl.cfg.workers,
@@ -427,6 +434,7 @@ func (c *Campaign) EvaluateBatch(ctx context.Context, deps []Deployment, opts ..
 		// sums, so a result computed under a cancelled ctx is garbage and
 		// must never be returned.
 		view := ep.proto.View(ctx, cl.cfg.workers)
+		view.EvalMode = cl.cfg.evalMode
 		for i, d := range ds {
 			results[i] = resultFrom("custom", c.p.inst, d, view)
 			if err := ctx.Err(); err != nil {
@@ -446,6 +454,7 @@ func (c *Campaign) EvaluateBatch(ctx context.Context, deps []Deployment, opts ..
 		go func() {
 			defer wg.Done()
 			view := ep.proto.View(ctx, 0)
+			view.EvalMode = cl.cfg.evalMode
 			for {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= len(ds) || ctx.Err() != nil {

@@ -36,6 +36,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -61,6 +63,7 @@ func main() {
 		model    = flag.String("model", "ic", "triggering model: ic (independent cascade), lt (linear threshold)")
 		ltnorm   = flag.Bool("ltnorm", false, "scale -graph in-weights to sum ≤ 1 (the -model lt precondition; wc weights already satisfy it)")
 		diff     = flag.String("diffusion", "liveedge", "edge-liveness substrate: liveedge (materialized worlds), hash")
+		evalmode = flag.String("evalmode", "bitparallel", "world-evaluation kernel: bitparallel (64 worlds per machine word), scalar")
 		lazy     = flag.Bool("lazy", true, "CELF lazy-greedy ID loop (false = exhaustive sweep)")
 		gpilimit = flag.Int("gpilimit", 0, "cap guaranteed-path DFS visits per seed (0 = unlimited; set ~2000 for million-node graphs)")
 		samples  = flag.Int("samples", 1000, "Monte-Carlo samples per evaluation")
@@ -70,6 +73,8 @@ func main() {
 		topN     = flag.Int("top", 10, "coupon holders to print")
 		progress = flag.Bool("progress", false, "render a live solver progress line on stderr")
 		timeout  = flag.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the solve to this file")
+		memprof  = flag.String("memprofile", "", "write a heap profile after the solve to this file")
 	)
 	flag.Parse()
 
@@ -91,6 +96,7 @@ func main() {
 		s3crm.WithEngine(*engine),
 		s3crm.WithModel(*model),
 		s3crm.WithDiffusion(*diff),
+		s3crm.WithEvalMode(*evalmode),
 		s3crm.WithExhaustiveID(!*lazy),
 		s3crm.WithGPILimit(*gpilimit),
 		s3crm.WithSamples(*samples),
@@ -115,6 +121,20 @@ func main() {
 		defer cancel()
 	}
 
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "s3crm:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "s3crm:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+
 	start := time.Now()
 	// The call-level seed pins the run: output for a given -seed is
 	// bit-identical to the one-shot API (and to earlier releases),
@@ -132,6 +152,19 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "s3crm:", err)
 		os.Exit(1)
+	}
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "s3crm:", err)
+			os.Exit(1)
+		}
+		runtime.GC() // profile retained allocations, not garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "s3crm:", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 
 	fmt.Printf("\n%s finished in %v\n", result.Algorithm, elapsed.Round(time.Millisecond))

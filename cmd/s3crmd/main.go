@@ -17,9 +17,9 @@
 //	                 "limited_k": 0, "exhaustive_id": false,
 //	                 "stream": false, "timeout_ms": 0}. algorithm defaults
 //	                 to S3CA; any baseline name (IM-U, IM-L, PM-U, PM-L,
-//	                 IM-S) works. Unknown engine/model/diffusion values are
-//	                 rejected with 400 and the option layer's "want one of"
-//	                 message.
+//	                 IM-S) works. Unknown engine/model/diffusion/eval_mode
+//	                 values are rejected with 400 and the option layer's
+//	                 "want one of" message.
 //	                 With "stream": true the response is NDJSON: one
 //	                 {"event": …} line per solver progress event, then a
 //	                 final {"result": …} line.
@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints on the -debug listener
 	"os"
 	"time"
 
@@ -60,10 +61,12 @@ func main() {
 		model    = flag.String("model", "ic", "default triggering model: ic (independent cascade), lt (linear threshold)")
 		ltnorm   = flag.Bool("ltnorm", false, "scale -graph in-weights to sum ≤ 1 (the lt-model precondition; wc weights already satisfy it)")
 		diff     = flag.String("diffusion", "liveedge", "default edge-liveness substrate: liveedge, hash")
+		evalmode = flag.String("evalmode", "bitparallel", "default world-evaluation kernel: bitparallel, scalar")
 		samples  = flag.Int("samples", 1000, "default Monte-Carlo samples per evaluation")
 		seed     = flag.Uint64("seed", 1, "campaign random seed")
 		workers  = flag.Int("workers", 0, "default parallel Monte-Carlo workers (0 = sequential)")
 		cap      = flag.Int("candidates", 0, "default baseline greedy candidate cap (0 = all)")
+		debug    = flag.String("debug", "", "serve net/http/pprof profiling endpoints on this address (e.g. localhost:6060; empty = off)")
 	)
 	flag.Parse()
 
@@ -76,6 +79,7 @@ func main() {
 		s3crm.WithEngine(*engine),
 		s3crm.WithModel(*model),
 		s3crm.WithDiffusion(*diff),
+		s3crm.WithEvalMode(*evalmode),
 		s3crm.WithSamples(*samples),
 		s3crm.WithSeed(*seed),
 		s3crm.WithWorkers(*workers),
@@ -88,7 +92,7 @@ func main() {
 
 	srv := &server{problem: problem, campaign: campaign, defaults: defaults{
 		Engine: *engine, Model: *model, Diffusion: *diff,
-		Samples: *samples, Workers: *workers,
+		EvalMode: *evalmode, Samples: *samples, Workers: *workers,
 	}}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", srv.healthz)
@@ -96,6 +100,15 @@ func main() {
 	mux.HandleFunc("POST /solve", srv.solve)
 	mux.HandleFunc("POST /evaluate", srv.evaluate)
 
+	if *debug != "" {
+		// The pprof handlers register on http.DefaultServeMux at import;
+		// serve them on a separate, typically loopback-only listener so
+		// profiling is never exposed on the public address.
+		go func() {
+			log.Printf("s3crmd: pprof debug listener on %s", *debug)
+			log.Fatal(http.ListenAndServe(*debug, nil))
+		}()
+	}
 	log.Printf("s3crmd: serving %d users, %d edges, budget %.4g on %s",
 		problem.Users(), problem.Edges(), problem.Budget(), *addr)
 	log.Fatal(http.ListenAndServe(*addr, mux))
@@ -134,6 +147,7 @@ type defaults struct {
 	Engine    string `json:"engine"`
 	Model     string `json:"model"`
 	Diffusion string `json:"diffusion"`
+	EvalMode  string `json:"eval_mode"`
 	Samples   int    `json:"samples"`
 	Workers   int    `json:"workers"`
 }
@@ -150,6 +164,7 @@ type callParams struct {
 	Engine       string  `json:"engine"`
 	Model        string  `json:"model"`
 	Diffusion    string  `json:"diffusion"`
+	EvalMode     string  `json:"eval_mode"`
 	Samples      int     `json:"samples"`
 	Seed         *uint64 `json:"seed"` // set ⇒ pinned, reproducible call
 	Workers      int     `json:"workers"`
@@ -170,6 +185,9 @@ func (p callParams) options() []s3crm.Option {
 	}
 	if p.Diffusion != "" {
 		opts = append(opts, s3crm.WithDiffusion(p.Diffusion))
+	}
+	if p.EvalMode != "" {
+		opts = append(opts, s3crm.WithEvalMode(p.EvalMode))
 	}
 	if p.Samples > 0 {
 		opts = append(opts, s3crm.WithSamples(p.Samples))
@@ -232,6 +250,7 @@ func (s *server) info(w http.ResponseWriter, _ *http.Request) {
 		"engines":    s3crm.Engines(),
 		"models":     s3crm.Models(),
 		"diffusions": s3crm.Diffusions(),
+		"eval_modes": s3crm.EvalModes(),
 		"baselines":  s3crm.Baselines(),
 	})
 }

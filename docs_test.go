@@ -73,15 +73,15 @@ func TestDocsMentionCurrentSurface(t *testing.T) {
 	}
 	for _, want := range []string{
 		"NewCampaign", "EvaluateBatch", "cmd/s3crm", "s3crmd", "gengraph",
-		"LoadGraphProblem", "BENCH_5.json", "worldcache", "liveedge",
-		"WithModel", "-model lt",
+		"LoadGraphProblem", "BENCH_6.json", "worldcache", "liveedge",
+		"WithModel", "-model lt", "bitparallel",
 		"DESIGN.md", "EXPERIMENTS.md",
 	} {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("README.md no longer mentions %q", want)
 		}
 	}
-	for _, artifact := range []string{"BENCH_4.json", "BENCH_5.json"} {
+	for _, artifact := range []string{"BENCH_4.json", "BENCH_5.json", "BENCH_6.json"} {
 		if _, err := os.Stat(artifact); err != nil {
 			t.Errorf("%s is not committed at the repo root", artifact)
 		}

@@ -45,6 +45,10 @@ type Config struct {
 	// LiveEdgeMemBudget caps the live-edge substrate's materialized bytes
 	// (<= 0 means diffusion.DefaultLiveEdgeMemBudget).
 	LiveEdgeMemBudget int64
+	// EvalMode selects the world-evaluation kernel (see diffusion.EvalModes;
+	// empty means diffusion.EvalBitParallel — 64 worlds per machine word,
+	// bit-identical to diffusion.EvalScalar).
+	EvalMode string
 	// Samples is the Monte-Carlo sample count (default 1000) and Seed the
 	// estimator seed.
 	Samples int
@@ -87,6 +91,7 @@ func (c Config) engine(in *diffusion.Instance) (diffusion.Evaluator, error) {
 		Engine: c.Engine, Model: c.Model,
 		Samples: c.Samples, Seed: c.Seed, Workers: c.Workers,
 		Diffusion: c.Diffusion, LiveEdgeMemBudget: c.LiveEdgeMemBudget,
+		EvalMode: c.EvalMode,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("baselines: %w", err)

@@ -1,0 +1,112 @@
+package bitset
+
+import "testing"
+
+func TestSetGetClear(t *testing.T) {
+	row := make([]uint64, Words(130))
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 129} {
+		if Get(row, i) {
+			t.Fatalf("bit %d set in fresh row", i)
+		}
+		Set(row, i)
+		if !Get(row, i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := Count(row); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+	Clear(row, 64)
+	if Get(row, 64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if got := Count(row); got != 6 {
+		t.Fatalf("Count after Clear = %d, want 6", got)
+	}
+}
+
+func TestWords(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 63: 1, 64: 1, 65: 2, 128: 2, 129: 3}
+	for n, want := range cases {
+		if got := Words(n); got != want {
+			t.Errorf("Words(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestRangeMask(t *testing.T) {
+	cases := []struct {
+		lo, hi int
+		want   uint64
+	}{
+		{0, 0, 0},
+		{5, 5, 0},
+		{7, 3, 0},
+		{0, 1, 1},
+		{0, 64, ^uint64(0)},
+		{1, 64, 0xfffffffffffffffe},
+		{0, 63, ^uint64(0) >> 1},
+		{4, 8, 0xf0},
+	}
+	for _, tc := range cases {
+		if got := RangeMask(tc.lo, tc.hi); got != tc.want {
+			t.Errorf("RangeMask(%d, %d) = %#x, want %#x", tc.lo, tc.hi, got, tc.want)
+		}
+	}
+	for n := 0; n <= 64; n++ {
+		want := RangeMask(0, n)
+		if got := TailMask(n); got != want {
+			t.Errorf("TailMask(%d) = %#x, want %#x", n, got, want)
+		}
+	}
+}
+
+func TestRow(t *testing.T) {
+	buf := make([]uint64, 6)
+	for i := range buf {
+		buf[i] = uint64(i)
+	}
+	r := Row(buf, 1, 2)
+	if len(r) != 2 || r[0] != 2 || r[1] != 3 {
+		t.Fatalf("Row(buf, 1, 2) = %v, want [2 3]", r)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	row := make([]uint64, 3)
+	want := []int{0, 5, 63, 64, 100, 130}
+	for _, i := range want {
+		Set(row, i)
+	}
+	var got []int
+	ForEach(row, 192, func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach visited %v, want %v", got, want)
+		}
+	}
+	// The limit cuts the iteration short mid-word.
+	got = got[:0]
+	ForEach(row, 100, func(i int) { got = append(got, i) })
+	if len(got) != 4 || got[3] != 64 {
+		t.Fatalf("ForEach limited to 100 visited %v, want [0 5 63 64]", got)
+	}
+}
+
+func TestForEachMask(t *testing.T) {
+	var got []int
+	ForEachMask(1<<3|1<<17|1<<63, func(b int) { got = append(got, b) })
+	if len(got) != 3 || got[0] != 3 || got[1] != 17 || got[2] != 63 {
+		t.Fatalf("ForEachMask visited %v, want [3 17 63]", got)
+	}
+	ForEachMask(0, func(int) { t.Fatal("ForEachMask(0) invoked fn") })
+}
+
+func TestCountMasked(t *testing.T) {
+	if got := CountMasked(0xff, 0x0f); got != 4 {
+		t.Fatalf("CountMasked = %d, want 4", got)
+	}
+}

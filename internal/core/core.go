@@ -55,6 +55,13 @@ type Options struct {
 	// to materialized worlds (<= 0 means diffusion.DefaultLiveEdgeMemBudget);
 	// past the cap the solver falls back to hashing.
 	LiveEdgeMemBudget int64
+	// EvalMode selects the world-evaluation kernel (see
+	// diffusion.EvalModes): diffusion.EvalBitParallel (the default — one
+	// BFS pass over the CSR evaluates 64 worlds per machine word, falling
+	// back to scalar automatically when the configuration materializes no
+	// liveness rows) or diffusion.EvalScalar (one world per pass — the
+	// parity oracle). Both kernels produce bit-identical Results.
+	EvalMode string
 	// Samples is the Monte-Carlo sample count per benefit evaluation.
 	// 0 means 1000 (the paper's simulation average count).
 	Samples int
@@ -144,6 +151,9 @@ type Stats struct {
 	GPsCreated    int   // guaranteed paths realized by SCM
 	ExploredNodes int   // distinct users examined across all phases
 	Evaluations   int64 // Monte-Carlo evaluations performed
+	// WorldBlocks counts 64-world blocks evaluated by the bit-parallel
+	// kernel; 0 under EvalScalar or the automatic scalar fallback.
+	WorldBlocks int64
 	// CandidateEvals counts ID-loop candidate marginal-gain evaluations.
 	// The exhaustive sweep pays |candidates| per iteration; the lazy loop
 	// pays only for new candidates, stale re-pops and pivot refreshes, so
@@ -335,6 +345,7 @@ func SolveCtx(ctx context.Context, inst *diffusion.Instance, opts Options) (*Sol
 			Samples: opts.Samples, Seed: opts.Seed,
 			Workers: opts.Workers, Diffusion: opts.Diffusion,
 			LiveEdgeMemBudget: opts.LiveEdgeMemBudget,
+			EvalMode:          opts.EvalMode,
 		})
 		if err != nil {
 			return nil, err
@@ -388,12 +399,22 @@ func SolveCtx(ctx context.Context, inst *diffusion.Instance, opts Options) (*Sol
 	return s.finish(best), nil
 }
 
+// worldBlocks reads the bit-parallel block counter off engines that expose
+// one (both the estimator and the world cache do); other evaluators report 0.
+func worldBlocks(ev diffusion.Evaluator) int64 {
+	if b, ok := ev.(interface{ BlockEvals() int64 }); ok {
+		return b.BlockEvals()
+	}
+	return 0
+}
+
 // partial converts a recorded cancellation into the error Solve returns.
 func (s *solver) partial() error {
 	if !s.aborted() {
 		return nil
 	}
 	s.stats.Evaluations = s.est.Evals()
+	s.stats.WorldBlocks = worldBlocks(s.est)
 	return &PartialError{Phase: s.phase, Stats: s.stats, Err: s.err}
 }
 
@@ -408,6 +429,7 @@ func (s *solver) finish(d *diffusion.Deployment) *Solution {
 		rate = benefit / total
 	}
 	s.stats.Evaluations = s.est.Evals()
+	s.stats.WorldBlocks = worldBlocks(s.est)
 	return &Solution{
 		Deployment:     d,
 		Benefit:        benefit,

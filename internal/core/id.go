@@ -553,6 +553,7 @@ func (s *solver) newScorer() diffusion.Evaluator {
 		Engine: engine, Model: s.opts.Model, Samples: s.opts.Samples,
 		Seed: seed, Workers: s.opts.Workers,
 		Diffusion: s.opts.Diffusion, LiveEdgeMemBudget: s.opts.LiveEdgeMemBudget,
+		EvalMode: s.opts.EvalMode,
 	})
 	if err != nil {
 		// Reachable only with an injected Evaluator whose companion option

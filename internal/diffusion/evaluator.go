@@ -70,6 +70,12 @@ type EngineOptions struct {
 	// to materialized worlds (<= 0 means DefaultLiveEdgeMemBudget). Above
 	// the cap the engine hashes every probe instead; results are identical.
 	LiveEdgeMemBudget int64
+	// EvalMode selects the world-evaluation kernel (see EvalModes); empty
+	// means EvalBitParallel — 64 worlds per machine word — with an automatic
+	// scalar fallback when the configuration yields no liveness substrate to
+	// mask block probes from (IC under DiffusionHash). Both kernels produce
+	// bit-identical Results; the mode is purely a speed/diagnosis choice.
+	EvalMode string
 }
 
 // NewEngineOpts constructs the configured evaluation engine over inst.
@@ -93,6 +99,12 @@ func NewEngineOpts(inst *Instance, o EngineOptions) (Evaluator, error) {
 	case "", DiffusionLiveEdge, DiffusionHash:
 	default:
 		return nil, fmt.Errorf("diffusion: unknown diffusion substrate %q (want one of %v)", o.Diffusion, Diffusions())
+	}
+	switch o.EvalMode {
+	case "", EvalBitParallel, EvalScalar:
+		est.EvalMode = o.EvalMode
+	default:
+		return nil, fmt.Errorf("diffusion: unknown eval mode %q (want one of %v)", o.EvalMode, EvalModes())
 	}
 	switch model {
 	case ModelIC:

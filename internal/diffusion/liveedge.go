@@ -1,6 +1,7 @@
 package diffusion
 
 import (
+	"math/bits"
 	"sync/atomic"
 
 	"s3crm/internal/graph"
@@ -155,6 +156,72 @@ func (le *LiveEdges) Live(world uint64, edge uint64) bool {
 		}
 	}
 	return (*rp)[world>>6]&(1<<(world&63)) != 0
+}
+
+// BlockMask answers up to 64 probes of one edge at once: bit b of the
+// result reports the edge's liveness in world worldBase+b, for every set
+// bit b of probe. worldBase must be 64-aligned and bits of probe at or past
+// the sample count must be clear. Outcomes are bit-identical to 64 Live
+// calls: under IC the materialized row IS the block word (one load, one
+// AND), and every fallback — budget-exhausted IC rows, LT chosen-row
+// compares, the LT categorical walk — recomputes exactly the per-world draw
+// the scalar path reads.
+func (le *LiveEdges) BlockMask(worldBase uint64, edge uint64, probe uint64) uint64 {
+	if probe == 0 {
+		return 0
+	}
+	if le.lt {
+		return le.ltBlockMask(worldBase, edge, probe)
+	}
+	rp := le.rows[edge].Load()
+	if rp == nil {
+		rp = le.fill(edge)
+	}
+	if rp != nil {
+		return (*rp)[worldBase>>6] & probe
+	}
+	// Budget-exhausted row: flip the scalar coin per probed world.
+	var m uint64
+	p := le.probs[edge]
+	for b := probe; b != 0; b &= b - 1 {
+		w := uint64(bits.TrailingZeros64(b))
+		if le.coin.Live(worldBase+w, edge, p) {
+			m |= 1 << w
+		}
+	}
+	return m
+}
+
+// ltBlockMask is BlockMask's LT form: the edge is live in a world exactly
+// when its target selected it there, read per probed world from the
+// target's materialized chosen row (one int32 compare per world, no hash
+// walk) or recomputed by the categorical walk past the memory budget.
+func (le *LiveEdges) ltBlockMask(worldBase uint64, edge uint64, probe uint64) uint64 {
+	t := le.targets[edge]
+	var m uint64
+	if le.materialize {
+		rp := le.chosen[t].Load()
+		if rp == nil {
+			rp = le.fillLT(t)
+		}
+		if rp != nil {
+			row := *rp
+			for b := probe; b != 0; b &= b - 1 {
+				w := uint64(bits.TrailingZeros64(b))
+				if row[worldBase+w] == int32(edge) {
+					m |= 1 << w
+				}
+			}
+			return m
+		}
+	}
+	for b := probe; b != 0; b &= b - 1 {
+		w := uint64(bits.TrailingZeros64(b))
+		if le.ltChoice(worldBase+w, t) == int32(edge) {
+			m |= 1 << w
+		}
+	}
+	return m
 }
 
 // fill materializes one edge's IC bit row, flipping its coin once per

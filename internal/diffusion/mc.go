@@ -38,6 +38,12 @@ type Estimator struct {
 	// even hash-per-probe evaluation walks the reverse CSR.
 	Live *LiveEdges
 
+	// EvalMode selects the world-evaluation kernel (see EvalModes): empty or
+	// EvalBitParallel runs the 64-worlds-per-word block kernel whenever Live
+	// is present, EvalScalar forces the one-world-at-a-time sweep. The two
+	// kernels produce bit-identical Results; set by NewEngineOpts.
+	EvalMode string
+
 	// ctx, when non-nil, is checked periodically inside the simulation
 	// loop so a cancelled serving request aborts mid-evaluation instead of
 	// finishing the full sample sweep. Set only on per-call Views; a
@@ -48,7 +54,11 @@ type Estimator struct {
 	poolOnce sync.Once
 	pool     sync.Pool // of *simScratch, reused across evaluations
 
-	evals atomic.Int64 // number of Evaluate calls, for instrumentation
+	blockPoolOnce sync.Once
+	blockPool     sync.Pool // of *blockScratch, reused across evaluations
+
+	evals  atomic.Int64 // number of Evaluate calls, for instrumentation
+	blocks atomic.Int64 // number of 64-world blocks the block kernel swept
 }
 
 // cancelled reports whether the estimator's per-call context (if any) has
@@ -66,12 +76,13 @@ func (e *Estimator) cancelled() bool {
 // because edge liveness depends only on (seed, world, edge).
 func (e *Estimator) View(ctx context.Context, workers int) *Estimator {
 	return &Estimator{
-		Inst:    e.Inst,
-		Samples: e.Samples,
-		Coin:    e.Coin,
-		Workers: workers,
-		Live:    e.Live,
-		ctx:     ctx,
+		Inst:     e.Inst,
+		Samples:  e.Samples,
+		Coin:     e.Coin,
+		Workers:  workers,
+		Live:     e.Live,
+		EvalMode: e.EvalMode,
+		ctx:      ctx,
 	}
 }
 
@@ -159,6 +170,12 @@ func (e *Estimator) RedemptionRate(d *Deployment) float64 {
 
 // Evals returns the number of Evaluate calls made so far.
 func (e *Estimator) Evals() int64 { return e.evals.Load() }
+
+// BlockEvals returns the number of 64-world blocks the bit-parallel kernel
+// has swept — 0 whenever evaluation ran scalar (EvalScalar, or no liveness
+// substrate). Instrumentation for the solver's stats and the eval-mode
+// fallback tests.
+func (e *Estimator) BlockEvals() int64 { return e.blocks.Load() }
 
 // Evaluate runs the full simulation and returns all aggregate metrics.
 func (e *Estimator) Evaluate(d *Deployment) Result {
@@ -303,8 +320,13 @@ func (e *Estimator) simWorld(s *simScratch, d *Deployment, world uint64, rec *wo
 }
 
 // run simulates worlds [lo, hi) and returns means over that slice tagged
-// with its weight relative to the full sample count.
+// with its weight relative to the full sample count. The bit-parallel and
+// scalar kernels return bit-identical Results, so the dispatch is purely a
+// speed choice.
 func (e *Estimator) run(d *Deployment, lo, hi int) Result {
+	if e.bitParallel() {
+		return e.runBlocks(d, lo, hi)
+	}
 	s := e.getScratch()
 	defer e.putScratch(s)
 	var sumB, sumC, sumA, sumH, sumX float64

@@ -4,6 +4,8 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+
+	"s3crm/internal/bitset"
 )
 
 // WorldCache is the EngineWorldCache implementation of Evaluator: a
@@ -133,6 +135,10 @@ func (wc *WorldCache) RedemptionRate(d *Deployment) float64 { return wc.Est.Rede
 // full or incremental — and each EvaluateDelta counts as one).
 func (wc *WorldCache) Evals() int64 { return wc.Est.Evals() }
 
+// BlockEvals returns the number of 64-world blocks the bit-parallel kernel
+// swept across this cache's rebases and delta evaluations.
+func (wc *WorldCache) BlockEvals() int64 { return wc.Est.BlockEvals() }
+
 // Rebase makes d the cached base deployment. Rebasing onto an unchanged
 // deployment is free; a deployment differing from the base only in the
 // coupon counts of a few nodes re-simulates only the worlds that activate a
@@ -171,6 +177,36 @@ func (wc *WorldCache) rebaseFull(d *Deployment) Result {
 	workers := e.Workers
 	if workers <= 1 || e.Samples < 4*workers {
 		wc.rebaseRange(d, 0, e.Samples)
+	} else if e.bitParallel() {
+		// Block-aligned worker ranges: a 64-world block split between two
+		// workers would be simulated twice with partial masks. Alignment
+		// cannot drift results — snapshots are per-world and refreshSums
+		// folds them in ascending world order regardless of the split.
+		nb := (e.Samples + 63) / 64
+		if workers > nb {
+			workers = nb
+		}
+		var wg sync.WaitGroup
+		per := nb / workers
+		extra := nb % workers
+		start := 0
+		for i := 0; i < workers; i++ {
+			count := per
+			if i < extra {
+				count++
+			}
+			lo, hi := start*64, (start+count)*64
+			start += count
+			if hi > e.Samples {
+				hi = e.Samples
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				wc.rebaseRange(d, lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
 	} else {
 		var wg sync.WaitGroup
 		per := e.Samples / workers
@@ -263,6 +299,10 @@ func (wc *WorldCache) materializeDense() {
 // the sequential one.
 func (wc *WorldCache) rebaseRange(d *Deployment, lo, hi int) {
 	e := wc.Est
+	if e.bitParallel() {
+		wc.rebaseBlocks(d, lo, hi)
+		return
+	}
 	s := e.getScratch()
 	defer e.putScratch(s)
 	hint := 16
@@ -286,6 +326,138 @@ func (wc *WorldCache) rebaseRange(d *Deployment, lo, hi int) {
 		}
 		wc.resimWorld(s, d, w, false)
 		hint = len(ws.rec.nodes) + 8
+	}
+}
+
+// rebaseBlocks is rebaseRange's block-kernel form: worlds [lo, hi) are
+// re-simulated one 64-aligned block at a time (partial masks at the ragged
+// ends). Snapshots are bit-identical to the scalar sweep's — simBlock
+// reproduces every world's scalar activation order — so the rebase stays
+// deterministic whatever the worker split.
+func (wc *WorldCache) rebaseBlocks(d *Deployment, lo, hi int) {
+	e := wc.Est
+	bs := e.getBlockScratch()
+	defer e.putBlockScratch(bs)
+	for base := lo &^ 63; base < hi; base += 64 {
+		if e.cancelled() {
+			// Abort the sweep; as in the scalar path, the caller discards a
+			// cancelled cache.
+			return
+		}
+		blo, bhi := 0, 64
+		if base < lo {
+			blo = lo - base
+		}
+		if base+64 > hi {
+			bhi = hi - base
+		}
+		wc.resimBlock(bs, d, base, bitset.RangeMask(blo, bhi), false)
+	}
+}
+
+// resimBlock re-simulates the masked worlds of the 64-aligned block at base
+// into their snapshot slots — resimWorld's block counterpart, sharing one
+// BFS pass across the block. With mat (sequential callers only) it also
+// reconciles the dense tier for those worlds.
+func (wc *WorldCache) resimBlock(bs *blockScratch, d *Deployment, base int, mask uint64, mat bool) {
+	e := wc.Est
+	e.blocks.Add(1)
+	mat = mat && wc.dense
+	var recs [64]*worldRecord
+	for m := mask; m != 0; m &= m - 1 {
+		b := bits.TrailingZeros64(m)
+		w := base + b
+		ws := &wc.worlds[w]
+		if mat {
+			for _, v := range ws.rec.nodes {
+				bitset.Clear(wc.worldRow(v), w)
+			}
+		}
+		ws.rec.nodes = ws.rec.nodes[:0]
+		ws.rec.scanStop = ws.rec.scanStop[:0]
+		ws.rec.scanRed = ws.rec.scanRed[:0]
+		ws.rec.probed = ws.rec.probed[:0]
+		recs[b] = &ws.rec
+	}
+	e.simBlock(bs, d, uint64(base), mask, &recs)
+	for m := mask; m != 0; m &= m - 1 {
+		b := bits.TrailingZeros64(m)
+		w := base + b
+		ws := &wc.worlds[w]
+		ws.benefit = bs.worldB[b]
+		ws.cost = bs.worldC[b]
+		ws.hop = bs.maxHop[b]
+		ws.activated = bs.activated[b]
+		ws.explored = bs.explored[b]
+		if wc.act != nil {
+			abits := wc.act[w*wc.actWords : (w+1)*wc.actWords]
+			clear(abits)
+			for _, v := range ws.rec.nodes {
+				abits[v>>6] |= 1 << (uint(v) & 63)
+			}
+			sbits := wc.seen[w*wc.actWords : (w+1)*wc.actWords]
+			clear(sbits)
+			for _, v := range ws.rec.probed {
+				sbits[v>>6] |= 1 << (uint(v) & 63)
+			}
+		}
+		if mat {
+			samples := e.Samples
+			for i, v := range ws.rec.nodes {
+				bitset.Set(wc.worldRow(v), w)
+				idx := int(v)*samples + w
+				wc.denseStop[idx] = ws.rec.scanStop[i]
+				wc.denseRed[idx] = ws.rec.scanRed[i]
+			}
+		}
+	}
+}
+
+// resimWorlds re-simulates a scattered ascending set of worlds, routing
+// runs that share a 64-world block through the block kernel and lone
+// worlds through the scalar kernel (a one-bit mask pays the block
+// bookkeeping for no parallelism). Snapshots are identical either way.
+func (wc *WorldCache) resimWorlds(d *Deployment, worlds []int32, mat bool) {
+	e := wc.Est
+	if !e.bitParallel() {
+		s := e.getScratch()
+		defer e.putScratch(s)
+		for _, w := range worlds {
+			wc.resimWorld(s, d, int(w), mat)
+		}
+		return
+	}
+	var (
+		s  *simScratch
+		bs *blockScratch
+	)
+	defer func() {
+		if s != nil {
+			e.putScratch(s)
+		}
+		if bs != nil {
+			e.putBlockScratch(bs)
+		}
+	}()
+	for i := 0; i < len(worlds); {
+		base := int(worlds[i]) &^ 63
+		j := i
+		var mask uint64
+		for ; j < len(worlds) && int(worlds[j]) < base+64; j++ {
+			mask |= 1 << (uint(worlds[j]) & 63)
+		}
+		if j == i+1 {
+			if s == nil {
+				s = e.getScratch()
+			}
+			wc.resimWorld(s, d, int(worlds[i]), mat)
+		} else {
+			if bs == nil {
+				bs = e.getBlockScratch()
+			}
+			wc.resimBlock(bs, d, base, mask, mat)
+		}
+		i = j
 	}
 }
 
@@ -444,17 +616,16 @@ func (wc *WorldCache) advanceSeed(d *Deployment, s int32) Result {
 	eBase := uint64(g.EdgeIndexBase(s))
 	le := e.Live
 	coin := e.Coin
-	sc := e.getScratch()
-	defer e.putScratch(sc)
 	stop := int32(0)
 	if k > 0 {
 		stop = int32(len(targets))
 	}
 	samples := e.Samples
+	var resim []int32
 	for w := 0; w < samples; w++ {
 		abits := wc.act[w*wc.actWords : (w+1)*wc.actWords]
 		if abits[s>>6]&(1<<(uint(s)&63)) != 0 {
-			wc.resimWorld(sc, d, w, true)
+			resim = append(resim, int32(w))
 			continue
 		}
 		patchable := true
@@ -473,7 +644,10 @@ func (wc *WorldCache) advanceSeed(d *Deployment, s int32) Result {
 			}
 		}
 		if !patchable {
-			wc.resimWorld(sc, d, w, true)
+			// The patch sweep reads and writes only per-world state, so the
+			// collected re-simulations can run afterwards, block-grouped,
+			// without changing any decision.
+			resim = append(resim, int32(w))
 			continue
 		}
 		// Patch: insert s at its seed position with a spent dead scan.
@@ -520,6 +694,7 @@ func (wc *WorldCache) advanceSeed(d *Deployment, s int32) Result {
 		wc.denseStop[di] = stop
 		wc.denseRed[di] = 0
 	}
+	wc.resimWorlds(d, resim, true)
 	wc.base = d.Clone()
 	wc.invBuilt = false
 	wc.refreshSums()
@@ -533,24 +708,25 @@ func (wc *WorldCache) advanceSeed(d *Deployment, s int32) Result {
 func (wc *WorldCache) advance(d *Deployment, changed []int32) Result {
 	e := wc.Est
 	e.evals.Add(1)
-	s := e.getScratch()
-	defer e.putScratch(s)
+	var resim []int32
 	if len(changed) == 1 {
 		// The ID loop's hot path: one changed node, worlds visited once, so
 		// decisions always read the outgoing base and the dead-tail patch
-		// applies.
+		// applies. The decision/patch sweep reads and mutates only per-world
+		// state, so deferring the collected re-simulations to one block-
+		// grouped pass afterwards cannot change any outcome.
 		v := changed[0]
 		kOld, kNew := wc.base.K(v), d.K(v)
 		if wc.dense {
 			base := int(v) * e.Samples
-			forEachBit(wc.worldRow(v), e.Samples, func(w int) {
+			bitset.ForEach(wc.worldRow(v), e.Samples, func(w int) {
 				if scanUnchanged(kOld, kNew, int(wc.denseRed[base+w])) {
 					return
 				}
 				if kNew > kOld && wc.patchScanTail(v, w) {
 					return
 				}
-				wc.resimWorld(s, d, w, true)
+				resim = append(resim, int32(w))
 			})
 		} else {
 			wc.buildInverted()
@@ -559,7 +735,7 @@ func (wc *WorldCache) advance(d *Deployment, changed []int32) Result {
 				if scanUnchanged(kOld, kNew, int(wc.worlds[w].rec.scanRed[ps[i]])) {
 					continue
 				}
-				wc.resimWorld(s, d, int(w), true)
+				resim = append(resim, w)
 			}
 		}
 	} else {
@@ -575,7 +751,7 @@ func (wc *WorldCache) advance(d *Deployment, changed []int32) Result {
 			for _, v := range changed {
 				kOld, kNew := wc.base.K(v), d.K(v)
 				base := int(v) * e.Samples
-				forEachBit(wc.worldRow(v), e.Samples, func(w int) {
+				bitset.ForEach(wc.worldRow(v), e.Samples, func(w int) {
 					if !scanUnchanged(kOld, kNew, int(wc.denseRed[base+w])) {
 						affected[w] = true
 					}
@@ -595,10 +771,11 @@ func (wc *WorldCache) advance(d *Deployment, changed []int32) Result {
 		}
 		for w, hit := range affected {
 			if hit {
-				wc.resimWorld(s, d, w, true)
+				resim = append(resim, int32(w))
 			}
 		}
 	}
+	wc.resimWorlds(d, resim, true)
 	wc.base = d.Clone()
 	wc.invBuilt = false
 	wc.refreshSums()
@@ -683,24 +860,9 @@ func scanUnchanged(kOld, kNew, red int) bool {
 // BaseResult returns the cached result of the last Rebase.
 func (wc *WorldCache) BaseResult() Result { return wc.baseResult }
 
-// forEachBit invokes fn with the index of every set bit below limit.
-func forEachBit(row []uint64, limit int, fn func(int)) {
-	for wi, word := range row {
-		for word != 0 {
-			b := bits.TrailingZeros64(word)
-			word &^= 1 << uint(b)
-			w := wi<<6 | b
-			if w >= limit {
-				return
-			}
-			fn(w)
-		}
-	}
-}
-
 // worldRow returns node v's active-world bit row (dense tier only).
 func (wc *WorldCache) worldRow(v int32) []uint64 {
-	return wc.actT[int(v)*wc.actTWords : (int(v)+1)*wc.actTWords]
+	return bitset.Row(wc.actT, int(v), wc.actTWords)
 }
 
 // buildInverted lazily (re)builds the CSR inverted activation index against
@@ -892,7 +1054,7 @@ func (wc *WorldCache) deltaByCandidate(cands []int32, out []float64) []float64 {
 		if wc.dense {
 			samples := e.Samples
 			base := int(v) * samples
-			forEachBit(wc.worldRow(v), samples, func(w int) {
+			bitset.ForEach(wc.worldRow(v), samples, func(w int) {
 				if int(wc.denseRed[base+w]) < k {
 					return // the base scan had a spare coupon; one more is inert
 				}
@@ -1109,42 +1271,79 @@ func (wc *WorldCache) EvaluateDelta(d *Deployment, changed []int32) float64 {
 	}
 	e := wc.Est
 	e.evals.Add(1)
-	sum := wc.baseSumB
-	s := e.getScratch()
-	defer e.putScratch(s)
-	resim := func(w int32) {
-		b, _, _, _, _ := e.simWorld(s, d, uint64(w), nil)
-		sum += b - wc.worlds[w].benefit
-	}
+	var worlds []int32
 	if len(changed) == 1 {
 		v := changed[0]
 		if wc.dense {
-			forEachBit(wc.worldRow(v), e.Samples, func(w int) { resim(int32(w)) })
+			bitset.ForEach(wc.worldRow(v), e.Samples, func(w int) { worlds = append(worlds, int32(w)) })
 		} else {
 			wc.buildInverted()
 			ws, _ := wc.activeWorlds(v)
-			for _, w := range ws {
-				resim(w)
+			worlds = append(worlds, ws...)
+		}
+	} else {
+		affected := make([]bool, e.Samples)
+		for _, v := range changed {
+			if wc.dense {
+				bitset.ForEach(wc.worldRow(v), e.Samples, func(w int) { affected[w] = true })
+			} else {
+				wc.buildInverted()
+				ws, _ := wc.activeWorlds(v)
+				for _, w := range ws {
+					affected[w] = true
+				}
 			}
+		}
+		for w, hit := range affected {
+			if hit {
+				worlds = append(worlds, int32(w))
+			}
+		}
+	}
+	// Both kernels produce identical per-world benefits, and the deltas fold
+	// into the sum in ascending world order either way, so the block grouping
+	// below is bit-identical to the scalar sweep.
+	sum := wc.baseSumB
+	if e.bitParallel() {
+		bs := e.getBlockScratch()
+		defer e.putBlockScratch(bs)
+		var s *simScratch
+		defer func() {
+			if s != nil {
+				e.putScratch(s)
+			}
+		}()
+		for i := 0; i < len(worlds); {
+			base := int(worlds[i]) &^ 63
+			j := i
+			var mask uint64
+			for ; j < len(worlds) && int(worlds[j]) < base+64; j++ {
+				mask |= 1 << (uint(worlds[j]) & 63)
+			}
+			if j == i+1 {
+				w := worlds[i]
+				if s == nil {
+					s = e.getScratch()
+				}
+				b, _, _, _, _ := e.simWorld(s, d, uint64(w), nil)
+				sum += b - wc.worlds[w].benefit
+			} else {
+				e.simBlock(bs, d, uint64(base), mask, nil)
+				e.blocks.Add(1)
+				for m := mask; m != 0; m &= m - 1 {
+					b := bits.TrailingZeros64(m)
+					sum += bs.worldB[b] - wc.worlds[base+b].benefit
+				}
+			}
+			i = j
 		}
 		return sum / float64(e.Samples)
 	}
-	affected := make([]bool, e.Samples)
-	for _, v := range changed {
-		if wc.dense {
-			forEachBit(wc.worldRow(v), e.Samples, func(w int) { affected[w] = true })
-		} else {
-			wc.buildInverted()
-			ws, _ := wc.activeWorlds(v)
-			for _, w := range ws {
-				affected[w] = true
-			}
-		}
-	}
-	for w, hit := range affected {
-		if hit {
-			resim(int32(w))
-		}
+	s := e.getScratch()
+	defer e.putScratch(s)
+	for _, w := range worlds {
+		b, _, _, _, _ := e.simWorld(s, d, uint64(w), nil)
+		sum += b - wc.worlds[w].benefit
 	}
 	return sum / float64(e.Samples)
 }

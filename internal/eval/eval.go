@@ -79,6 +79,7 @@ type RunParams struct {
 	Engine       string // evaluation engine (see diffusion.Engines; "" = mc)
 	Model        string // triggering model (see diffusion.Models; "" = ic)
 	Diffusion    string // edge-liveness substrate (see diffusion.Diffusions; "" = liveedge)
+	EvalMode     string // world-evaluation kernel (see diffusion.EvalModes; "" = bitparallel)
 	CandidateCap int    // baseline greedy candidate cap (0 = all users)
 	LimitedK     int    // limited-strategy quota (0 = Dropbox's 32)
 	// SpendBudget makes S3CA return the full-budget deployment, mirroring
@@ -126,6 +127,7 @@ func RunOne(algo string, inst *diffusion.Instance, p RunParams) (Measure, error)
 		sol, err := core.Solve(inst, core.Options{
 			Engine: p.Engine, Model: p.Model, Diffusion: p.Diffusion,
 			Samples: p.Samples, Seed: p.Seed, Workers: p.Workers,
+			EvalMode:    p.EvalMode,
 			SpendBudget: p.SpendBudget, ExhaustiveID: p.ExhaustiveID,
 		})
 		if err != nil {
@@ -137,6 +139,7 @@ func RunOne(algo string, inst *diffusion.Instance, p RunParams) (Measure, error)
 		cfg := baselines.Config{
 			Engine: p.Engine, Model: p.Model, Diffusion: p.Diffusion,
 			Samples: p.Samples, Seed: p.Seed, Workers: p.Workers,
+			EvalMode:     p.EvalMode,
 			CandidateCap: p.CandidateCap, LimitedK: p.LimitedK,
 		}
 		if algo == "IM-L" || algo == "PM-L" {
@@ -177,6 +180,7 @@ func RunOne(algo string, inst *diffusion.Instance, p RunParams) (Measure, error)
 	est, err := diffusion.NewEngineOpts(inst, diffusion.EngineOptions{
 		Engine: diffusion.EngineMC, Model: p.Model, Samples: p.Samples,
 		Seed: p.Seed ^ 0xfeed, Workers: p.Workers, Diffusion: p.Diffusion,
+		EvalMode: p.EvalMode,
 	})
 	if err != nil {
 		return Measure{}, err

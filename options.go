@@ -18,6 +18,7 @@ type config struct {
 	engine       string
 	model        string
 	diffusion    string
+	evalMode     string
 	samples      int
 	seed         uint64
 	seedPinned   bool // a call-level WithSeed pins the call's RNG streams
@@ -35,6 +36,7 @@ func defaultConfig() config {
 		engine:    diffusion.EngineMC,
 		model:     diffusion.ModelIC,
 		diffusion: diffusion.DiffusionLiveEdge,
+		evalMode:  diffusion.EvalBitParallel,
 		samples:   1000,
 	}
 }
@@ -120,6 +122,30 @@ func WithDiffusion(name string) Option {
 			}
 		}
 		return fmt.Errorf("unknown diffusion substrate %q (want one of %v)", name, diffusion.Diffusions())
+	}
+}
+
+// WithEvalMode selects the world-evaluation kernel behind every engine:
+// "bitparallel" (the default — one breadth-first pass over the graph
+// evaluates 64 possible worlds at once, packing per-world liveness and
+// activation state into machine words; falls back to scalar automatically
+// when the configuration materializes no liveness rows to mask block probes
+// from, i.e. "ic" under the "hash" substrate) or "scalar" (one world per
+// pass — PR 1's kernel, kept as the parity oracle). Both kernels produce
+// bit-identical results; the mode is purely a speed/diagnosis choice. See
+// EvalModes and DESIGN.md ("Bit-parallel evaluation").
+func WithEvalMode(name string) Option {
+	return func(c *config) error {
+		if name == "" {
+			name = diffusion.EvalBitParallel
+		}
+		for _, m := range diffusion.EvalModes() {
+			if name == m {
+				c.evalMode = name
+				return nil
+			}
+		}
+		return fmt.Errorf("unknown eval mode %q (want one of %v)", name, diffusion.EvalModes())
 	}
 }
 
@@ -257,6 +283,8 @@ type Options struct {
 	Model string
 	// Diffusion selects the edge-liveness substrate (see WithDiffusion).
 	Diffusion string
+	// EvalMode selects the world-evaluation kernel (see WithEvalMode).
+	EvalMode string
 	// ExhaustiveID disables the CELF lazy-greedy ID loop (see
 	// WithExhaustiveID).
 	ExhaustiveID bool
@@ -286,6 +314,9 @@ func (o Options) asOptions() []Option {
 	}
 	if o.Diffusion != "" {
 		opts = append(opts, WithDiffusion(o.Diffusion))
+	}
+	if o.EvalMode != "" {
+		opts = append(opts, WithEvalMode(o.EvalMode))
 	}
 	if o.Samples > 0 {
 		opts = append(opts, WithSamples(o.Samples))

@@ -350,6 +350,12 @@ func Models() []string { return diffusion.Models() }
 // Diffusions lists the edge-liveness substrates accepted by WithDiffusion.
 func Diffusions() []string { return diffusion.Diffusions() }
 
+// EvalModes lists the world-evaluation kernels accepted by WithEvalMode:
+// "bitparallel" (the default — 64 possible worlds per machine word) and
+// "scalar" (one world per pass, the parity oracle). Both produce
+// bit-identical results.
+func EvalModes() []string { return diffusion.EvalModes() }
+
 // Deployment is a hand-built campaign plan for Evaluate: the seed set and
 // the coupon allocation.
 type Deployment struct {
