@@ -12,6 +12,7 @@ import (
 	"s3crm/internal/diffusion"
 	"s3crm/internal/progress"
 	"s3crm/internal/rng"
+	"s3crm/internal/stats"
 )
 
 // Campaign is a long-lived, concurrency-safe serving session over one
@@ -198,6 +199,10 @@ type call struct {
 	// call derives it from the call sequence number, drawing fresh,
 	// reproducible selection noise per call.
 	scorerSeed uint64
+	// degraded records that the campaign's degradation hook lowered this
+	// call's sample count below what was requested (see WithDegradation);
+	// the call's Results report it.
+	degraded bool
 }
 
 // newCall applies call-level overrides and assigns the next sequence
@@ -210,6 +215,25 @@ func (c *Campaign) newCall(opts []Option) (call, error) {
 		return call{}, err
 	}
 	cl := call{cfg: cfg, seq: c.seq.Add(1), seed: cfg.seed}
+	if cfg.degrade != nil {
+		// Graceful degradation: the hook may downgrade the call to fewer
+		// Monte-Carlo worlds (never more, never below the WithMinSamples
+		// floor or one world). The degraded sample count keys its own
+		// engine pool, so a ladder of a few rungs stays warm per rung.
+		if eff := cfg.degrade(cfg.samples); eff < cfg.samples {
+			floor := cfg.minSamples
+			if floor < 1 {
+				floor = 1
+			}
+			if eff < floor {
+				eff = floor
+			}
+			if eff < cfg.samples {
+				cl.cfg.samples = eff
+				cl.degraded = true
+			}
+		}
+	}
 	if cfg.seedPinned {
 		cl.scorerSeed = cl.seed ^ 0x5c04e
 	} else {
@@ -320,7 +344,7 @@ func (c *Campaign) Solve(ctx context.Context, opts ...Option) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("s3crm: %w", err)
 	}
-	r := resultFrom("S3CA", c.p.inst, sol.Deployment, view)
+	r := resultFrom("S3CA", c.p.inst, sol.Deployment, view, cl.cfg.samples, cl.degraded)
 	// resultFrom measures on the ctx-carrying view, which breaks out of
 	// its world sweep when cancelled; never hand partial sums to a caller.
 	if err := ctx.Err(); err != nil {
@@ -382,7 +406,7 @@ func (c *Campaign) RunBaseline(ctx context.Context, name string, opts ...Option)
 	if err != nil {
 		return nil, fmt.Errorf("s3crm: %w", err)
 	}
-	r := resultFrom(name, c.p.inst, o.Deployment, view)
+	r := resultFrom(name, c.p.inst, o.Deployment, view, cl.cfg.samples, cl.degraded)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("s3crm: final measurement aborted: %w", err)
 	}
@@ -436,7 +460,7 @@ func (c *Campaign) EvaluateBatch(ctx context.Context, deps []Deployment, opts ..
 		view := ep.proto.View(ctx, cl.cfg.workers)
 		view.EvalMode = cl.cfg.evalMode
 		for i, d := range ds {
-			results[i] = resultFrom("custom", c.p.inst, d, view)
+			results[i] = resultFrom("custom", c.p.inst, d, view, cl.cfg.samples, cl.degraded)
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("s3crm: evaluate aborted after %d of %d deployments: %w", i, len(ds), err)
 			}
@@ -460,7 +484,7 @@ func (c *Campaign) EvaluateBatch(ctx context.Context, deps []Deployment, opts ..
 				if i >= len(ds) || ctx.Err() != nil {
 					return
 				}
-				results[i] = resultFrom("custom", c.p.inst, ds[i], view)
+				results[i] = resultFrom("custom", c.p.inst, ds[i], view, cl.cfg.samples, cl.degraded)
 			}
 		}()
 	}
@@ -478,22 +502,30 @@ func (c *Campaign) EvaluateBatch(ctx context.Context, deps []Deployment, opts ..
 }
 
 // resultFrom measures a solved deployment with the given estimator view and
-// assembles the public result.
-func resultFrom(name string, inst *diffusion.Instance, d *diffusion.Deployment, est diffusion.Evaluator) *Result {
+// assembles the public result. samples is the call's effective Monte-Carlo
+// world count and degraded whether a degradation hook lowered it below the
+// request; both are reported alongside the standard-error bar derived from
+// the per-world benefit variance the kernels accumulate.
+func resultFrom(name string, inst *diffusion.Instance, d *diffusion.Deployment, est diffusion.Evaluator, samples int, degraded bool) *Result {
 	res := est.Evaluate(d)
 	seedCost := inst.SeedCostOf(d)
 	scCost := inst.SCCostOf(d)
 	out := &Result{
-		Algorithm:   name,
-		Coupons:     map[int]int{},
-		Benefit:     res.Benefit,
-		SeedCost:    seedCost,
-		CouponCost:  scCost,
-		TotalCost:   seedCost + scCost,
-		FarthestHop: res.FarthestHop,
+		Algorithm:        name,
+		Coupons:          map[int]int{},
+		Benefit:          res.Benefit,
+		SeedCost:         seedCost,
+		CouponCost:       scCost,
+		TotalCost:        seedCost + scCost,
+		FarthestHop:      res.FarthestHop,
+		EffectiveSamples: samples,
+		Degraded:         degraded,
 	}
 	if out.TotalCost > 0 {
 		out.RedemptionRate = out.Benefit / out.TotalCost
+		// The costs are deterministic in the deployment, so the objective's
+		// Monte-Carlo error is the benefit's scaled by 1/cost.
+		out.StdErr = stats.StdErrFromMoments(samples, res.Benefit, res.BenefitSqMean) / out.TotalCost
 	}
 	for _, s := range d.Seeds() {
 		out.Seeds = append(out.Seeds, int(s))

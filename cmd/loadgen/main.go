@@ -1,0 +1,375 @@
+// Command loadgen drives HTTP load against a running s3crmd and reports
+// how the daemon's overload machinery held up: latency percentiles for
+// served requests, the shed rate (429/503), the degradation rate, and the
+// daemon's own /statusz counters. It is the measurement half of the
+// serving-robustness work — s3crmd sheds and degrades, loadgen checks the
+// numbers.
+//
+//	s3crmd -addr :8080 -dataset Epinions -scale 400 -capacity 4 &
+//	loadgen -url http://localhost:8080 -mode closed -concurrency 16 -duration 10s
+//	loadgen -url http://localhost:8080 -mode open -rps 50 -duration 10s -out BENCH_7.json
+//
+// Two load models:
+//
+//   - closed loop (-concurrency N): N workers each keep exactly one request
+//     in flight — throughput self-limits to what the server sustains, the
+//     classic saturation probe.
+//   - open loop (-rps R): requests fire on a fixed schedule regardless of
+//     completions, the arrival process of real traffic — overload shows up
+//     as shed requests instead of silently stretched inter-arrival gaps.
+//     In-flight work is bounded by the per-request timeout, not by the
+//     server.
+//
+// The request mix interleaves solves and evaluates (-solve-frac), each
+// with a distinct seed so the daemon's engine pools see realistic
+// variety. Latency percentiles cover successfully served (2xx) requests:
+// that is the latency the daemon promises to keep bounded by shedding the
+// rest. Responses carrying the daemon's fault-injection marker header are
+// counted as injected, not as server failures; any other 5xx fails the
+// run (non-zero exit), which is what the CI smoke asserts.
+//
+// With -out the same report is written as one JSON object — the BENCH_7
+// artifact.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"s3crm/internal/serve"
+	"s3crm/internal/stats"
+)
+
+func main() {
+	var (
+		url       = flag.String("url", "http://localhost:8080", "base URL of the s3crmd under test")
+		mode      = flag.String("mode", "closed", "load model: closed (fixed concurrency) or open (fixed arrival rate)")
+		conc      = flag.Int("concurrency", 8, "closed-loop workers, each with one request in flight")
+		rps       = flag.Float64("rps", 50, "open-loop target arrival rate, requests per second")
+		duration  = flag.Duration("duration", 5*time.Second, "how long to generate load")
+		solveFrac = flag.Float64("solve-frac", 0.25, "fraction of requests that are solves (the rest are evaluates)")
+		algorithm = flag.String("algorithm", "S3CA", "algorithm solves request")
+		samples   = flag.Int("samples", 1000, "Monte-Carlo samples each request asks for (the count degradation downgrades)")
+		seed      = flag.Uint64("seed", 1, "base seed; request k uses seed+k so the mix is reproducible")
+		timeout   = flag.Duration("timeout", 30*time.Second, "client-side per-request timeout")
+		out       = flag.String("out", "", "write the JSON report here (e.g. BENCH_7.json; empty = stdout summary only)")
+	)
+	flag.Parse()
+	if *mode != "closed" && *mode != "open" {
+		fmt.Fprintf(os.Stderr, "loadgen: unknown -mode %q (want closed or open)\n", *mode)
+		os.Exit(2)
+	}
+	if *solveFrac < 0 || *solveFrac > 1 {
+		fmt.Fprintln(os.Stderr, "loadgen: -solve-frac outside [0,1]")
+		os.Exit(2)
+	}
+
+	g := &generator{
+		url: *url, algorithm: *algorithm, samples: *samples,
+		solveFrac: *solveFrac, seed: *seed,
+		client: &http.Client{Timeout: *timeout},
+	}
+	users, err := g.probe()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: probing %s: %v\n", *url, err)
+		os.Exit(1)
+	}
+	g.users = users
+
+	start := time.Now()
+	switch *mode {
+	case "closed":
+		g.closedLoop(*conc, *duration)
+	case "open":
+		g.openLoop(*rps, *duration)
+	}
+	elapsed := time.Since(start)
+
+	rep := g.report(*mode, *conc, *rps, elapsed)
+	if statusz, err := g.fetchStatusz(); err == nil {
+		rep.Statusz = statusz
+	} else {
+		fmt.Fprintf(os.Stderr, "loadgen: fetching /statusz: %v\n", err)
+	}
+	rep.print(os.Stdout)
+	if *out != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*out, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: writing %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	if rep.Unexpected5xx > 0 || rep.TransportErrors > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: FAIL: %d unexpected 5xx, %d transport errors\n",
+			rep.Unexpected5xx, rep.TransportErrors)
+		os.Exit(1)
+	}
+}
+
+// generator issues the solve/evaluate mix and accumulates outcomes.
+type generator struct {
+	url       string
+	algorithm string
+	samples   int
+	solveFrac float64
+	seed      uint64
+	users     int
+	client    *http.Client
+
+	next atomic.Int64 // global request ordinal
+
+	mu        sync.Mutex
+	okLatency []float64 // ms, 2xx only — the latency the daemon keeps bounded
+	counts    counts
+}
+
+type counts struct {
+	Requests        int64 `json:"requests"`
+	OK              int64 `json:"ok"`
+	Degraded        int64 `json:"degraded"`
+	Shed429         int64 `json:"shed_429"`
+	Shed503         int64 `json:"shed_503"`
+	Timeout504      int64 `json:"timeout_504"`
+	Injected        int64 `json:"injected_faults"`
+	ClientErrors    int64 `json:"client_errors"` // 4xx besides 429: a loadgen bug
+	Unexpected5xx   int64 `json:"unexpected_5xx"`
+	TransportErrors int64 `json:"transport_errors"`
+}
+
+// probe fetches /info to confirm the daemon is up and learn the instance
+// size, which bounds the seed-user ids evaluates may reference.
+func (g *generator) probe() (int, error) {
+	resp, err := g.client.Get(g.url + "/info")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var info struct {
+		Users int `json:"users"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return 0, err
+	}
+	if info.Users <= 0 {
+		return 0, fmt.Errorf("instance reports %d users", info.Users)
+	}
+	return info.Users, nil
+}
+
+func (g *generator) closedLoop(workers int, d time.Duration) {
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				g.fire(g.next.Add(1) - 1)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func (g *generator) openLoop(rps float64, d time.Duration) {
+	if rps <= 0 {
+		return
+	}
+	interval := time.Duration(float64(time.Second) / rps)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for now := range ticker.C {
+		if now.After(deadline) {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.fire(g.next.Add(1) - 1)
+		}()
+	}
+	wg.Wait() // in-flight tail is bounded by the client timeout
+}
+
+// fire issues request k of the mix and records its outcome.
+func (g *generator) fire(k int64) {
+	// Deterministic solve/evaluate interleave matching solveFrac without
+	// shared state: request k is a solve iff its position in a 1000-cycle
+	// falls under the fraction.
+	solve := float64(k%1000)+0.5 < g.solveFrac*1000
+	var path string
+	var body []byte
+	if solve {
+		path = "/solve"
+		body, _ = json.Marshal(map[string]any{
+			"algorithm": g.algorithm,
+			"samples":   g.samples,
+			"seed":      g.seed + uint64(k),
+		})
+	} else {
+		path = "/evaluate"
+		body, _ = json.Marshal(map[string]any{
+			"deployments": []map[string]any{
+				{"seeds": []int{int(k) % g.users}},
+			},
+			"samples": g.samples,
+			"seed":    g.seed + uint64(k),
+		})
+	}
+
+	start := time.Now()
+	resp, err := g.client.Post(g.url+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		g.mu.Lock()
+		g.counts.Requests++
+		g.counts.TransportErrors++
+		g.mu.Unlock()
+		return
+	}
+	payload, _ := io.ReadAll(resp.Body) // drain fully: slow-body faults bill the body, not the header
+	resp.Body.Close()
+	latencyMS := float64(time.Since(start)) / float64(time.Millisecond)
+
+	degraded := false
+	if resp.StatusCode == http.StatusOK {
+		var r struct {
+			Result *struct {
+				Degraded bool `json:"degraded"`
+			} `json:"result"`
+			Results []struct {
+				Degraded bool `json:"degraded"`
+			} `json:"results"`
+		}
+		if json.Unmarshal(payload, &r) == nil {
+			if r.Result != nil && r.Result.Degraded {
+				degraded = true
+			}
+			for _, res := range r.Results {
+				degraded = degraded || res.Degraded
+			}
+		}
+	}
+	injected := resp.Header.Get(serve.InjectedFaultHeader) != ""
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.counts.Requests++
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		g.counts.OK++
+		g.okLatency = append(g.okLatency, latencyMS)
+		if degraded {
+			g.counts.Degraded++
+		}
+	case resp.StatusCode == http.StatusTooManyRequests:
+		g.counts.Shed429++
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		g.counts.Shed503++
+	case resp.StatusCode == http.StatusGatewayTimeout:
+		g.counts.Timeout504++
+	case injected:
+		g.counts.Injected++
+	case resp.StatusCode >= 500:
+		g.counts.Unexpected5xx++
+	default:
+		g.counts.ClientErrors++
+	}
+}
+
+func (g *generator) fetchStatusz() (json.RawMessage, error) {
+	resp, err := g.client.Get(g.url + "/statusz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return json.RawMessage(raw), nil
+}
+
+// report is the BENCH_7 artifact: one JSON object capturing the load
+// model, the outcome mix and the served-latency percentiles.
+type report struct {
+	Bench       string  `json:"bench"`
+	URL         string  `json:"url"`
+	Mode        string  `json:"mode"`
+	Concurrency int     `json:"concurrency,omitempty"`
+	TargetRPS   float64 `json:"target_rps,omitempty"`
+	DurationS   float64 `json:"duration_s"`
+	AchievedRPS float64 `json:"achieved_rps"`
+
+	counts
+	ShedRate        float64 `json:"shed_rate"`        // shed / requests
+	DegradationRate float64 `json:"degradation_rate"` // degraded / ok
+
+	LatencyMS struct {
+		P50 float64 `json:"p50"`
+		P90 float64 `json:"p90"`
+		P95 float64 `json:"p95"`
+		P99 float64 `json:"p99"`
+		Max float64 `json:"max"`
+	} `json:"latency_ms"` // served (2xx) requests only
+
+	Statusz json.RawMessage `json:"statusz,omitempty"`
+}
+
+func (g *generator) report(mode string, conc int, rps float64, elapsed time.Duration) *report {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rep := &report{
+		Bench: "loadgen", URL: g.url, Mode: mode,
+		DurationS: elapsed.Seconds(), counts: g.counts,
+	}
+	if mode == "closed" {
+		rep.Concurrency = conc
+	} else {
+		rep.TargetRPS = rps
+	}
+	if rep.DurationS > 0 {
+		rep.AchievedRPS = float64(g.counts.Requests) / rep.DurationS
+	}
+	if g.counts.Requests > 0 {
+		rep.ShedRate = float64(g.counts.Shed429+g.counts.Shed503) / float64(g.counts.Requests)
+	}
+	if g.counts.OK > 0 {
+		rep.DegradationRate = float64(g.counts.Degraded) / float64(g.counts.OK)
+	}
+	rep.LatencyMS.P50 = stats.Quantile(g.okLatency, 0.50)
+	rep.LatencyMS.P90 = stats.Quantile(g.okLatency, 0.90)
+	rep.LatencyMS.P95 = stats.Quantile(g.okLatency, 0.95)
+	rep.LatencyMS.P99 = stats.Quantile(g.okLatency, 0.99)
+	rep.LatencyMS.Max = stats.Quantile(g.okLatency, 1)
+	return rep
+}
+
+func (r *report) print(w io.Writer) {
+	load := fmt.Sprintf("%d workers", r.Concurrency)
+	if r.Mode == "open" {
+		load = fmt.Sprintf("%.4g rps target", r.TargetRPS)
+	}
+	fmt.Fprintf(w, "loadgen: %s loop, %s, %.1fs against %s\n", r.Mode, load, r.DurationS, r.URL)
+	fmt.Fprintf(w, "  requests %d (%.1f/s): ok %d, degraded %d (%.0f%% of ok), shed %d (429:%d 503:%d, %.0f%%), timeouts %d, injected %d\n",
+		r.Requests, r.AchievedRPS, r.OK, r.Degraded, 100*r.DegradationRate,
+		r.Shed429+r.Shed503, r.Shed429, r.Shed503, 100*r.ShedRate, r.Timeout504, r.Injected)
+	if r.Unexpected5xx > 0 || r.TransportErrors > 0 || r.ClientErrors > 0 {
+		fmt.Fprintf(w, "  FAILURES: unexpected 5xx %d, transport errors %d, client errors %d\n",
+			r.Unexpected5xx, r.TransportErrors, r.ClientErrors)
+	}
+	fmt.Fprintf(w, "  served latency ms: p50 %.1f p90 %.1f p95 %.1f p99 %.1f max %.1f\n",
+		r.LatencyMS.P50, r.LatencyMS.P90, r.LatencyMS.P95, r.LatencyMS.P99, r.LatencyMS.Max)
+}

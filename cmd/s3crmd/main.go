@@ -11,6 +11,9 @@
 //
 //	GET  /healthz    liveness probe
 //	GET  /info       instance shape and campaign defaults
+//	GET  /statusz    serving health: in-flight/queued/shed/degraded
+//	                 counters, admission configuration and fault-injection
+//	                 tallies
 //	POST /solve      run one algorithm. Body: {"algorithm": "S3CA",
 //	                 "engine": "worldcache", "model": "lt", "samples": 1000,
 //	                 "seed": 7, "workers": 4, "candidate_cap": 0,
@@ -18,8 +21,8 @@
 //	                 "stream": false, "timeout_ms": 0}. algorithm defaults
 //	                 to S3CA; any baseline name (IM-U, IM-L, PM-U, PM-L,
 //	                 IM-S) works. Unknown engine/model/diffusion/eval_mode
-//	                 values are rejected with 400 and the option layer's
-//	                 "want one of" message.
+//	                 values — and unknown fields — are rejected with 400;
+//	                 oversized bodies with 413.
 //	                 With "stream": true the response is NDJSON: one
 //	                 {"event": …} line per solver progress event, then a
 //	                 final {"result": …} line.
@@ -28,9 +31,23 @@
 //	                 [{"seeds": [0], "coupons": {"0": 3}}], "engine": …}.
 //	                 Returns {"results": […]} in input order.
 //
+// Overload safety (see DESIGN.md "Serving robustness"): requests pass an
+// admission limiter — a weighted semaphore (-capacity; solves weigh
+// -solve-weight, evaluates -evaluate-weight) with a bounded wait queue
+// (-max-queue, -queue-timeout). A full queue answers 429 and a queue
+// deadline 503, both with a Retry-After. Under measured queue pressure the
+// degradation ladder (-degrade, floored by -min-samples) downgrades calls
+// to fewer Monte-Carlo samples; downgraded responses carry "degraded":
+// true, "effective_samples" and a widened "stderr". -faults injects
+// deterministic latency/error/slow-body faults for load testing (see
+// cmd/loadgen).
+//
 // Requests honour per-request engine selection and are cancelled when the
-// client disconnects or the per-request timeout expires; a cancelled solve
-// aborts mid-iteration.
+// client disconnects or the per-request timeout (-timeout by default,
+// "timeout_ms" per request) expires; a cancelled solve aborts
+// mid-iteration. SIGINT/SIGTERM shut the daemon down gracefully: the
+// listener closes, in-flight requests drain for up to -drain, and whatever
+// remains is aborted through its request context.
 package main
 
 import (
@@ -40,12 +57,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // profiling endpoints on the -debug listener
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"s3crm"
+	"s3crm/internal/serve"
 )
 
 func main() {
@@ -67,6 +89,18 @@ func main() {
 		workers  = flag.Int("workers", 0, "default parallel Monte-Carlo workers (0 = sequential)")
 		cap      = flag.Int("candidates", 0, "default baseline greedy candidate cap (0 = all)")
 		debug    = flag.String("debug", "", "serve net/http/pprof profiling endpoints on this address (e.g. localhost:6060; empty = off)")
+
+		capacity   = flag.Int64("capacity", 8, "admission capacity: total weight of concurrently served requests")
+		solveW     = flag.Int64("solve-weight", 4, "admission weight of a /solve request")
+		evalW      = flag.Int64("evaluate-weight", 1, "admission weight of an /evaluate request")
+		maxQueue   = flag.Int("max-queue", 64, "admitted-work wait queue length; 0 sheds immediately at capacity")
+		queueTO    = flag.Duration("queue-timeout", 2*time.Second, "longest a request may wait for admission before a 503")
+		degrade    = flag.String("degrade", "0.25:250,0.75:100", `degradation ladder "pressure:samples,…" ("off" to disable)`)
+		minSamples = flag.Int("min-samples", 50, "floor the degradation ladder may not push samples below")
+		timeout    = flag.Duration("timeout", 30*time.Second, "default per-request timeout (0 = none; requests may override with timeout_ms)")
+		maxBody    = flag.Int64("max-body", 1<<20, "largest accepted request body in bytes")
+		faultSpec  = flag.String("faults", "", `fault injection "latency=20ms:0.5,error=0.05,slowbody=5ms:0.2" (empty = off)`)
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline for in-flight requests")
 	)
 	flag.Parse()
 
@@ -75,6 +109,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "s3crmd:", err)
 		os.Exit(1)
 	}
+	ladder, err := serve.ParseLadder(*degrade)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "s3crmd:", err)
+		os.Exit(1)
+	}
+	faults, err := serve.ParseFaults(*faultSpec, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "s3crmd:", err)
+		os.Exit(1)
+	}
+	limiter := serve.NewLimiter(*capacity, *maxQueue, *queueTO)
 	campaign, err := problem.NewCampaign(
 		s3crm.WithEngine(*engine),
 		s3crm.WithModel(*model),
@@ -84,34 +129,80 @@ func main() {
 		s3crm.WithSeed(*seed),
 		s3crm.WithWorkers(*workers),
 		s3crm.WithCandidateCap(*cap),
+		s3crm.WithMinSamples(*minSamples),
+		s3crm.WithDegradation(func(requested int) int {
+			return ladder.Samples(requested, limiter.Pressure())
+		}),
 	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "s3crmd:", err)
 		os.Exit(1)
 	}
 
-	srv := &server{problem: problem, campaign: campaign, defaults: defaults{
-		Engine: *engine, Model: *model, Diffusion: *diff,
-		EvalMode: *evalmode, Samples: *samples, Workers: *workers,
-	}}
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", srv.healthz)
-	mux.HandleFunc("GET /info", srv.info)
-	mux.HandleFunc("POST /solve", srv.solve)
-	mux.HandleFunc("POST /evaluate", srv.evaluate)
+	srv := &server{
+		problem: problem, campaign: campaign,
+		defaults: defaults{
+			Engine: *engine, Model: *model, Diffusion: *diff,
+			EvalMode: *evalmode, Samples: *samples, Workers: *workers,
+		},
+		limiter: limiter, ladder: ladder, faults: faults,
+		solveWeight: *solveW, evaluateWeight: *evalW,
+		defaultTimeout: *timeout, maxBody: *maxBody,
+		started: time.Now(),
+	}
 
 	if *debug != "" {
 		// The pprof handlers register on http.DefaultServeMux at import;
 		// serve them on a separate, typically loopback-only listener so
-		// profiling is never exposed on the public address.
+		// profiling is never exposed on the public address. A failed debug
+		// bind disables profiling but must not kill the daemon.
 		go func() {
 			log.Printf("s3crmd: pprof debug listener on %s", *debug)
-			log.Fatal(http.ListenAndServe(*debug, nil))
+			if err := http.ListenAndServe(*debug, nil); err != nil {
+				log.Printf("s3crmd: pprof debug listener failed: %v (profiling disabled, daemon keeps serving)", err)
+			}
 		}()
 	}
-	log.Printf("s3crmd: serving %d users, %d edges, budget %.4g on %s",
-		problem.Users(), problem.Edges(), problem.Budget(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+
+	// baseCtx parents every request context: cancelling it aborts all
+	// in-flight solves through the contexts already threaded into the
+	// engines — the hard-stop lever behind the graceful drain.
+	baseCtx, abortInflight := context.WithCancel(context.Background())
+	defer abortInflight()
+	hsrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.mux(),
+		// No WriteTimeout: NDJSON solve streams legitimately outlive any
+		// fixed bound; per-request deadlines come from -timeout instead.
+		ReadTimeout:       60 * time.Second,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hsrv.ListenAndServe() }()
+	log.Printf("s3crmd: serving %d users, %d edges, budget %.4g on %s (capacity %d, queue %d, ladder %s)",
+		problem.Users(), problem.Edges(), problem.Budget(), *addr, *capacity, *maxQueue, ladder)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "s3crmd:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills immediately
+		log.Printf("s3crmd: shutting down, draining in-flight requests (max %s)", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hsrv.Shutdown(sctx); err != nil {
+			log.Printf("s3crmd: drain deadline passed, aborting in-flight solves: %v", err)
+			abortInflight()
+			_ = hsrv.Close()
+		}
+		log.Printf("s3crmd: bye")
+	}
 }
 
 func loadProblem(dataset string, scale int, graphFile, probModel string, budget float64, scenario string, seed uint64, ltnorm bool) (*s3crm.Problem, error) {
@@ -156,6 +247,70 @@ type server struct {
 	problem  *s3crm.Problem
 	campaign *s3crm.Campaign
 	defaults defaults
+
+	limiter        *serve.Limiter
+	ladder         *serve.Ladder
+	faults         *serve.FaultInjector
+	solveWeight    int64
+	evaluateWeight int64
+	defaultTimeout time.Duration
+	maxBody        int64
+	started        time.Time
+
+	degraded  atomic.Int64 // responses reporting a downgraded sample count
+	solves    atomic.Int64
+	evaluates atomic.Int64
+}
+
+// mux assembles the daemon's routes: the solve and evaluate handlers run
+// behind admission control and (when enabled) fault injection; the probes
+// and /statusz bypass both so health stays observable under overload.
+func (s *server) mux() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /info", s.info)
+	mux.HandleFunc("GET /statusz", s.statusz)
+	mux.Handle("POST /solve", s.admit(s.solveWeight, s.faults.Wrap(http.HandlerFunc(s.solve))))
+	mux.Handle("POST /evaluate", s.admit(s.evaluateWeight, s.faults.Wrap(http.HandlerFunc(s.evaluate))))
+	return mux
+}
+
+// admit runs next behind the admission limiter. Shed requests answer 429
+// (queue full — back off briefly and retry) or 503 (queue deadline), both
+// carrying a Retry-After; disconnected clients just end. A nil limiter
+// admits everything (tests).
+func (s *server) admit(weight int64, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.limiter == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		release, err := s.limiter.Acquire(r.Context(), weight)
+		if err != nil {
+			switch {
+			case errors.Is(err, serve.ErrQueueFull):
+				s.writeShed(w, http.StatusTooManyRequests, err)
+			case errors.Is(err, serve.ErrQueueTimeout):
+				s.writeShed(w, http.StatusServiceUnavailable, err)
+			}
+			// Context errors: the client is gone, nothing to write.
+			return
+		}
+		defer release()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// writeShed answers a shed request with the status and a Retry-After hint
+// derived from the queue deadline (how long it takes load to drain enough
+// for queued work to move).
+func (s *server) writeShed(w http.ResponseWriter, status int, err error) {
+	retry := 1
+	if qt := s.limiter.QueueTimeout(); qt > time.Second {
+		retry = int((qt + time.Second - 1) / time.Second)
+	}
+	w.Header().Set("Retry-After", fmt.Sprint(retry))
+	writeError(w, status, err)
 }
 
 // callParams is the request-level campaign configuration shared by /solve
@@ -213,10 +368,14 @@ func (p callParams) options() []s3crm.Option {
 	return opts
 }
 
-// ctx derives the request context, applying the per-request timeout.
-func (p callParams) ctx(r *http.Request) (context.Context, context.CancelFunc) {
+// ctx derives the request context: the per-request timeout_ms when given,
+// else the daemon's default request timeout, else the bare request context.
+func (p callParams) ctx(r *http.Request, def time.Duration) (context.Context, context.CancelFunc) {
 	if p.TimeoutMS > 0 {
 		return context.WithTimeout(r.Context(), time.Duration(p.TimeoutMS)*time.Millisecond)
+	}
+	if def > 0 {
+		return context.WithTimeout(r.Context(), def)
 	}
 	return r.Context(), func() {}
 }
@@ -237,6 +396,31 @@ type deploymentJSON struct {
 	Coupons map[int]int `json:"coupons"` // JSON keys are decimal user ids
 }
 
+// decodeBody decodes the request body into v with the daemon's input
+// hygiene: the body is capped at maxBody bytes (413 past it) and unknown
+// JSON fields are rejected (400), so typos like "sample" fail loudly
+// instead of silently running with defaults. It writes the error response
+// itself and reports whether decoding succeeded.
+func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := r.Body
+	if s.maxBody > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
 func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
@@ -255,16 +439,50 @@ func (s *server) info(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// statusz reports serving health: the admission limiter's gauges and shed
+// counters, degradation activity, request tallies and fault-injection
+// counts — the numbers cmd/loadgen and the load-test protocol in
+// EXPERIMENTS.md read back.
+func (s *server) statusz(w http.ResponseWriter, _ *http.Request) {
+	body := map[string]any{
+		"uptime_s":  time.Since(s.started).Seconds(),
+		"degraded":  s.degraded.Load(),
+		"solves":    s.solves.Load(),
+		"evaluates": s.evaluates.Load(),
+		"ladder":    s.ladder.String(),
+	}
+	if s.limiter != nil {
+		c := s.limiter.Counters()
+		body["admission"] = c
+		body["shed"] = c.Shed()
+		body["pressure"] = s.limiter.Pressure()
+	}
+	if s.faults != nil {
+		body["faults"] = s.faults.Counters()
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// noteDegraded counts responses that report a downgraded sample count.
+func (s *server) noteDegraded(results ...*s3crm.Result) {
+	for _, r := range results {
+		if r != nil && r.Degraded {
+			s.degraded.Add(1)
+			return
+		}
+	}
+}
+
 func (s *server) solve(w http.ResponseWriter, r *http.Request) {
+	s.solves.Add(1)
 	var req solveRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if req.Algorithm == "" {
 		req.Algorithm = "S3CA"
 	}
-	ctx, cancel := req.ctx(r)
+	ctx, cancel := req.ctx(r, s.defaultTimeout)
 	defer cancel()
 	opts := req.options()
 
@@ -277,6 +495,7 @@ func (s *server) solve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(ctx, err), err)
 		return
 	}
+	s.noteDegraded(result)
 	writeJSON(w, http.StatusOK, map[string]any{"result": result})
 }
 
@@ -299,6 +518,7 @@ func (s *server) solveStream(ctx context.Context, w http.ResponseWriter, req sol
 	if err != nil {
 		_ = enc.Encode(map[string]any{"error": err.Error()})
 	} else {
+		s.noteDegraded(result)
 		_ = enc.Encode(map[string]any{"result": result})
 	}
 	if flusher != nil {
@@ -314,16 +534,16 @@ func (s *server) run(ctx context.Context, algorithm string, opts []s3crm.Option)
 }
 
 func (s *server) evaluate(w http.ResponseWriter, r *http.Request) {
+	s.evaluates.Add(1)
 	var req evaluateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Deployments) == 0 {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("need at least one deployment"))
 		return
 	}
-	ctx, cancel := req.ctx(r)
+	ctx, cancel := req.ctx(r, s.defaultTimeout)
 	defer cancel()
 	deps := make([]s3crm.Deployment, len(req.Deployments))
 	for i, d := range req.Deployments {
@@ -334,6 +554,7 @@ func (s *server) evaluate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(ctx, err), err)
 		return
 	}
+	s.noteDegraded(results...)
 	writeJSON(w, http.StatusOK, map[string]any{"results": results})
 }
 

@@ -1,23 +1,29 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"s3crm"
+	"s3crm/internal/serve"
 )
 
-func testServer(t *testing.T) *server {
+func testServer(t *testing.T, opts ...s3crm.Option) *server {
 	t.Helper()
 	problem, err := s3crm.GenerateDataset("Facebook", 100, 3) // 40 users
 	if err != nil {
 		t.Fatal(err)
 	}
-	campaign, err := problem.NewCampaign(
-		s3crm.WithSamples(100), s3crm.WithSeed(3), s3crm.WithCandidateCap(20))
+	campaign, err := problem.NewCampaign(append([]s3crm.Option{
+		s3crm.WithSamples(100), s3crm.WithSeed(3), s3crm.WithCandidateCap(20),
+	}, opts...)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,5 +180,260 @@ func TestEvaluateEndpoint(t *testing.T) {
 	w = do(t, s.evaluate, http.MethodPost, `{}`)
 	if w.Code != http.StatusBadRequest {
 		t.Fatalf("empty batch: %d %s", w.Code, w.Body.String())
+	}
+}
+
+// TestStatusFor: call errors map to the HTTP statuses clients key retries
+// on — 504 for deadlines (even when only the context expired), 503 for
+// cancellation, 400 for everything else.
+func TestStatusFor(t *testing.T) {
+	bg := context.Background()
+	if got := statusFor(bg, context.DeadlineExceeded); got != http.StatusGatewayTimeout {
+		t.Errorf("DeadlineExceeded -> %d, want 504", got)
+	}
+	if got := statusFor(bg, fmt.Errorf("solve: %w", context.DeadlineExceeded)); got != http.StatusGatewayTimeout {
+		t.Errorf("wrapped DeadlineExceeded -> %d, want 504", got)
+	}
+	if got := statusFor(bg, context.Canceled); got != http.StatusServiceUnavailable {
+		t.Errorf("Canceled -> %d, want 503", got)
+	}
+	if got := statusFor(bg, errors.New("unknown engine")); got != http.StatusBadRequest {
+		t.Errorf("validation error -> %d, want 400", got)
+	}
+	// An engine may surface its own error value after the request deadline
+	// passed; the expired context still decides the status.
+	ctx, cancel := context.WithDeadline(bg, time.Now().Add(-time.Second))
+	defer cancel()
+	<-ctx.Done()
+	if got := statusFor(ctx, errors.New("evaluation aborted")); got != http.StatusGatewayTimeout {
+		t.Errorf("expired ctx + opaque error -> %d, want 504", got)
+	}
+}
+
+// TestDecodeRejectsUnknownFields: a typoed field fails loudly with 400
+// instead of silently running with defaults, on both POST endpoints.
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	s := testServer(t)
+	w := do(t, s.solve, http.MethodPost, `{"algorithm":"S3CA","sample":5}`)
+	if w.Code != http.StatusBadRequest || !strings.Contains(w.Body.String(), "unknown field") {
+		t.Fatalf("solve with typo: %d %s", w.Code, w.Body.String())
+	}
+	w = do(t, s.evaluate, http.MethodPost, `{"deployment":[{"seeds":[0]}]}`)
+	if w.Code != http.StatusBadRequest || !strings.Contains(w.Body.String(), "unknown field") {
+		t.Fatalf("evaluate with typo: %d %s", w.Code, w.Body.String())
+	}
+}
+
+func TestDecodeRejectsOversizedBody(t *testing.T) {
+	s := testServer(t)
+	s.maxBody = 64
+	body := `{"algorithm":"S3CA","seed":7` + strings.Repeat(" ", 200) + `}`
+	w := do(t, s.solve, http.MethodPost, body)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: %d %s", w.Code, w.Body.String())
+	}
+}
+
+// TestShedThenRetry: with admission capacity saturated and no queue, a
+// solve is shed with 429 and a Retry-After; once the slot frees, the same
+// request succeeds. This is the shed-then-retry loop cmd/loadgen drives at
+// scale.
+func TestShedThenRetry(t *testing.T) {
+	s := testServer(t)
+	s.limiter = serve.NewLimiter(1, 0, time.Second)
+	s.solveWeight, s.evaluateWeight = 1, 1
+	h := s.mux()
+
+	hold, err := s.limiter.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func() *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, "/solve", strings.NewReader(`{"seed":7}`))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		return w
+	}
+	w := post()
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated solve: %d %s, want 429", w.Code, w.Body.String())
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	// Probes stay reachable while solves are shed.
+	req := httptest.NewRequest(http.MethodGet, "/statusz", nil)
+	sw := httptest.NewRecorder()
+	h.ServeHTTP(sw, req)
+	if sw.Code != http.StatusOK || !strings.Contains(sw.Body.String(), `"shed":1`) {
+		t.Fatalf("statusz during overload: %d %s", sw.Code, sw.Body.String())
+	}
+
+	hold()
+	if w := post(); w.Code != http.StatusOK {
+		t.Fatalf("retry after release: %d %s", w.Code, w.Body.String())
+	}
+}
+
+// TestQueueDeadline503: a request that waits out the admission queue
+// deadline is shed with 503, not left hanging.
+func TestQueueDeadline503(t *testing.T) {
+	s := testServer(t)
+	s.limiter = serve.NewLimiter(1, 4, 10*time.Millisecond)
+	s.solveWeight, s.evaluateWeight = 1, 1
+	h := s.mux()
+
+	hold, err := s.limiter.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold()
+	req := httptest.NewRequest(http.MethodPost, "/solve", strings.NewReader(`{"seed":7}`))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("queue-deadline solve: %d %s, want 503", w.Code, w.Body.String())
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("503 missing Retry-After")
+	}
+	if c := s.limiter.Counters(); c.ShedDeadline != 1 {
+		t.Fatalf("limiter counters: %+v", c)
+	}
+}
+
+// TestDegradedSolve: with a degradation hook active, a solve reports the
+// downgraded sample count, the degraded flag and a non-zero standard
+// error, and /statusz counts it. A pressure-0 rung makes the downgrade
+// deterministic; pressure-driven triggering is covered by internal/serve
+// and the loadgen smoke run.
+func TestDegradedSolve(t *testing.T) {
+	ladder, err := serve.ParseLadder("0:40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testServer(t,
+		s3crm.WithMinSamples(25),
+		s3crm.WithDegradation(func(requested int) int { return ladder.Samples(requested, 0) }))
+	w := do(t, s.solve, http.MethodPost, `{"algorithm":"S3CA","engine":"worldcache","seed":7}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("degraded solve: %d %s", w.Code, w.Body.String())
+	}
+	var got struct {
+		Result struct {
+			RedemptionRate   float64
+			EffectiveSamples int     `json:"effective_samples"`
+			StdErr           float64 `json:"stderr"`
+			Degraded         bool    `json:"degraded"`
+		}
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	r := got.Result
+	if !r.Degraded || r.EffectiveSamples != 40 || r.StdErr <= 0 || r.RedemptionRate <= 0 {
+		t.Fatalf("degraded result: %+v", r)
+	}
+	if s.degraded.Load() != 1 {
+		t.Fatalf("degraded counter = %d, want 1", s.degraded.Load())
+	}
+}
+
+// TestUndegradedSolveReportsPrecision: even without degradation, responses
+// carry effective_samples and stderr so clients always see the precision
+// they got.
+func TestUndegradedSolveReportsPrecision(t *testing.T) {
+	s := testServer(t)
+	w := do(t, s.solve, http.MethodPost, `{"algorithm":"S3CA","engine":"worldcache","seed":7}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("solve: %d %s", w.Code, w.Body.String())
+	}
+	var got struct {
+		Result struct {
+			EffectiveSamples int     `json:"effective_samples"`
+			StdErr           float64 `json:"stderr"`
+			Degraded         bool    `json:"degraded"`
+		}
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Result.Degraded || got.Result.EffectiveSamples != 100 || got.Result.StdErr <= 0 {
+		t.Fatalf("full-precision result: %+v", got.Result)
+	}
+}
+
+// TestStreamMidStreamError: when the client is gone (or a deadline fires)
+// mid-solve, an NDJSON stream that already committed its 200 ends with an
+// {"error": …} line rather than a truncated result.
+func TestStreamMidStreamError(t *testing.T) {
+	s := testServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client has already disconnected
+	req := httptest.NewRequest(http.MethodPost, "/solve",
+		strings.NewReader(`{"algorithm":"S3CA","seed":7,"stream":true}`)).WithContext(ctx)
+	w := httptest.NewRecorder()
+	s.solve(w, req)
+	if w.Code != http.StatusOK { // NDJSON commits the status before solving
+		t.Fatalf("stream status: %d", w.Code)
+	}
+	lines := strings.Split(strings.TrimSpace(w.Body.String()), "\n")
+	last := lines[len(lines)-1]
+	var final struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(last), &final); err != nil || final.Error == "" {
+		t.Fatalf("final stream line %q, want an error line", last)
+	}
+}
+
+// TestFaultInjectionThroughMux: with -faults error=1 every solve fails
+// with an injected, header-tagged 500, while probes bypass injection.
+func TestFaultInjectionThroughMux(t *testing.T) {
+	s := testServer(t)
+	s.limiter = serve.NewLimiter(4, 0, time.Second)
+	s.solveWeight, s.evaluateWeight = 1, 1
+	s.faults = serve.NewFaultInjector(serve.FaultConfig{ErrorP: 1, Seed: 7})
+	h := s.mux()
+
+	req := httptest.NewRequest(http.MethodPost, "/solve", strings.NewReader(`{"seed":7}`))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusInternalServerError || w.Header().Get(serve.InjectedFaultHeader) != "error" {
+		t.Fatalf("injected fault: %d, header %q", w.Code, w.Header().Get(serve.InjectedFaultHeader))
+	}
+	req = httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz behind fault injection: %d", w.Code)
+	}
+	if c := s.faults.Counters(); c.Errors != 1 {
+		t.Fatalf("fault counters: %+v", c)
+	}
+}
+
+// TestStatusz: the health endpoint reports admission, degradation and
+// request counters as JSON.
+func TestStatusz(t *testing.T) {
+	s := testServer(t)
+	s.limiter = serve.NewLimiter(8, 16, time.Second)
+	s.started = time.Now()
+	w := do(t, s.statusz, http.MethodGet, "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("statusz: %d %s", w.Code, w.Body.String())
+	}
+	var got struct {
+		Admission serve.Counters `json:"admission"`
+		Shed      int64          `json:"shed"`
+		Pressure  float64        `json:"pressure"`
+		Degraded  int64          `json:"degraded"`
+		Ladder    string         `json:"ladder"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Admission.Capacity != 8 || got.Shed != 0 || got.Ladder != "off" {
+		t.Fatalf("statusz body: %+v (%s)", got, w.Body.String())
 	}
 }

@@ -249,7 +249,7 @@ func (e *Estimator) simBlock(bs *blockScratch, d *Deployment, worldBase uint64, 
 func (e *Estimator) runBlocks(d *Deployment, lo, hi int) Result {
 	bs := e.getBlockScratch()
 	defer e.putBlockScratch(bs)
-	var sumB, sumC, sumA, sumH, sumX float64
+	var sumB, sumB2, sumC, sumA, sumH, sumX float64
 	nblocks := int64(0)
 	for base := lo &^ bitset.WordMask; base < hi; base += bitset.WordBits {
 		if e.cancelled() {
@@ -270,6 +270,7 @@ func (e *Estimator) runBlocks(d *Deployment, lo, hi int) Result {
 		for m := mask; m != 0; m &= m - 1 {
 			w := bits.TrailingZeros64(m)
 			sumB += bs.worldB[w]
+			sumB2 += bs.worldB[w] * bs.worldB[w]
 			sumC += bs.worldC[w]
 			sumA += float64(bs.activated[w])
 			sumH += float64(bs.maxHop[w])
@@ -282,11 +283,12 @@ func (e *Estimator) runBlocks(d *Deployment, lo, hi int) Result {
 		return Result{}
 	}
 	r := Result{
-		Benefit:      sumB / count,
-		RealizedCost: sumC / count,
-		Activated:    sumA / count,
-		FarthestHop:  sumH / count,
-		Explored:     sumX / count,
+		Benefit:       sumB / count,
+		RealizedCost:  sumC / count,
+		Activated:     sumA / count,
+		FarthestHop:   sumH / count,
+		Explored:      sumX / count,
+		BenefitSqMean: sumB2 / count,
 	}
 	r.weight = count / float64(e.Samples)
 	return r

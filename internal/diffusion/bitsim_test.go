@@ -294,3 +294,39 @@ func TestEvalModeValidation(t *testing.T) {
 		t.Fatal("unknown eval mode accepted")
 	}
 }
+
+// TestBenefitSqMeanMoments pins the second-moment channel both kernels
+// feed the serving layer's error bars: E[B²] can never fall below (E[B])²
+// (Jensen), a single world is degenerate (E[B²] = (E[B])² exactly), and —
+// via the struct equality in the parity tests above — the two kernels
+// accumulate it bit-identically.
+func TestBenefitSqMeanMoments(t *testing.T) {
+	inst := liveEdgeInstance(t)
+	for _, mode := range []string{EvalScalar, EvalBitParallel} {
+		ev, err := NewEngineOpts(inst, EngineOptions{
+			Engine: EngineMC, Samples: 128, Seed: 7,
+			Diffusion: DiffusionLiveEdge, EvalMode: mode,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, d := range liveEdgeDeployments(inst) {
+			res := ev.Evaluate(d)
+			if res.BenefitSqMean < res.Benefit*res.Benefit-1e-9 {
+				t.Fatalf("%s deployment %d: E[B²]=%v < (E[B])²=%v",
+					mode, i, res.BenefitSqMean, res.Benefit*res.Benefit)
+			}
+		}
+	}
+	one, err := NewEngineOpts(inst, EngineOptions{
+		Engine: EngineMC, Samples: 1, Seed: 7, Diffusion: DiffusionLiveEdge,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := one.Evaluate(liveEdgeDeployments(inst)[0])
+	if !almost(res.BenefitSqMean, res.Benefit*res.Benefit, 1e-12) {
+		t.Fatalf("single world: E[B²]=%v, (E[B])²=%v — must coincide",
+			res.BenefitSqMean, res.Benefit*res.Benefit)
+	}
+}

@@ -147,6 +147,12 @@ type Result struct {
 	Activated    float64 // expected number of activated users
 	FarthestHop  float64 // expected maximum hop distance from the seeds
 	Explored     float64 // expected nodes examined per world: activated plus probed inactive out-neighbours
+	// BenefitSqMean is the mean of the squared per-world benefit — the
+	// second raw moment the serving layer turns into a Monte-Carlo
+	// standard-error bar (stats.StdErrFromMoments). Both kernels accumulate
+	// it from the same bit-identical per-world benefit values, so it agrees
+	// across eval modes exactly like Benefit itself.
+	BenefitSqMean float64
 
 	// weight is the fraction of the full sample count a partial result
 	// covers; used when combining per-worker results.
@@ -213,6 +219,7 @@ func (e *Estimator) Evaluate(d *Deployment) Result {
 		total.Activated += results[w].Activated * results[w].weight
 		total.FarthestHop += results[w].FarthestHop * results[w].weight
 		total.Explored += results[w].Explored * results[w].weight
+		total.BenefitSqMean += results[w].BenefitSqMean * results[w].weight
 	}
 	total.weight = 1
 	return total
@@ -329,7 +336,7 @@ func (e *Estimator) run(d *Deployment, lo, hi int) Result {
 	}
 	s := e.getScratch()
 	defer e.putScratch(s)
-	var sumB, sumC, sumA, sumH, sumX float64
+	var sumB, sumB2, sumC, sumA, sumH, sumX float64
 	for w := lo; w < hi; w++ {
 		if w&63 == 0 && e.cancelled() {
 			// Abort mid-sweep: the partial sums are meaningless, but the
@@ -339,6 +346,7 @@ func (e *Estimator) run(d *Deployment, lo, hi int) Result {
 		}
 		worldB, worldC, maxHop, activated, explored := e.simWorld(s, d, uint64(w), nil)
 		sumB += worldB
+		sumB2 += worldB * worldB
 		sumC += worldC
 		sumA += float64(activated)
 		sumH += float64(maxHop)
@@ -349,11 +357,12 @@ func (e *Estimator) run(d *Deployment, lo, hi int) Result {
 		return Result{}
 	}
 	r := Result{
-		Benefit:      sumB / count,
-		RealizedCost: sumC / count,
-		Activated:    sumA / count,
-		FarthestHop:  sumH / count,
-		Explored:     sumX / count,
+		Benefit:       sumB / count,
+		RealizedCost:  sumC / count,
+		Activated:     sumA / count,
+		FarthestHop:   sumH / count,
+		Explored:      sumX / count,
+		BenefitSqMean: sumB2 / count,
 	}
 	r.weight = count / float64(e.Samples)
 	return r

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Rung is one step of the graceful-degradation ladder: at queue pressure
+// of at least Pressure, evaluations are capped at Samples Monte-Carlo
+// worlds.
+type Rung struct {
+	Pressure float64 // minimum Limiter.Pressure at which this rung applies
+	Samples  int     // sample cap while the rung applies
+}
+
+// Ladder maps measured queue pressure to a Monte-Carlo sample cap — the
+// graceful-degradation policy. Under light load requests run at their
+// requested sample count; as the admission queue fills, the ladder caps
+// them at successively lower counts (e.g. 1000 → 250 → 100), trading
+// estimation precision — reported through the response's
+// effective-samples and standard-error fields — for latency, which in turn
+// drains the queue faster than shedding alone would. The zero of the knob
+// is deliberate: a Ladder never raises a request's sample count.
+type Ladder struct {
+	rungs []Rung // sorted ascending by Pressure, all Pressure in [0,1]
+}
+
+// NewLadder builds a ladder from rungs. Pressures must lie in [0, 1];
+// rungs are sorted by pressure and successive rungs must strictly decrease
+// in samples (a higher-pressure rung offering more samples would invert
+// the ladder).
+func NewLadder(rungs []Rung) (*Ladder, error) {
+	if len(rungs) == 0 {
+		return nil, fmt.Errorf("serve: ladder needs at least one rung")
+	}
+	rs := append([]Rung(nil), rungs...)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Pressure < rs[j].Pressure })
+	for i, r := range rs {
+		if r.Pressure < 0 || r.Pressure > 1 {
+			return nil, fmt.Errorf("serve: ladder pressure %v outside [0,1]", r.Pressure)
+		}
+		if r.Samples <= 0 {
+			return nil, fmt.Errorf("serve: ladder samples must be positive, got %d", r.Samples)
+		}
+		if i > 0 {
+			if r.Pressure == rs[i-1].Pressure {
+				return nil, fmt.Errorf("serve: duplicate ladder pressure %v", r.Pressure)
+			}
+			if r.Samples >= rs[i-1].Samples {
+				return nil, fmt.Errorf("serve: ladder not monotone: %d samples at pressure %v after %d at %v",
+					r.Samples, r.Pressure, rs[i-1].Samples, rs[i-1].Pressure)
+			}
+		}
+	}
+	return &Ladder{rungs: rs}, nil
+}
+
+// ParseLadder parses a "pressure:samples,pressure:samples,…" spec, e.g.
+// "0.25:250,0.75:100". An empty spec or "off" returns a nil ladder
+// (degradation disabled).
+func ParseLadder(spec string) (*Ladder, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "off" {
+		return nil, nil
+	}
+	var rungs []Rung
+	for _, part := range strings.Split(spec, ",") {
+		p, s, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("serve: ladder rung %q: want pressure:samples", part)
+		}
+		pressure, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("serve: ladder rung %q: bad pressure: %v", part, err)
+		}
+		samples, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("serve: ladder rung %q: bad samples: %v", part, err)
+		}
+		rungs = append(rungs, Rung{Pressure: pressure, Samples: samples})
+	}
+	return NewLadder(rungs)
+}
+
+// Samples returns the sample count a request asking for requested worlds
+// should run with at the given pressure: the cap of the highest rung whose
+// pressure threshold is met, and never more than requested. A nil ladder
+// never degrades.
+func (l *Ladder) Samples(requested int, pressure float64) int {
+	if l == nil {
+		return requested
+	}
+	cap := requested
+	for _, r := range l.rungs {
+		if pressure < r.Pressure {
+			break
+		}
+		if r.Samples < cap {
+			cap = r.Samples
+		}
+	}
+	return cap
+}
+
+// String renders the ladder in ParseLadder's spec syntax.
+func (l *Ladder) String() string {
+	if l == nil {
+		return "off"
+	}
+	parts := make([]string, len(l.rungs))
+	for i, r := range l.rungs {
+		parts[i] = fmt.Sprintf("%g:%d", r.Pressure, r.Samples)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,70 @@
+package serve
+
+import "testing"
+
+func TestParseLadder(t *testing.T) {
+	l, err := ParseLadder("0.25:250,0.75:100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		requested int
+		pressure  float64
+		want      int
+	}{
+		{1000, 0, 1000},    // no pressure: untouched
+		{1000, 0.24, 1000}, // below the first rung
+		{1000, 0.25, 250},  // first rung applies at its threshold
+		{1000, 0.5, 250},
+		{1000, 0.75, 100}, // second rung
+		{1000, 1, 100},
+		{80, 0.9, 80}, // never raises a request
+	}
+	for _, tc := range cases {
+		if got := l.Samples(tc.requested, tc.pressure); got != tc.want {
+			t.Errorf("Samples(%d, %v) = %d, want %d", tc.requested, tc.pressure, got, tc.want)
+		}
+	}
+	if l.String() != "0.25:250,0.75:100" {
+		t.Errorf("String() = %q", l.String())
+	}
+}
+
+func TestParseLadderDisabled(t *testing.T) {
+	for _, spec := range []string{"", "off"} {
+		l, err := ParseLadder(spec)
+		if err != nil || l != nil {
+			t.Fatalf("ParseLadder(%q) = %v, %v; want nil, nil", spec, l, err)
+		}
+		// A nil ladder is usable and never degrades.
+		if got := l.Samples(500, 1); got != 500 {
+			t.Fatalf("nil ladder Samples = %d, want 500", got)
+		}
+	}
+}
+
+func TestParseLadderRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"nope",            // no colon
+		"x:100",           // bad pressure
+		"0.5:x",           // bad samples
+		"1.5:100",         // pressure out of range
+		"0.5:0",           // non-positive samples
+		"0.2:100,0.8:200", // inverted: more samples under more pressure
+		"0.5:100,0.5:50",  // duplicate pressure
+	} {
+		if _, err := ParseLadder(spec); err == nil {
+			t.Errorf("ParseLadder(%q) accepted", spec)
+		}
+	}
+}
+
+func TestLadderUnsortedInputSorted(t *testing.T) {
+	l, err := NewLadder([]Rung{{0.75, 100}, {0.25, 250}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Samples(1000, 0.3); got != 250 {
+		t.Fatalf("Samples at 0.3 = %d, want 250", got)
+	}
+}

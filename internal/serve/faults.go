@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"s3crm/internal/rng"
+)
+
+// InjectedFaultHeader marks responses whose failure was injected by a
+// FaultInjector, so tests and cmd/loadgen can tell deliberate faults from
+// real server errors.
+const InjectedFaultHeader = "X-Injected-Fault"
+
+// FaultConfig configures a FaultInjector. Each fault fires independently
+// per request with its probability; zero probabilities disable that fault.
+type FaultConfig struct {
+	// Latency is slept before the request is handled, with probability
+	// LatencyP — a stand-in for a slow backend, and the load-test knob that
+	// saturates admission capacity on demand.
+	Latency  time.Duration
+	LatencyP float64
+	// ErrorP is the probability of failing the request outright with a 500
+	// (tagged with InjectedFaultHeader) before it reaches the handler.
+	ErrorP float64
+	// SlowBody is slept before every response-body write, with probability
+	// SlowBodyP — a stand-in for a slow client draining the response.
+	SlowBody  time.Duration
+	SlowBodyP float64
+	// Seed drives the fault decisions: the k-th request through the
+	// injector sees the same (latency, error, slow-body) draws for a given
+	// seed, whatever the wall clock does.
+	Seed uint64
+}
+
+// FaultInjector injects latency, error and slow-body faults into an HTTP
+// handler chain, deterministically in the order requests reach it: the
+// draw sequence is a pure function of the seed, so a single-client test
+// sees a reproducible fault schedule. Safe for concurrent use.
+type FaultInjector struct {
+	cfg FaultConfig
+
+	mu  sync.Mutex
+	src *rng.Source
+
+	latencies  atomic.Int64
+	errors     atomic.Int64
+	slowBodies atomic.Int64
+}
+
+// NewFaultInjector returns an injector for cfg, or nil when cfg injects
+// nothing (a nil injector's Wrap is the identity).
+func NewFaultInjector(cfg FaultConfig) *FaultInjector {
+	if cfg.LatencyP <= 0 && cfg.ErrorP <= 0 && cfg.SlowBodyP <= 0 {
+		return nil
+	}
+	return &FaultInjector{cfg: cfg, src: rng.New(cfg.Seed)}
+}
+
+// ParseFaults parses a fault spec: a comma-separated list of
+// "latency=DUR:P", "error=P" and "slowbody=DUR:P", e.g.
+// "latency=20ms:0.5,error=0.05,slowbody=5ms:0.2". Empty or "off" returns
+// nil (no injection).
+func ParseFaults(spec string, seed uint64) (*FaultInjector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "off" {
+		return nil, nil
+	}
+	cfg := FaultConfig{Seed: seed}
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("serve: fault %q: want name=value", part)
+		}
+		switch key {
+		case "error":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("serve: fault %q: bad probability: %v", part, err)
+			}
+			cfg.ErrorP = p
+		case "latency", "slowbody":
+			d, p, ok := strings.Cut(val, ":")
+			if !ok {
+				return nil, fmt.Errorf("serve: fault %q: want %s=duration:probability", part, key)
+			}
+			dur, err := time.ParseDuration(d)
+			if err != nil {
+				return nil, fmt.Errorf("serve: fault %q: bad duration: %v", part, err)
+			}
+			prob, err := strconv.ParseFloat(p, 64)
+			if err != nil {
+				return nil, fmt.Errorf("serve: fault %q: bad probability: %v", part, err)
+			}
+			if key == "latency" {
+				cfg.Latency, cfg.LatencyP = dur, prob
+			} else {
+				cfg.SlowBody, cfg.SlowBodyP = dur, prob
+			}
+		default:
+			return nil, fmt.Errorf("serve: unknown fault %q (want latency, error or slowbody)", key)
+		}
+	}
+	for _, p := range []float64{cfg.LatencyP, cfg.ErrorP, cfg.SlowBodyP} {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("serve: fault probability %v outside [0,1]", p)
+		}
+	}
+	return NewFaultInjector(cfg), nil
+}
+
+// draw takes the request's three fault decisions in one locked step, so
+// each request consumes exactly three values of the seeded stream in a
+// fixed order.
+func (f *FaultInjector) draw() (latency, fail, slow bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	latency = f.src.Float64() < f.cfg.LatencyP
+	fail = f.src.Float64() < f.cfg.ErrorP
+	slow = f.src.Float64() < f.cfg.SlowBodyP
+	return latency, fail, slow
+}
+
+// Wrap injects the configured faults around next. A nil injector returns
+// next unchanged.
+func (f *FaultInjector) Wrap(next http.Handler) http.Handler {
+	if f == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		latency, fail, slow := f.draw()
+		if latency {
+			f.latencies.Add(1)
+			select {
+			case <-time.After(f.cfg.Latency):
+			case <-r.Context().Done():
+				return // client gave up during the injected stall
+			}
+		}
+		if fail {
+			f.errors.Add(1)
+			w.Header().Set(InjectedFaultHeader, "error")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			_, _ = w.Write([]byte(`{"error":"injected fault"}` + "\n"))
+			return
+		}
+		if slow {
+			f.slowBodies.Add(1)
+			w.Header().Set(InjectedFaultHeader, "slowbody")
+			w = &slowWriter{ResponseWriter: w, delay: f.cfg.SlowBody, done: r.Context().Done()}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// FaultCounters snapshots what an injector has fired, for /statusz.
+type FaultCounters struct {
+	Latencies  int64 `json:"latencies"`
+	Errors     int64 `json:"errors"`
+	SlowBodies int64 `json:"slow_bodies"`
+}
+
+// Counters returns the injector's fired-fault counts; zero for nil.
+func (f *FaultInjector) Counters() FaultCounters {
+	if f == nil {
+		return FaultCounters{}
+	}
+	return FaultCounters{
+		Latencies:  f.latencies.Load(),
+		Errors:     f.errors.Load(),
+		SlowBodies: f.slowBodies.Load(),
+	}
+}
+
+// slowWriter pauses before every body write, simulating a slow client.
+type slowWriter struct {
+	http.ResponseWriter
+	delay time.Duration
+	done  <-chan struct{}
+}
+
+func (s *slowWriter) Write(p []byte) (int, error) {
+	select {
+	case <-time.After(s.delay):
+	case <-s.done:
+	}
+	return s.ResponseWriter.Write(p)
+}
+
+// Flush forwards to the underlying writer when it supports flushing, so
+// NDJSON streaming keeps working behind slow-body injection.
+func (s *slowWriter) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

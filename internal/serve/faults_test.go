@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFaultsDisabled(t *testing.T) {
+	for _, spec := range []string{"", "off"} {
+		f, err := ParseFaults(spec, 1)
+		if err != nil || f != nil {
+			t.Fatalf("ParseFaults(%q) = %v, %v; want nil, nil", spec, f, err)
+		}
+	}
+	// An all-zero config is also a nil injector, and nil Wrap is identity.
+	if f := NewFaultInjector(FaultConfig{}); f != nil {
+		t.Fatal("zero FaultConfig built an injector")
+	}
+	h := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) { w.WriteHeader(204) })
+	var f *FaultInjector
+	w := httptest.NewRecorder()
+	f.Wrap(h).ServeHTTP(w, httptest.NewRequest("GET", "/", nil))
+	if w.Code != 204 {
+		t.Fatalf("nil injector altered response: %d", w.Code)
+	}
+}
+
+func TestParseFaultsRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"latency=10ms", // missing probability
+		"error=2",      // probability out of range
+		"error=x",
+		"latency=x:0.5",
+		"slowbody=1ms:-0.1",
+		"jitter=1ms:0.5", // unknown fault
+		"latency",        // no '='
+	} {
+		if _, err := ParseFaults(spec, 1); err == nil {
+			t.Errorf("ParseFaults(%q) accepted", spec)
+		}
+	}
+}
+
+// TestFaultInjectorDeterministic: two injectors with the same seed fire
+// the same faults at the same request ordinals.
+func TestFaultInjectorDeterministic(t *testing.T) {
+	mk := func() *FaultInjector {
+		return NewFaultInjector(FaultConfig{ErrorP: 0.5, LatencyP: 0.3, SlowBodyP: 0.2, Seed: 42})
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 100; i++ {
+		al, ae, as := a.draw()
+		bl, be, bs := b.draw()
+		if al != bl || ae != be || as != bs {
+			t.Fatalf("draw %d diverged: (%v,%v,%v) vs (%v,%v,%v)", i, al, ae, as, bl, be, bs)
+		}
+	}
+}
+
+func TestFaultInjectorError(t *testing.T) {
+	f := NewFaultInjector(FaultConfig{ErrorP: 1, Seed: 7})
+	h := f.Wrap(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		t.Fatal("handler ran behind a certain error fault")
+	}))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("POST", "/solve", nil))
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", w.Code)
+	}
+	if w.Header().Get(InjectedFaultHeader) != "error" {
+		t.Fatalf("missing %s header", InjectedFaultHeader)
+	}
+	if !strings.Contains(w.Body.String(), "injected fault") {
+		t.Fatalf("body = %q", w.Body.String())
+	}
+	if c := f.Counters(); c.Errors != 1 {
+		t.Fatalf("counters: %+v", c)
+	}
+}
+
+func TestFaultInjectorLatency(t *testing.T) {
+	f := NewFaultInjector(FaultConfig{Latency: 30 * time.Millisecond, LatencyP: 1, Seed: 7})
+	h := f.Wrap(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) { w.WriteHeader(200) }))
+	start := time.Now()
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/", nil))
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("handled in %v, want >= 30ms injected latency", elapsed)
+	}
+	if w.Code != 200 {
+		t.Fatalf("status = %d", w.Code)
+	}
+	if c := f.Counters(); c.Latencies != 1 {
+		t.Fatalf("counters: %+v", c)
+	}
+}
+
+func TestFaultInjectorSlowBody(t *testing.T) {
+	f := NewFaultInjector(FaultConfig{SlowBody: 10 * time.Millisecond, SlowBodyP: 1, Seed: 7})
+	h := f.Wrap(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("a"))
+		_, _ = w.Write([]byte("b"))
+	}))
+	start := time.Now()
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/", nil))
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("two writes done in %v, want >= 20ms of slow-body pauses", elapsed)
+	}
+	if w.Body.String() != "ab" {
+		t.Fatalf("body = %q", w.Body.String())
+	}
+	if w.Header().Get(InjectedFaultHeader) != "slowbody" {
+		t.Fatal("missing slowbody marker header")
+	}
+	if c := f.Counters(); c.SlowBodies != 1 {
+		t.Fatalf("counters: %+v", c)
+	}
+}

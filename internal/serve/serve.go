@@ -1,0 +1,233 @@
+// Package serve provides the overload-safety layer in front of the
+// Campaign engine: admission control (a weighted semaphore with a bounded,
+// deadline-capped wait queue), a graceful-degradation ladder that trades
+// Monte-Carlo precision for latency under measured queue pressure, and a
+// deterministic fault injector for proving the behaviour under test and
+// load (see cmd/s3crmd and cmd/loadgen, and DESIGN.md "Serving
+// robustness").
+//
+// The design point: a solve or evaluate holds CPU for its whole runtime,
+// so the daemon must bound concurrent work (the semaphore), bound how long
+// work may wait for a slot (the queue and its deadline — everything past
+// that is shed with a Retry-After), and, before shedding, spend the one
+// cheap knob Monte-Carlo estimation offers — fewer possible worlds per
+// evaluation, reported honestly through the response's effective-samples
+// and standard-error fields.
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Shed errors returned by Limiter.Acquire. The serving layer maps
+// ErrQueueFull to 429 and ErrQueueTimeout to 503, both with a Retry-After.
+var (
+	// ErrQueueFull reports that the admission wait queue was at capacity
+	// when the request arrived: the caller should back off and retry.
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrQueueTimeout reports that the request waited its full queue
+	// deadline without a slot freeing up.
+	ErrQueueTimeout = errors.New("serve: admission queue deadline exceeded")
+)
+
+// Limiter is a weighted admission semaphore with a bounded FIFO wait
+// queue. At most Capacity units of weight are admitted concurrently;
+// arrivals that do not fit wait in a queue of at most MaxQueue entries for
+// up to QueueTimeout, and everything beyond that is shed immediately.
+// Weights let heavy requests (solves) consume more of the capacity than
+// light ones (evaluates). All methods are safe for concurrent use.
+type Limiter struct {
+	capacity     int64
+	maxQueue     int
+	queueTimeout time.Duration
+
+	mu       sync.Mutex
+	inflight int64
+	queue    []*waiter
+
+	admitted      atomic.Int64
+	shedQueueFull atomic.Int64
+	shedDeadline  atomic.Int64
+	shedCancelled atomic.Int64
+}
+
+// waiter is one queued acquisition. ready is closed by the grant path
+// after the waiter's weight has been charged and it has left the queue.
+type waiter struct {
+	weight int64
+	ready  chan struct{}
+}
+
+// NewLimiter returns a limiter admitting capacity units of weight
+// concurrently, queueing at most maxQueue waiters for at most queueTimeout
+// each (non-positive queueTimeout means waiters wait until admitted or
+// their context ends). capacity must be positive; maxQueue of 0 sheds
+// every request that cannot be admitted immediately.
+func NewLimiter(capacity int64, maxQueue int, queueTimeout time.Duration) *Limiter {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Limiter{capacity: capacity, maxQueue: maxQueue, queueTimeout: queueTimeout}
+}
+
+// Acquire admits weight units of work, waiting in the FIFO queue when the
+// capacity is saturated. It returns a release function that must be called
+// exactly when the work finishes (calling it more than once is a no-op),
+// or one of ErrQueueFull, ErrQueueTimeout, or the context's error if ctx
+// ends while queued. Weights above the total capacity are clamped so such
+// requests remain admissible.
+func (l *Limiter) Acquire(ctx context.Context, weight int64) (release func(), err error) {
+	if weight <= 0 {
+		weight = 1
+	}
+	if weight > l.capacity {
+		weight = l.capacity
+	}
+
+	l.mu.Lock()
+	if len(l.queue) == 0 && l.inflight+weight <= l.capacity {
+		l.inflight += weight
+		l.mu.Unlock()
+		l.admitted.Add(1)
+		return l.releaser(weight), nil
+	}
+	if len(l.queue) >= l.maxQueue {
+		l.mu.Unlock()
+		l.shedQueueFull.Add(1)
+		return nil, ErrQueueFull
+	}
+	w := &waiter{weight: weight, ready: make(chan struct{})}
+	l.queue = append(l.queue, w)
+	l.mu.Unlock()
+
+	var deadline <-chan time.Time
+	if l.queueTimeout > 0 {
+		timer := time.NewTimer(l.queueTimeout)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case <-w.ready:
+		l.admitted.Add(1)
+		return l.releaser(weight), nil
+	case <-deadline:
+		if l.abandon(w) {
+			l.shedDeadline.Add(1)
+			return nil, ErrQueueTimeout
+		}
+	case <-done:
+		if l.abandon(w) {
+			l.shedCancelled.Add(1)
+			return nil, ctx.Err()
+		}
+	}
+	// The grant raced the deadline/cancellation: the weight is already
+	// charged, so take the slot rather than leak it.
+	<-w.ready
+	l.admitted.Add(1)
+	return l.releaser(weight), nil
+}
+
+// abandon removes a still-queued waiter, reporting false when the waiter
+// was already granted (and therefore no longer queued).
+func (l *Limiter) abandon(w *waiter) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i, q := range l.queue {
+		if q == w {
+			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// releaser returns the idempotent release closure for an admitted weight.
+func (l *Limiter) releaser(weight int64) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			l.mu.Lock()
+			l.inflight -= weight
+			l.grantLocked()
+			l.mu.Unlock()
+		})
+	}
+}
+
+// grantLocked admits queued waiters in FIFO order while they fit. The
+// queue is strictly ordered — a large waiter at the head blocks smaller
+// ones behind it — so admission order is arrival order, never weight
+// order, and no waiter can be starved by lighter traffic.
+func (l *Limiter) grantLocked() {
+	for len(l.queue) > 0 {
+		w := l.queue[0]
+		if l.inflight+w.weight > l.capacity {
+			return
+		}
+		l.queue = l.queue[1:]
+		l.inflight += w.weight
+		close(w.ready)
+	}
+}
+
+// Pressure reports the current queue occupancy in [0, 1]: 0 with an empty
+// wait queue (requests are being admitted promptly, whatever the in-flight
+// load) rising to 1 when the queue is full and the next arrival will be
+// shed. This is the degradation ladder's input — precision is only traded
+// away once requests are measurably waiting.
+func (l *Limiter) Pressure() float64 {
+	l.mu.Lock()
+	queued := len(l.queue)
+	l.mu.Unlock()
+	if l.maxQueue <= 0 {
+		return 0
+	}
+	return float64(queued) / float64(l.maxQueue)
+}
+
+// Counters is a point-in-time snapshot of the limiter for /statusz.
+type Counters struct {
+	Capacity      int64 `json:"capacity"`
+	InFlight      int64 `json:"in_flight"` // admitted weight currently held
+	Queued        int   `json:"queued"`    // waiters currently in the queue
+	Admitted      int64 `json:"admitted"`
+	ShedQueueFull int64 `json:"shed_queue_full"`
+	ShedDeadline  int64 `json:"shed_deadline"`
+	ShedCancelled int64 `json:"shed_cancelled"`
+}
+
+// Shed returns the total number of shed acquisitions (queue-full plus
+// deadline; cancellations are the client's doing and not counted).
+func (c Counters) Shed() int64 { return c.ShedQueueFull + c.ShedDeadline }
+
+// Counters returns a snapshot of the limiter's gauges and counters.
+func (l *Limiter) Counters() Counters {
+	l.mu.Lock()
+	inflight, queued := l.inflight, len(l.queue)
+	l.mu.Unlock()
+	return Counters{
+		Capacity:      l.capacity,
+		InFlight:      inflight,
+		Queued:        queued,
+		Admitted:      l.admitted.Load(),
+		ShedQueueFull: l.shedQueueFull.Load(),
+		ShedDeadline:  l.shedDeadline.Load(),
+		ShedCancelled: l.shedCancelled.Load(),
+	}
+}
+
+// QueueTimeout returns the configured queue deadline — the serving layer's
+// Retry-After hint for shed responses.
+func (l *Limiter) QueueTimeout() time.Duration { return l.queueTimeout }

@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLimiterAdmitsWithinCapacity(t *testing.T) {
+	l := NewLimiter(4, 2, time.Second)
+	var releases []func()
+	for i := 0; i < 4; i++ {
+		release, err := l.Acquire(context.Background(), 1)
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		releases = append(releases, release)
+	}
+	c := l.Counters()
+	if c.InFlight != 4 || c.Admitted != 4 || c.Queued != 0 {
+		t.Fatalf("counters after 4 admissions: %+v", c)
+	}
+	for _, r := range releases {
+		r()
+	}
+	if c := l.Counters(); c.InFlight != 0 {
+		t.Fatalf("in-flight after release: %+v", c)
+	}
+}
+
+func TestLimiterReleaseIdempotent(t *testing.T) {
+	l := NewLimiter(2, 0, 0)
+	release, err := l.Acquire(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	release() // second call must not free capacity twice
+	if c := l.Counters(); c.InFlight != 0 {
+		t.Fatalf("in-flight after double release: %+v", c)
+	}
+}
+
+func TestLimiterWeightClamped(t *testing.T) {
+	l := NewLimiter(2, 0, 0)
+	// A weight above capacity must still be admissible.
+	release, err := l.Acquire(context.Background(), 99)
+	if err != nil {
+		t.Fatalf("overweight acquire: %v", err)
+	}
+	defer release()
+	if c := l.Counters(); c.InFlight != 2 {
+		t.Fatalf("clamped in-flight = %d, want 2", c.InFlight)
+	}
+}
+
+func TestLimiterShedsQueueFull(t *testing.T) {
+	l := NewLimiter(1, 0, time.Second)
+	release, err := l.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if _, err := l.Acquire(context.Background(), 1); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("saturated acquire with no queue: err = %v, want ErrQueueFull", err)
+	}
+	if c := l.Counters(); c.ShedQueueFull != 1 || c.Shed() != 1 {
+		t.Fatalf("shed counters: %+v", c)
+	}
+}
+
+func TestLimiterQueueTimeout(t *testing.T) {
+	l := NewLimiter(1, 4, 20*time.Millisecond)
+	release, err := l.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	start := time.Now()
+	if _, err := l.Acquire(context.Background(), 1); !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("queued acquire: err = %v, want ErrQueueTimeout", err)
+	}
+	if waited := time.Since(start); waited < 20*time.Millisecond {
+		t.Fatalf("timed out after %v, before the queue deadline", waited)
+	}
+	c := l.Counters()
+	if c.ShedDeadline != 1 || c.Queued != 0 {
+		t.Fatalf("counters after queue timeout: %+v", c)
+	}
+}
+
+func TestLimiterQueueContextCancel(t *testing.T) {
+	l := NewLimiter(1, 4, time.Minute)
+	release, err := l.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := l.Acquire(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire: err = %v, want context.Canceled", err)
+	}
+	if c := l.Counters(); c.ShedCancelled != 1 {
+		t.Fatalf("counters after cancel: %+v", c)
+	}
+}
+
+// TestLimiterQueueFIFO: queued waiters are granted in arrival order, and a
+// released slot wakes the head of the queue, not a random waiter.
+func TestLimiterQueueFIFO(t *testing.T) {
+	l := NewLimiter(1, 8, time.Minute)
+	hold, err := l.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		// Enqueue one at a time so arrival order is deterministic.
+		started := make(chan struct{})
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			close(started)
+			release, err := l.Acquire(context.Background(), 1)
+			if err != nil {
+				t.Errorf("queued acquire %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			release()
+		}(i)
+		<-started
+		// Wait until the waiter is actually queued before enqueuing the next.
+		for start := time.Now(); ; {
+			if l.Counters().Queued > i {
+				break
+			}
+			if time.Since(start) > time.Second {
+				t.Fatalf("waiter %d never queued", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	hold()
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("grant order %v, want FIFO", order)
+		}
+	}
+}
+
+func TestLimiterPressure(t *testing.T) {
+	l := NewLimiter(1, 4, time.Minute)
+	if p := l.Pressure(); p != 0 {
+		t.Fatalf("idle pressure = %v, want 0", p)
+	}
+	release, err := l.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := l.Pressure(); p != 0 {
+		t.Fatalf("saturated-but-unqueued pressure = %v, want 0", p)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := l.Acquire(ctx, 1); err == nil {
+				t.Error("queued acquire unexpectedly admitted")
+			}
+		}()
+	}
+	for start := time.Now(); l.Counters().Queued < 2; {
+		if time.Since(start) > time.Second {
+			t.Fatal("waiters never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if p := l.Pressure(); p != 0.5 {
+		t.Fatalf("pressure with 2/4 queued = %v, want 0.5", p)
+	}
+	cancel()
+	wg.Wait()
+	release()
+}
+
+// TestLimiterConcurrentAccounting hammers the limiter from many goroutines
+// and checks the capacity invariant is never violated and all weight is
+// returned. Run under -race in CI.
+func TestLimiterConcurrentAccounting(t *testing.T) {
+	const capacity = 4
+	l := NewLimiter(capacity, 16, 50*time.Millisecond)
+	var inflight, maxSeen atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				weight := int64(1 + (g+i)%3)
+				release, err := l.Acquire(context.Background(), weight)
+				if err != nil {
+					continue // shed under contention: fine
+				}
+				now := inflight.Add(weight)
+				for {
+					max := maxSeen.Load()
+					if now <= max || maxSeen.CompareAndSwap(max, now) {
+						break
+					}
+				}
+				inflight.Add(-weight)
+				release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if max := maxSeen.Load(); max > capacity {
+		t.Fatalf("observed %d units in flight, capacity %d", max, capacity)
+	}
+	if c := l.Counters(); c.InFlight != 0 || c.Queued != 0 {
+		t.Fatalf("limiter did not drain: %+v", c)
+	}
+}

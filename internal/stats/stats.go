@@ -101,6 +101,31 @@ func (r *Running) String() string {
 	return fmt.Sprintf("%.4g ± %.2g (n=%d)", r.Mean(), r.CI95(), r.n)
 }
 
+// VarianceFromMoments returns the unbiased sample variance (n-1
+// denominator) of n observations with the given mean and mean of squares.
+// Floating-point cancellation can drive the raw difference slightly
+// negative for near-constant samples; the result is clamped at 0.
+func VarianceFromMoments(n int, mean, meanSq float64) float64 {
+	if n < 2 {
+		return 0
+	}
+	v := (meanSq - mean*mean) * float64(n) / float64(n-1)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// StdErrFromMoments returns the standard error of the mean of n
+// observations with the given mean and mean of squares — the Monte-Carlo
+// error bar the evaluation engines thread through their Results.
+func StdErrFromMoments(n int, mean, meanSq float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return math.Sqrt(VarianceFromMoments(n, mean, meanSq) / float64(n))
+}
+
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

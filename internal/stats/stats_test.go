@@ -47,6 +47,46 @@ func TestRunningSingle(t *testing.T) {
 	}
 }
 
+// TestMomentsMatchRunning: the moment-based estimators agree with the
+// Welford accumulator on the same data — they are the stateless form used
+// when only E[X] and E[X²] survive an evaluation (diffusion Results).
+func TestMomentsMatchRunning(t *testing.T) {
+	src := rng.New(9)
+	xs := make([]float64, 500)
+	var r Running
+	var sum, sumSq float64
+	for i := range xs {
+		xs[i] = src.NormFloat64()*2 + 5
+		r.Add(xs[i])
+		sum += xs[i]
+		sumSq += xs[i] * xs[i]
+	}
+	n := len(xs)
+	mean, meanSq := sum/float64(n), sumSq/float64(n)
+	if v := VarianceFromMoments(n, mean, meanSq); !almost(v, r.Variance(), 1e-9) {
+		t.Fatalf("VarianceFromMoments = %v, Running.Variance = %v", v, r.Variance())
+	}
+	if se := StdErrFromMoments(n, mean, meanSq); !almost(se, r.StdErr(), 1e-9) {
+		t.Fatalf("StdErrFromMoments = %v, Running.StdErr = %v", se, r.StdErr())
+	}
+}
+
+func TestMomentsDegenerate(t *testing.T) {
+	// Fewer than two samples carry no variance information.
+	if v := VarianceFromMoments(1, 3, 9); v != 0 {
+		t.Fatalf("n=1 variance = %v, want 0", v)
+	}
+	if se := StdErrFromMoments(0, 0, 0); se != 0 {
+		t.Fatalf("n=0 stderr = %v, want 0", se)
+	}
+	// Floating-point cancellation can push meanSq fractionally below mean²
+	// for near-constant data; the estimate clamps at zero instead of
+	// producing NaN downstream.
+	if v := VarianceFromMoments(100, 1, 1-1e-16); v != 0 {
+		t.Fatalf("cancellation variance = %v, want 0", v)
+	}
+}
+
 func TestRunningMergeMatchesSequential(t *testing.T) {
 	src := rng.New(4)
 	xs := make([]float64, 1000)

@@ -334,6 +334,23 @@ type Result struct {
 	TotalCost      float64
 	FarthestHop    float64 // average maximum hop distance from the seeds
 	ExploredRatio  float64 // fraction of the network examined (S3CA only)
+
+	// EffectiveSamples is the number of Monte-Carlo worlds the reported
+	// metrics were estimated over. It equals the requested sample count
+	// unless the call was downgraded by a degradation hook (see
+	// WithDegradation), in which case Degraded is set and EffectiveSamples
+	// records what the estimate actually used.
+	EffectiveSamples int `json:"effective_samples"`
+	// StdErr is the Monte-Carlo standard error of RedemptionRate, computed
+	// from the per-world benefit variance over EffectiveSamples worlds (the
+	// deployment's costs are deterministic, so the redemption-rate error is
+	// the benefit error divided by total cost). A degraded response's wider
+	// error bar is the precision the caller traded for latency.
+	StdErr float64 `json:"stderr"`
+	// Degraded reports that the call was downgraded to fewer samples than
+	// requested by the campaign's degradation hook (graceful degradation
+	// under serving overload; see WithDegradation and cmd/s3crmd).
+	Degraded bool `json:"degraded"`
 }
 
 // Baselines lists the algorithm names accepted by RunBaseline.
