@@ -308,6 +308,13 @@ func benchSolveEngines(b *testing.B, opts core.Options) {
 			o.EvalMode = diffusion.EvalScalar
 			return o
 		}},
+		// The SSR sketch solver: selection runs on reverse-sample cover
+		// counts under the adaptive stopping rule instead of forward
+		// simulation, so Samples only sizes the final measurement.
+		{"engine=" + diffusion.EngineSSR, func(o core.Options) core.Options {
+			o.Engine = diffusion.EngineSSR
+			return o
+		}},
 	}
 	for _, v := range variants {
 		b.Run(v.name, func(b *testing.B) {
@@ -476,6 +483,29 @@ func BenchmarkMillionNodeSolve(b *testing.B) {
 			b.ReportMetric(float64(ms.HeapInuse)/(1<<20), "heapMiB")
 		})
 	}
+	// The SSR sketch solver at the same scale: seed/coupon selection never
+	// forward-simulates (only the final snapshot scoring and the end-of-
+	// solve measurement do), which is the cell this engine is accepted on —
+	// it must beat the worldcache time above within the same heap budget.
+	b.Run("engine="+diffusion.EngineSSR, func(b *testing.B) {
+		var rate float64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sol, err := core.Solve(inst, core.Options{
+				Engine: diffusion.EngineSSR, Samples: 100, Seed: 77,
+				GPILimit: 2000,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rate = sol.RedemptionRate
+		}
+		b.StopTimer()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		b.ReportMetric(rate, "redemption")
+		b.ReportMetric(float64(ms.HeapInuse)/(1<<20), "heapMiB")
+	})
 }
 
 // BenchmarkMillionNodeSolveLT is the million-node profile under the

@@ -60,16 +60,19 @@ const maxIdleWorldCaches = 8
 // engineKey identifies the shared evaluation state two calls may reuse:
 // calls agreeing on these fields see the same possible worlds, so they can
 // share materialized live-edge rows and pooled world-cache snapshots. The
-// engine name is deliberately absent — mc, worldcache and sketch all
+// engine name is deliberately absent — mc, worldcache, sketch and ssr all
 // evaluate through the same underlying estimator — but the triggering
 // model is present: IC and LT calls draw different per-world liveness, so
-// they must never share substrates or snapshots.
+// they must never share substrates or snapshots. The SSR accuracy knobs
+// (epsilon, delta) are part of the key: two calls disagreeing on them run
+// different sample schedules, so their warmed state must stay separate.
 type engineKey struct {
-	samples   int
-	seed      uint64
-	model     string
-	diffusion string
-	memBudget int64
+	samples        int
+	seed           uint64
+	model          string
+	diffusion      string
+	memBudget      int64
+	epsilon, delta float64
 }
 
 // enginePool holds one engine key's shared state: the prototype estimator
@@ -143,6 +146,8 @@ func poolKey(cfg config, seed uint64) engineKey {
 		model:     cfg.model,
 		diffusion: cfg.diffusion,
 		memBudget: cfg.memBudget,
+		epsilon:   cfg.epsilon,
+		delta:     cfg.delta,
 	}
 }
 
@@ -283,7 +288,7 @@ func (c *Campaign) engineFor(ctx context.Context, cfg config, seed uint64) (ev d
 				ep.put(wc)
 			}
 		}
-	default: // mc, sketch: the estimator itself
+	default: // mc, sketch, ssr: the estimator itself
 		ev = view
 	}
 	return ev, view, release, nil
@@ -335,6 +340,8 @@ func (c *Campaign) Solve(ctx context.Context, opts ...Option) (*Result, error) {
 		Workers:           cl.cfg.workers,
 		GPILimit:          cl.cfg.gpiLimit,
 		ExhaustiveID:      cl.cfg.exhaustiveID,
+		Epsilon:           cl.cfg.epsilon,
+		Delta:             cl.cfg.delta,
 		Evaluator:         ev,
 		Scorer:            scorer,
 		Progress:          cl.progressFor("S3CA"),

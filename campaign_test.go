@@ -232,12 +232,18 @@ func TestCampaignCancellation(t *testing.T) {
 			t.Errorf("%s: pre-cancelled EvaluateBatch err = %v, want context.Canceled", engine, err)
 		}
 
-		// Mid-run: the progress stream cancels after the first ID event,
-		// so the solve must abort with a partial-stats error.
+		// Mid-run: the progress stream cancels after the first event of the
+		// engine's selection phase ("id" for the forward engines, "sketch"
+		// for ssr — which never runs the ID loop), so the solve must abort
+		// with a partial-stats error.
+		trigger := "id"
+		if engine == "ssr" {
+			trigger = "sketch"
+		}
 		ctx, stop := context.WithCancel(context.Background())
 		var events atomic.Int64
 		_, err = c.Solve(ctx, WithProgress(func(e Event) {
-			if e.Phase == "id" && events.Add(1) == 1 {
+			if e.Phase == trigger && events.Add(1) == 1 {
 				stop()
 			}
 		}))
@@ -249,7 +255,11 @@ func TestCampaignCancellation(t *testing.T) {
 		if !errors.As(err, &partial) {
 			t.Fatalf("%s: mid-run Solve err %v carries no *core.PartialError", engine, err)
 		}
-		if partial.Stats.IDIterations == 0 {
+		if engine == "ssr" {
+			if partial.Stats.SketchRounds == 0 {
+				t.Errorf("%s: partial error reports no sketch rounds", engine)
+			}
+		} else if partial.Stats.IDIterations == 0 {
 			t.Errorf("%s: partial error reports no ID iterations", engine)
 		}
 		// The abort must come within a couple of iterations of the cancel.

@@ -59,7 +59,9 @@ func main() {
 		kappa    = flag.Float64("kappa", 10, "total seed cost / total benefit ratio")
 		budget   = flag.Float64("budget", 0, "investment budget Binv (0 = dataset default)")
 		algo     = flag.String("algo", "S3CA", "algorithm: S3CA, IM-U, IM-L, PM-U, PM-L, IM-S")
-		engine   = flag.String("engine", "mc", "evaluation engine: mc, worldcache, sketch")
+		engine   = flag.String("engine", "mc", "evaluation engine: mc, worldcache, sketch (baseline candidate pruning), ssr (sketch solver)")
+		epsilon  = flag.Float64("epsilon", 0.1, "ssr engine approximation slack ε in (0,1): certify within (1−1/e−ε)")
+		delta    = flag.Float64("delta", 0.01, "ssr engine failure probability δ in (0,1)")
 		model    = flag.String("model", "ic", "triggering model: ic (independent cascade), lt (linear threshold)")
 		ltnorm   = flag.Bool("ltnorm", false, "scale -graph in-weights to sum ≤ 1 (the -model lt precondition; wc weights already satisfy it)")
 		diff     = flag.String("diffusion", "liveedge", "edge-liveness substrate: liveedge (materialized worlds), hash")
@@ -103,6 +105,8 @@ func main() {
 		s3crm.WithSeed(*seed),
 		s3crm.WithWorkers(*workers),
 		s3crm.WithCandidateCap(*cap),
+		s3crm.WithEpsilon(*epsilon),
+		s3crm.WithDelta(*delta),
 	}
 	if *progress {
 		opts = append(opts, s3crm.WithProgress(renderProgress))

@@ -79,7 +79,9 @@ func main() {
 		probmod  = flag.String("probmodel", "", "influence probabilities for -graph: file, uniform, wc, trivalency (default: file column if present, else wc)")
 		budget   = flag.Float64("budget", 0, "investment budget for -graph instances")
 		scenario = flag.String("scenario", "", "saved scenario JSON (alternative to -dataset)")
-		engine   = flag.String("engine", "mc", "default evaluation engine: mc, worldcache, sketch")
+		engine   = flag.String("engine", "mc", "default evaluation engine: mc, worldcache, sketch (baseline candidate pruning), ssr (sketch solver)")
+		epsilon  = flag.Float64("epsilon", 0.1, "default ssr engine approximation slack ε in (0,1)")
+		delta    = flag.Float64("delta", 0.01, "default ssr engine failure probability δ in (0,1)")
 		model    = flag.String("model", "ic", "default triggering model: ic (independent cascade), lt (linear threshold)")
 		ltnorm   = flag.Bool("ltnorm", false, "scale -graph in-weights to sum ≤ 1 (the lt-model precondition; wc weights already satisfy it)")
 		diff     = flag.String("diffusion", "liveedge", "default edge-liveness substrate: liveedge, hash")
@@ -129,6 +131,8 @@ func main() {
 		s3crm.WithSeed(*seed),
 		s3crm.WithWorkers(*workers),
 		s3crm.WithCandidateCap(*cap),
+		s3crm.WithEpsilon(*epsilon),
+		s3crm.WithDelta(*delta),
 		s3crm.WithMinSamples(*minSamples),
 		s3crm.WithDegradation(func(requested int) int {
 			return ladder.Samples(requested, limiter.Pressure())
@@ -144,6 +148,7 @@ func main() {
 		defaults: defaults{
 			Engine: *engine, Model: *model, Diffusion: *diff,
 			EvalMode: *evalmode, Samples: *samples, Workers: *workers,
+			Epsilon: *epsilon, Delta: *delta,
 		},
 		limiter: limiter, ladder: ladder, faults: faults,
 		solveWeight: *solveW, evaluateWeight: *evalW,
@@ -235,12 +240,14 @@ func loadProblem(dataset string, scale int, graphFile, probModel string, budget 
 }
 
 type defaults struct {
-	Engine    string `json:"engine"`
-	Model     string `json:"model"`
-	Diffusion string `json:"diffusion"`
-	EvalMode  string `json:"eval_mode"`
-	Samples   int    `json:"samples"`
-	Workers   int    `json:"workers"`
+	Engine    string  `json:"engine"`
+	Model     string  `json:"model"`
+	Diffusion string  `json:"diffusion"`
+	EvalMode  string  `json:"eval_mode"`
+	Samples   int     `json:"samples"`
+	Workers   int     `json:"workers"`
+	Epsilon   float64 `json:"epsilon"`
+	Delta     float64 `json:"delta"`
 }
 
 type server struct {
@@ -327,6 +334,8 @@ type callParams struct {
 	LimitedK     int     `json:"limited_k"`
 	GPILimit     int     `json:"gpi_limit"`
 	ExhaustiveID bool    `json:"exhaustive_id"`
+	Epsilon      float64 `json:"epsilon"` // ssr engine: approximation slack
+	Delta        float64 `json:"delta"`   // ssr engine: failure probability
 	TimeoutMS    int     `json:"timeout_ms"`
 }
 
@@ -364,6 +373,12 @@ func (p callParams) options() []s3crm.Option {
 	}
 	if p.ExhaustiveID {
 		opts = append(opts, s3crm.WithExhaustiveID(true))
+	}
+	if p.Epsilon != 0 {
+		opts = append(opts, s3crm.WithEpsilon(p.Epsilon))
+	}
+	if p.Delta != 0 {
+		opts = append(opts, s3crm.WithDelta(p.Delta))
 	}
 	return opts
 }

@@ -54,9 +54,10 @@ func TestEngineParity(t *testing.T) {
 				// The baselines have no incremental search paths, so every
 				// engine drives them to the same deployment; S3CA's greedy
 				// may diverge on near-tie investments under the world-cache
-				// ranking signal, hence the MC-noise tolerance.
+				// ranking signal — and selects on reverse-sample cover counts
+				// outright under ssr — hence the MC-noise tolerance.
 				tol := 1e-9
-				if algo == "S3CA" && engine == "worldcache" {
+				if algo == "S3CA" && (engine == "worldcache" || engine == "ssr") {
 					tol = 0.15 * mcRate
 				}
 				if math.Abs(rate-mcRate) > tol {

@@ -26,10 +26,11 @@ type Config struct {
 	Strategy Strategy
 	LimitedK int
 	// Engine selects the evaluation engine (see diffusion.Engines; empty
-	// means diffusion.EngineMC). Under diffusion.EngineSketch, CandidateCap
-	// prunes greedy seed candidates by estimated influence (RR-set cover
-	// counts under the configured triggering model) instead of raw
-	// out-degree.
+	// means diffusion.EngineMC). Under diffusion.EngineSketch or
+	// diffusion.EngineSSR, CandidateCap prunes greedy seed candidates by
+	// estimated influence (RR-set cover counts under the configured
+	// triggering model) instead of raw out-degree; the baselines have no
+	// solver-side SSR path, so both names mean the same pruning here.
 	Engine string
 	// Model selects the triggering model deciding per-world edge liveness
 	// (see diffusion.Models; empty means diffusion.ModelIC). It drives
@@ -193,7 +194,7 @@ func seedCandidates(in *diffusion.Instance, cfg Config) []int32 {
 		}
 	}
 	if cfg.CandidateCap > 0 && cfg.CandidateCap < len(affordable) {
-		if cfg.Engine == diffusion.EngineSketch {
+		if cfg.Engine == diffusion.EngineSketch || cfg.Engine == diffusion.EngineSSR {
 			if pruned, err := sketchPrune(in, cfg, affordable); err == nil {
 				return pruned
 			}

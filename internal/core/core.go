@@ -32,9 +32,12 @@ type Options struct {
 	// Engine selects the evaluation engine: diffusion.EngineMC (the
 	// default, plain Monte Carlo), diffusion.EngineWorldCache (incremental
 	// world-cache evaluation — the ID loop's candidate deltas and the SCM
-	// donor scan replay only the affected worlds/frontiers), or
+	// donor scan replay only the affected worlds/frontiers),
 	// diffusion.EngineSketch (evaluates like MC; sketches accelerate the
-	// baselines' seed ranking, not the solver).
+	// baselines' seed ranking, not the solver), or diffusion.EngineSSR (the
+	// SSR sketch solver: selection runs as weighted cover maximization over
+	// coupon-indexed RR samples sized adaptively by Epsilon/Delta, and only
+	// the final deployment is forward-evaluated).
 	Engine string
 	// Model selects the triggering model deciding per-world edge liveness
 	// (see diffusion.Models): diffusion.ModelIC (the default, independent
@@ -63,8 +66,18 @@ type Options struct {
 	// parity oracle). Both kernels produce bit-identical Results.
 	EvalMode string
 	// Samples is the Monte-Carlo sample count per benefit evaluation.
-	// 0 means 1000 (the paper's simulation average count).
+	// 0 means 1000 (the paper's simulation average count). The SSR engine
+	// sizes its own sample set adaptively (see Epsilon/Delta); Samples then
+	// only parameterizes the final forward evaluation and the snapshot
+	// scorer stream.
 	Samples int
+	// Epsilon and Delta set the SSR engine's accuracy target: its stopping
+	// rule doubles the sample collections until the selected cover is
+	// certified within (1−1/e−Epsilon)·OPT of the sketch objective with
+	// probability 1−Delta. 0 means 0.1 and 0.01 respectively; both must lie
+	// in (0, 1). Other engines ignore them.
+	Epsilon float64
+	Delta   float64
 	// Seed seeds the estimator's possible worlds and any tie-breaking.
 	Seed uint64
 	// ScorerSeed, when non-zero, seeds the independent estimator stream
@@ -139,6 +152,12 @@ func (o Options) withDefaults(n int) Options {
 	if o.RateTolerance < 0 {
 		o.RateTolerance = 0
 	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.1
+	}
+	if o.Delta == 0 {
+		o.Delta = 0.01
+	}
 	return o
 }
 
@@ -162,6 +181,17 @@ type Stats struct {
 	// HeapRepops counts lazy-loop pops whose cached gain was stale and had
 	// to be re-evaluated (new, never-evaluated candidates excluded).
 	HeapRepops int64
+	// SketchRounds and SketchSamples report the SSR engine's adaptive
+	// schedule: doubling rounds run and total RR samples drawn across both
+	// collections. Zero under every other engine.
+	SketchRounds  int
+	SketchSamples int
+	// SketchLB and SketchUB are the final certification bounds on the
+	// sketch objective; SketchCertified reports whether the (1−1/e−ε, δ)
+	// target was met before the sample cap.
+	SketchLB        float64
+	SketchUB        float64
+	SketchCertified bool
 }
 
 // TrajectoryPoint is one ID investment: what was bought, and the
@@ -193,7 +223,7 @@ type Solution struct {
 // to the abort. Unwrap yields the context error, so
 // errors.Is(err, context.Canceled) and context.DeadlineExceeded both work.
 type PartialError struct {
-	Phase string // phase interrupted: "pivot", "id", "gpi", "scm" or "select"
+	Phase string // phase interrupted: "pivot", "id", "sketch", "gpi", "scm" or "select"
 	Stats Stats  // instrumentation up to the abort
 	Err   error  // the context's error
 }
@@ -373,6 +403,21 @@ func SolveCtx(ctx context.Context, inst *diffusion.Instance, opts Options) (*Sol
 		// No affordable seed: the only feasible deployment is empty.
 		empty := diffusion.NewDeployment(n)
 		return s.finish(empty), nil
+	}
+
+	if opts.Engine == diffusion.EngineSSR {
+		// The SSR engine replaces the forward ID/GPI/SCM search wholesale:
+		// selection runs against adaptively sized SSR samples, and the
+		// estimator only measures the returned deployment.
+		s.enterPhase("sketch")
+		best, err := s.sketchSolve(queue)
+		if err != nil {
+			if perr := s.partial(); perr != nil {
+				return nil, perr
+			}
+			return nil, err
+		}
+		return s.finish(best), nil
 	}
 
 	s.enterPhase("id")

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"s3crm/internal/diffusion"
+	"s3crm/internal/progress"
+	"s3crm/internal/sketch"
+)
+
+// sketchSolve runs the SSR sketch engine over phase 1's pivot queue: the
+// queue (already rate-ordered) seeds the cover maximizer exactly as it
+// seeds the forward ID loop, the sample schedule is sized by the
+// Epsilon/Delta stopping rule, and the selected deployment comes back for
+// one honest forward evaluation in finish. Each doubling round emits one
+// "sketch" progress event carrying the sample count and the certification
+// bound gap.
+func (s *solver) sketchSolve(queue []pivotEntry) (*diffusion.Deployment, error) {
+	pivots := make([]sketch.Pivot, len(queue))
+	for i, e := range queue {
+		pivots[i] = sketch.Pivot{Node: e.node, K: e.k, Rate: e.rate}
+	}
+	res, err := sketch.Solve(sketch.Config{
+		Inst:          s.inst,
+		Model:         s.opts.Model,
+		Pivots:        pivots,
+		Seed:          s.opts.Seed,
+		Epsilon:       s.opts.Epsilon,
+		Delta:         s.opts.Delta,
+		RateTolerance: s.opts.RateTolerance,
+		SpendBudget:   s.opts.SpendBudget,
+		Ctx:           s.ctx,
+		// Snapshot selection runs on forward-measured rates: the sketch
+		// relaxation overestimates coupon marginals, so its own estimates
+		// would stop the trajectory too late (see sketch.Config.Score).
+		Score: func(d *diffusion.Deployment) float64 {
+			cost := s.inst.SeedCostOf(d) + s.inst.SCCostOf(d)
+			return safeRatio(s.est.Benefit(d), cost)
+		},
+		OnRound: func(round, samples int, gap float64) {
+			s.stats.SketchRounds, s.stats.SketchSamples = round, samples
+			if s.opts.Progress != nil {
+				s.opts.Progress(progress.Event{
+					Phase:       s.phase,
+					Iteration:   round,
+					Samples:     samples,
+					BoundGap:    gap,
+					Evaluations: s.est.Evals(),
+				})
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.stats.SketchRounds = res.Rounds
+	s.stats.SketchSamples = res.Samples
+	s.stats.SketchLB, s.stats.SketchUB = res.LB, res.UB
+	s.stats.SketchCertified = res.Certified
+	if s.opts.RecordTrajectory {
+		for _, st := range res.Steps {
+			action := "coupon"
+			if st.Seed {
+				action = "seed"
+			}
+			s.record(action, st.Node, st.Benefit, st.Cost)
+		}
+	}
+	return res.Deployment, nil
+}

@@ -19,12 +19,22 @@ const (
 	// candidates by estimated IC influence (RR-set cover counts) instead of
 	// raw out-degree. The coupon-capacity constraint breaks the
 	// reversibility argument for the S3CRM objective itself, so sketches
-	// serve candidate pruning, not benefit estimation.
+	// serve candidate pruning, not benefit estimation. It is a pruner, not
+	// a solver — the solving counterpart is EngineSSR.
 	EngineSketch = "sketch"
+	// EngineSSR solves through SSR sketches (internal/sketch): per sampled
+	// root, coupon-indexed RR sets gated by redemption-capacity acceptance
+	// probabilities, with the ID loop's selection run as weighted cover
+	// maximization over the samples and an adaptive OPIM-style stopping
+	// rule sizing the sample set to a (1−1/e−ε, δ) certificate instead of a
+	// fixed Samples knob. Reported metrics still come from one forward
+	// evaluation of the selected deployment (this evaluator, MC semantics),
+	// so all engines agree on what a redemption rate means.
+	EngineSSR = "ssr"
 )
 
 // Engines lists the evaluation engines in documentation order.
-func Engines() []string { return []string{EngineMC, EngineWorldCache, EngineSketch} }
+func Engines() []string { return []string{EngineMC, EngineWorldCache, EngineSketch, EngineSSR} }
 
 // Evaluator is the evaluation seam every layer of the reproduction talks
 // to: the S3CA solver, all baselines and the eval harness estimate B(S, K)
@@ -85,7 +95,7 @@ type EngineOptions struct {
 func NewEngineOpts(inst *Instance, o EngineOptions) (Evaluator, error) {
 	var est *Estimator
 	switch o.Engine {
-	case "", EngineMC, EngineSketch, EngineWorldCache:
+	case "", EngineMC, EngineSketch, EngineSSR, EngineWorldCache:
 		est = NewEstimator(inst, o.Samples, o.Seed)
 		est.Workers = o.Workers
 	default:

@@ -19,8 +19,9 @@ type Event struct {
 	// serving layer.
 	Call uint64 `json:"call,omitempty"`
 	// Phase names the solver phase emitting the event: "pivot", "id",
-	// "gpi", "scm" and "select" for S3CA; "rank" and "sweep" for the
-	// greedy baselines.
+	// "gpi", "scm" and "select" for S3CA ("sketch" replacing "id"/"gpi"/
+	// "scm" under the SSR engine); "rank" and "sweep" for the greedy
+	// baselines.
 	Phase string `json:"phase"`
 	// Iteration counts phase-local steps (ID investments, seeds ranked,
 	// paths examined), starting at 1.
@@ -36,6 +37,13 @@ type Event struct {
 	CandidateEvals int64 `json:"candidate_evals,omitempty"`
 	// Evaluations counts full Monte-Carlo evaluations so far.
 	Evaluations int64 `json:"evaluations,omitempty"`
+	// Samples is the total SSR samples drawn across both collections after
+	// this doubling round (SSR engine "sketch" phase only).
+	Samples int `json:"samples,omitempty"`
+	// BoundGap is the relative certification gap 1 − LB/UB after this
+	// doubling round (SSR engine "sketch" phase only); the stopping rule
+	// fires once it falls to Epsilon + the greedy slack.
+	BoundGap float64 `json:"bound_gap,omitempty"`
 }
 
 // Func receives events. A nil Func is "no progress reporting"; emitters

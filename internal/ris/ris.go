@@ -187,6 +187,105 @@ func generateLive(g *graph.Graph, count int, src *rng.Source, live LiveFunc, sin
 	})
 }
 
+// Walker draws individual RR sets on demand, reusing the visited-stamp and
+// queue scratch that drawSets amortizes across a batch. It exists for
+// callers that manage their own sample stores — the SSR sketch solver draws
+// coupon-indexed RR sets one at a time, keyed by (sample, slot) worlds —
+// and need the exact walk semantics of GenerateLive/GenerateLiveLT without
+// the Sketches collection. A Walker is not safe for concurrent use.
+type Walker struct {
+	g       *graph.Graph
+	probs   []float64
+	visited []int32
+	queue   []int32
+	gen     int32
+}
+
+// NewWalker prepares a walker over g's shared reverse CSR.
+func NewWalker(g *graph.Graph) *Walker {
+	w := &Walker{g: g, probs: g.Probs(), visited: make([]int32, g.NumNodes())}
+	for i := range w.visited {
+		w.visited[i] = -1
+	}
+	w.gen = -1
+	return w
+}
+
+// nextGen advances the per-draw visited stamp, resetting the marks on the
+// (astronomically rare) int32 wraparound.
+func (w *Walker) nextGen() int32 {
+	if w.gen == 1<<31-2 {
+		for i := range w.visited {
+			w.visited[i] = -1
+		}
+		w.gen = -1
+	}
+	w.gen++
+	return w.gen
+}
+
+// Draw appends to dst the RR set rooted at root under the given world's
+// edge liveness — the per-node walk of generateLive — and returns the
+// extended slice. singleParent applies the linear-threshold early exit: at
+// most one in-edge per node can be live, so probing stops at the first.
+func (w *Walker) Draw(dst []int32, root int32, world uint64, live LiveFunc, singleParent bool) []int32 {
+	cur := w.nextGen()
+	w.queue = append(w.queue[:0], root)
+	w.visited[root] = cur
+	for head := 0; head < len(w.queue); head++ {
+		v := w.queue[head]
+		dst = append(dst, v)
+		srcs, eidx := w.g.InEdges(v)
+		for j, u := range srcs {
+			if w.visited[u] == cur {
+				continue
+			}
+			e := uint64(eidx[j])
+			if live(world, e, w.probs[e]) {
+				w.visited[u] = cur
+				w.queue = append(w.queue, u)
+				if singleParent {
+					break // LT: no other in-edge of v can be live
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// DrawLT appends to dst the RR set rooted at root under the linear-threshold
+// model with an explicit per-node uniform — the categorical in-row walk of
+// GenerateLT, with the sequential random stream replaced by unif(world, v)
+// so draws are stateless and order-independent. Each dequeued node selects
+// at most one in-edge: the one whose cumulative-probability interval
+// contains the uniform, none when the uniform lands in the remaining mass.
+func (w *Walker) DrawLT(dst []int32, root int32, world uint64, unif func(world uint64, node int32) float64) []int32 {
+	cur := w.nextGen()
+	w.queue = append(w.queue[:0], root)
+	w.visited[root] = cur
+	for head := 0; head < len(w.queue); head++ {
+		v := w.queue[head]
+		dst = append(dst, v)
+		srcs, eidx := w.g.InEdges(v)
+		if len(eidx) == 0 {
+			continue
+		}
+		u := unif(world, v)
+		cum := 0.0
+		for j, e := range eidx {
+			cum += w.probs[e]
+			if u < cum {
+				if t := srcs[j]; w.visited[t] != cur {
+					w.visited[t] = cur
+					w.queue = append(w.queue, t)
+				}
+				break
+			}
+		}
+	}
+	return dst
+}
+
 // Count returns the number of RR sets drawn.
 func (s *Sketches) Count() int { return len(s.sets) }
 

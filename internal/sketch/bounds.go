@@ -1,0 +1,55 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+)
+
+// The stopping rule certifies the cover maximizer's output with the
+// martingale concentration bounds of OPIM-C (Tang et al., "Online
+// Processing Algorithms for Influence Maximization"): given an observed
+// cover count o over θ samples and a confidence budget a = ln(1/δ_r), the
+// true expected count μ·θ satisfies
+//
+//	lowerCount(o, a) <= μ·θ <= upperCount(o, a)
+//
+// each with probability at least 1 − δ_r. Both bounds are exact inversions
+// of the one-sided martingale tail inequalities, so they need no variance
+// estimate and hold at every sample size — which is what lets the solver
+// check them after every doubling round instead of sizing θ up front.
+
+// lowerCount returns the 1−e^{−a} confidence lower bound on the expected
+// cover count given an observed count o over the same sample set:
+// (√(o + 2a/9) − √(a/2))² − a/18, clamped to [0, o].
+func lowerCount(o, a float64) float64 {
+	v := math.Sqrt(o+2*a/9) - math.Sqrt(a/2)
+	lb := v*v - a/18
+	if lb < 0 {
+		return 0
+	}
+	if lb > o {
+		return o
+	}
+	return lb
+}
+
+// upperCount returns the 1−e^{−a} confidence upper bound on the expected
+// cover count given an observed count o: (√(o + a/2) + √(a/2))².
+func upperCount(o, a float64) float64 {
+	v := math.Sqrt(o+a/2) + math.Sqrt(a/2)
+	return v * v
+}
+
+// validateAccuracy checks the (ε, δ) accuracy target. Both must lie
+// strictly inside (0, 1): ε ≥ 1 would ask for a worse-than-trivial
+// guarantee and δ ≥ 1 no confidence at all, while 0 is unattainable with
+// finitely many samples.
+func validateAccuracy(epsilon, delta float64) error {
+	if !(epsilon > 0 && epsilon < 1) {
+		return fmt.Errorf("sketch: epsilon must be in (0,1), got %v", epsilon)
+	}
+	if !(delta > 0 && delta < 1) {
+		return fmt.Errorf("sketch: delta must be in (0,1), got %v", delta)
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+package sketch
+
+import (
+	"s3crm/internal/diffusion"
+	"s3crm/internal/ris"
+	"s3crm/internal/rng"
+)
+
+// kmax is the number of coupon-indexed RR-set slots drawn per sampled root:
+// slot c certifies the marginal reach of a candidate's (c+1)-th coupon.
+// Marginal redemption decays quickly with the coupon index under the
+// capacity process, so a small fixed depth captures nearly all of the
+// allocatable gain; coupons past the depth are simply not offered by this
+// engine (the forward engines remain unrestricted).
+const kmax = 3
+
+// Stateless draw keys. Every random decision a sample makes is a pure hash
+// of (coin seed, world, item): worlds stride by worldsPerSample so each
+// (sample, slot) pair owns a world, and the item keys below stay clear of
+// both forward edge indices and the forward substrates' LT node keys
+// (1<<40 | node), so no SSR draw can collide with an engine draw even under
+// a shared seed.
+const (
+	worldsPerSample = kmax + 1
+	itemRoot        = uint64(1) << 41
+	itemGate        = itemRoot + 1
+	itemLTBase      = uint64(1) << 42
+)
+
+// universe is the root-sampling domain: the forward closure of the pivot
+// sources (every user a feasible deployment could conceivably activate
+// starts from some pivot seed), truncated at cap nodes in BFS-from-best-
+// pivot order on graphs too large to close. Roots are drawn proportionally
+// to benefit, so a sample's coverage estimates the benefit-weighted
+// activation probability and cover counts scale directly to B(S, K).
+type universe struct {
+	nodes []int32
+	cum   []float64 // cumulative benefit over nodes
+	total float64   // W_U, the truncated objective's ceiling
+}
+
+func buildUniverse(inst *diffusion.Instance, pivots []Pivot, limit int) *universe {
+	g := inst.G
+	n := g.NumNodes()
+	seen := make([]bool, n)
+	queue := make([]int32, 0, min(limit, n))
+	for _, p := range pivots {
+		if len(queue) >= limit {
+			break
+		}
+		if !seen[p.Node] {
+			seen[p.Node] = true
+			queue = append(queue, p.Node)
+		}
+	}
+	for head := 0; head < len(queue) && len(queue) < limit; head++ {
+		ts, _ := g.OutEdges(queue[head])
+		for _, t := range ts {
+			if !seen[t] {
+				seen[t] = true
+				queue = append(queue, t)
+				if len(queue) >= limit {
+					break
+				}
+			}
+		}
+	}
+	u := &universe{nodes: queue, cum: make([]float64, len(queue))}
+	for i, v := range queue {
+		u.total += inst.Benefit[v]
+		u.cum[i] = u.total
+	}
+	return u
+}
+
+// pick maps a uniform x in [0,1) to a node, benefit-proportionally.
+func (u *universe) pick(x float64) int32 {
+	t := x * u.total
+	lo, hi := 0, len(u.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if u.cum[mid] > t {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return u.nodes[lo]
+}
+
+// gateScan caps how many of a root's in-edges the acceptance gates average
+// over. The reverse CSR sorts in-rows by descending influence probability,
+// so the prefix carries the mass that matters; the cap keeps hub roots from
+// turning a cached O(1) lookup into an O(deg²) scan.
+const gateScan = 32
+
+// gates caches, per root, the slot acceptance probabilities α_c(r): the
+// probability that an activator's (c+1)-th coupon is actually usable on r,
+// i.e. survives the redemption-capacity competition among the activator's
+// other out-neighbours, conditioned on the edge firing. Slot c of a sample
+// is drawn only when its gate passes, which is exactly how SSR sampling
+// folds the capacity constraint — the part that breaks plain RIS — into
+// the sample distribution. α is computed from the capacity DP of
+// diffusion.RedeemProbs, probability-weighted over the root's strongest
+// in-edges, and depends only on the instance, so one cache serves both
+// sample collections.
+type gates struct {
+	inst  *diffusion.Instance
+	cache map[int32][]float64
+	dist  [kmax + 1]float64
+}
+
+func newGates(inst *diffusion.Instance) *gates {
+	return &gates{inst: inst, cache: make(map[int32][]float64)}
+}
+
+func (ga *gates) alphas(r int32) []float64 {
+	if a, ok := ga.cache[r]; ok {
+		return a
+	}
+	g := ga.inst.G
+	a := make([]float64, kmax)
+	srcs, eidx := g.InEdges(r)
+	if len(srcs) > gateScan {
+		srcs, eidx = srcs[:gateScan], eidx[:gateScan]
+	}
+	sumP := 0.0
+	for i, u := range srcs {
+		j := int(int64(eidx[i]) - g.EdgeIndexBase(u))
+		_, probs := g.OutEdges(u)
+		// One capacity-DP pass over the positions before j yields the
+		// redeemed-count distribution for every capacity c <= kmax at once:
+		// dist[c] is exact for c < kmax (truncation only lumps states that
+		// are already over every capacity we read).
+		dist := &ga.dist
+		*dist = [kmax + 1]float64{}
+		dist[0] = 1
+		for m := 0; m < j; m++ {
+			p := probs[m]
+			for c := kmax; c >= 1; c-- {
+				dist[c] += dist[c-1] * p
+				dist[c-1] *= 1 - p
+			}
+		}
+		pj := probs[j]
+		sumP += pj
+		prev, cum := 0.0, 0.0
+		for c := 1; c <= kmax; c++ {
+			cum += dist[c-1]
+			rp := pj * cum // P(position j redeems | capacity c)
+			a[c-1] += rp - prev
+			prev = rp
+		}
+	}
+	if sumP > 0 {
+		for c := range a {
+			a[c] /= sumP
+			if a[c] > 1 {
+				a[c] = 1
+			}
+		}
+	} else {
+		for c := range a {
+			a[c] = 0
+		}
+	}
+	ga.cache[r] = a
+	return a
+}
+
+// store is one SSR sample collection. Sample i consists of a
+// benefit-proportional root r_i and kmax coupon-indexed RR sets: slot c is
+// drawn (over the shared reverse CSR, in world i·worldsPerSample+c) only
+// when its acceptance gate α_c(r_i) passes, and records every node whose
+// (c+1)-th coupon could push influence to r_i. Member lists live in one
+// flat arena addressed by per-(sample, slot) offsets; the inverted indexes
+// answer the maximizer's "which samples does this move cover" and the
+// forward lists its exact cover-degree decrements. All draws are keyed by
+// sample index, so extending the store is deterministic and
+// prefix-preserving — a doubling round reuses every earlier sample.
+type store struct {
+	u      *universe
+	ga     *gates
+	coin   rng.Coin
+	walker *ris.Walker
+	lt     bool
+
+	roots []int32 // per-sample root
+	arena []int32 // concatenated slot member lists (roots excluded)
+	offs  []int64 // len = numSamples·kmax + 1
+
+	rootCover map[int32][]int32       // node -> samples rooted at it
+	slotCover [kmax]map[int32][]int32 // slot -> node -> samples covered
+
+	scratch []int32
+}
+
+func newStore(inst *diffusion.Instance, u *universe, ga *gates, seed uint64, lt bool) *store {
+	st := &store{
+		u: u, ga: ga,
+		coin:      rng.NewCoin(seed),
+		walker:    ris.NewWalker(inst.G),
+		lt:        lt,
+		offs:      make([]int64, 1),
+		rootCover: make(map[int32][]int32),
+	}
+	for c := range st.slotCover {
+		st.slotCover[c] = make(map[int32][]int32)
+	}
+	return st
+}
+
+func (st *store) len() int { return len(st.roots) }
+
+// extend draws samples until the store holds target of them.
+func (st *store) extend(target int) {
+	live := func(world, e uint64, p float64) bool { return st.coin.Live(world, e, p) }
+	unif := func(world uint64, node int32) float64 {
+		return st.coin.Flip(world, itemLTBase|uint64(uint32(node)))
+	}
+	for i := st.len(); i < target; i++ {
+		w0 := uint64(i) * worldsPerSample
+		root := st.u.pick(st.coin.Flip(w0, itemRoot))
+		st.roots = append(st.roots, root)
+		st.rootCover[root] = append(st.rootCover[root], int32(i))
+		alphas := st.ga.alphas(root)
+		for c := 0; c < kmax; c++ {
+			w := w0 + uint64(c)
+			members := st.scratch[:0]
+			if st.coin.Flip(w, itemGate) < alphas[c] {
+				if st.lt {
+					members = st.walker.DrawLT(members, root, w, unif)
+				} else {
+					members = st.walker.Draw(members, root, w, live, false)
+				}
+			}
+			for _, v := range members {
+				if v == root {
+					continue // the root's own coupons never activate the root
+				}
+				st.arena = append(st.arena, v)
+				st.slotCover[c][v] = append(st.slotCover[c][v], int32(i))
+			}
+			st.offs = append(st.offs, int64(len(st.arena)))
+			st.scratch = members
+		}
+	}
+}
+
+// members returns sample i's slot-c member list.
+func (st *store) members(i, c int) []int32 {
+	base := i*kmax + c
+	return st.arena[st.offs[base]:st.offs[base+1]]
+}

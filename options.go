@@ -30,6 +30,8 @@ type config struct {
 	gpiLimit     int
 	exhaustiveID bool
 	memBudget    int64
+	epsilon      float64
+	delta        float64
 	progress     func(Event)
 }
 
@@ -60,10 +62,15 @@ func (c config) apply(opts []Option) (config, error) {
 // WithEngine selects the evaluation engine: "mc" (plain Monte Carlo, the
 // default and the paper's setting), "worldcache" (incremental world-cache
 // evaluation — the solver's greedy loops replay only the simulation state a
-// candidate change can affect) or "sketch" (reverse-influence-sampling
-// candidate pruning for the baselines). See Engines and DESIGN.md
-// ("Evaluation engines"). The engine name is validated eagerly, at
-// NewCampaign or at the call that carries the option.
+// candidate change can affect), "sketch" (reverse-influence-sampling
+// candidate *pruning*: baselines restrict their greedy candidates by
+// sketched influence, then still evaluate forward — a pruner, not a solver)
+// or "ssr" (the SSR sketch *solver*: S3CA's seed/coupon selection runs
+// against reverse-sample cover counts under an adaptive (1−1/e−ε) stopping
+// rule tuned by WithEpsilon and WithDelta, and only the final deployment is
+// measured forward). See Engines and DESIGN.md ("Evaluation engines", "SSR
+// sketch solver"). The engine name is validated eagerly, at NewCampaign or
+// at the call that carries the option.
 func WithEngine(name string) Option {
 	return func(c *config) error {
 		if name == "" {
@@ -289,6 +296,33 @@ func WithLiveEdgeMemBudget(bytes int64) Option {
 			return fmt.Errorf("live-edge memory budget must be non-negative, got %d", bytes)
 		}
 		c.memBudget = bytes
+		return nil
+	}
+}
+
+// WithEpsilon sets the SSR engine's approximation slack: the "ssr" solve
+// keeps doubling its sample collections until the selected deployment is
+// certified within (1−1/e−ε) of the sketch-objective optimum (default 0.1).
+// Must lie strictly between 0 and 1; other engines ignore it.
+func WithEpsilon(eps float64) Option {
+	return func(c *config) error {
+		if eps <= 0 || eps >= 1 {
+			return fmt.Errorf("epsilon must be in (0,1), got %v", eps)
+		}
+		c.epsilon = eps
+		return nil
+	}
+}
+
+// WithDelta sets the SSR engine's failure probability: the (1−1/e−ε)
+// certificate holds with probability at least 1−δ (default 0.01). Must lie
+// strictly between 0 and 1; other engines ignore it.
+func WithDelta(delta float64) Option {
+	return func(c *config) error {
+		if delta <= 0 || delta >= 1 {
+			return fmt.Errorf("delta must be in (0,1), got %v", delta)
+		}
+		c.delta = delta
 		return nil
 	}
 }

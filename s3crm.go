@@ -45,9 +45,14 @@
 // WithEngine: "mc" (plain Monte Carlo, the default), "worldcache"
 // (incremental world-cache evaluation — the solver's greedy loops replay
 // only the simulation state a candidate change can affect, typically
-// several times faster at the paper's 1000-sample setting), or "sketch"
-// (reverse-influence-sampling candidate pruning for the baselines). All
-// engines agree on reported metrics within Monte-Carlo noise, and every
+// several times faster at the paper's 1000-sample setting), "sketch"
+// (reverse-influence-sampling candidate pruning for the baselines — a
+// pruner, not a solver), or "ssr" (the SSR sketch solver: S3CA's
+// seed/coupon selection runs against reverse-sample cover counts and an
+// adaptive stopping rule certifies a (1−1/e−ε) approximation of the sketch
+// objective with probability 1−δ, tuned by WithEpsilon and WithDelta; only
+// the final deployment is forward-measured). All engines agree on reported
+// metrics within Monte-Carlo noise, and every
 // engine serves both triggering models — WithModel("ic"), the default
 // independent cascade, or WithModel("lt"), linear threshold via its
 // live-edge equivalence; see DESIGN.md ("Evaluation engines", "Triggering
