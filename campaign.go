@@ -10,6 +10,7 @@ import (
 	"s3crm/internal/baselines"
 	"s3crm/internal/core"
 	"s3crm/internal/diffusion"
+	"s3crm/internal/graph"
 	"s3crm/internal/progress"
 	"s3crm/internal/rng"
 	"s3crm/internal/stats"
@@ -40,8 +41,10 @@ type Campaign struct {
 	seq atomic.Uint64 // call sequence numbers, starting at 1
 
 	mu         sync.Mutex
+	inst       *diffusion.Instance // current graph view; advances under ApplyEdges
 	engines    map[engineKey]*enginePool
 	defaultKey engineKey // the construction-time pool, exempt from eviction
+	churned    []int32   // distinct churn endpoints since the last Resolve
 }
 
 // maxEnginePools bounds the engine-state cache. Calls are keyed by
@@ -79,41 +82,78 @@ type engineKey struct {
 // owning the live-edge substrate (concurrency-safe; per-call views share
 // it) and idle world-cache instances whose snapshots and allocations warm
 // calls rebase instead of rebuilding.
+//
+// Graph churn advances the pool through applyBatch: the prototype moves to
+// an estimator over the extended view and every idle snapshot is patched in
+// place. epoch counts those moves, and each checkout records the epoch it
+// saw — a cache from a call that straddled an ApplyEdges comes back with a
+// stale stamp and is dropped instead of re-pooled, so a snapshot over an old
+// graph can never warm an incremental rebase against the new one.
 type enginePool struct {
+	mu    sync.Mutex
 	proto *diffusion.Estimator
-
-	mu   sync.Mutex
-	idle []*diffusion.WorldCache
+	epoch uint64
+	idle  []*diffusion.WorldCache
 }
 
-// checkout returns a world cache over the per-call estimator view, reusing
-// an idle instance's snapshot arrays when one is available.
-func (ep *enginePool) checkout(view *diffusion.Estimator) *diffusion.WorldCache {
+// view returns a per-call view of the pool's current prototype estimator.
+func (ep *enginePool) view(ctx context.Context, workers int, evalMode string) *diffusion.Estimator {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
+	v := ep.proto.View(ctx, workers)
+	v.EvalMode = evalMode
+	return v
+}
+
+// checkout returns a world cache over a fresh per-call estimator view,
+// reusing an idle instance's snapshot arrays when one is available, plus the
+// pool's churn epoch at checkout time (hand it back to put).
+func (ep *enginePool) checkout(ctx context.Context, workers int, evalMode string) (*diffusion.WorldCache, *diffusion.Estimator, uint64) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	view := ep.proto.View(ctx, workers)
+	view.EvalMode = evalMode
 	if n := len(ep.idle); n > 0 {
 		wc := ep.idle[n-1]
 		ep.idle = ep.idle[:n-1]
 		wc.Est = view
-		return wc
+		return wc, view, ep.epoch
 	}
-	return &diffusion.WorldCache{Est: view}
+	return &diffusion.WorldCache{Est: view}, view, ep.epoch
 }
 
 // put returns a world cache to the pool. Only caches from calls that
 // completed without error may come back: a cancelled call can leave the
 // snapshot mid-rebase, and a corrupt snapshot must never seed a future
-// incremental rebase. Beyond maxIdleWorldCaches the cache is dropped for
-// the garbage collector.
-func (ep *enginePool) put(wc *diffusion.WorldCache) {
+// incremental rebase. A cache checked out before a graph append (stale
+// epoch) is dropped too — its snapshot describes the old graph. Beyond
+// maxIdleWorldCaches the cache is dropped for the garbage collector.
+func (ep *enginePool) put(wc *diffusion.WorldCache, epoch uint64) {
 	if wc == nil {
 		return
 	}
 	ep.mu.Lock()
-	if len(ep.idle) < maxIdleWorldCaches {
+	if epoch == ep.epoch && len(ep.idle) < maxIdleWorldCaches {
 		ep.idle = append(ep.idle, wc)
 	}
 	ep.mu.Unlock()
+}
+
+// applyBatch moves the pool onto inst2, whose graph extends the prototype's
+// by exactly batch: the prototype becomes a churn-extended estimator
+// (carrying the liveness substrate forward via Extend) and every idle world
+// cache is patched in place, re-simulating only the worlds the appended
+// edges can perturb. Returns how many idle snapshots were patched.
+func (ep *enginePool) applyBatch(inst2 *diffusion.Instance, batch []graph.Edge, churnTargets []int32, workers int) int {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	next := ep.proto.WithGraph(inst2, churnTargets)
+	for _, wc := range ep.idle {
+		wc.PatchEdges(next.View(context.Background(), workers), batch)
+	}
+	ep.proto = next
+	ep.epoch++
+	return len(ep.idle)
 }
 
 // NewCampaign validates the options eagerly and constructs the campaign's
@@ -130,10 +170,14 @@ func (p *Problem) NewCampaign(opts ...Option) (*Campaign, error) {
 	c := &Campaign{
 		p:       p,
 		cfg:     cfg,
+		inst:    p.inst,
 		engines: make(map[engineKey]*enginePool),
 	}
 	c.defaultKey = poolKey(cfg, cfg.seed)
-	if _, err := c.pool(cfg, cfg.seed); err != nil {
+	c.mu.Lock()
+	_, err = c.poolLocked(cfg, cfg.seed)
+	c.mu.Unlock()
+	if err != nil {
 		return nil, err
 	}
 	return c, nil
@@ -154,20 +198,20 @@ func poolKey(cfg config, seed uint64) engineKey {
 // Problem returns the problem the campaign serves.
 func (c *Campaign) Problem() *Problem { return c.p }
 
-// pool returns (building on first use) the shared engine state for the
-// given call configuration. The cache is bounded: past maxEnginePools an
-// arbitrary non-default entry is evicted — dropped pools are rebuilt on
-// their next use, so eviction costs warmth, not correctness.
-func (c *Campaign) pool(cfg config, seed uint64) (*enginePool, error) {
+// poolLocked returns (building on first use) the shared engine state for
+// the given call configuration; c.mu must be held. Pools are built over the
+// campaign's current graph view, which advances under ApplyEdges. The cache
+// is bounded: past maxEnginePools an arbitrary non-default entry is evicted
+// — dropped pools are rebuilt on their next use, so eviction costs warmth,
+// not correctness.
+func (c *Campaign) poolLocked(cfg config, seed uint64) (*enginePool, error) {
 	key := poolKey(cfg, seed)
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if ep, ok := c.engines[key]; ok {
 		return ep, nil
 	}
 	// EngineMC builds the bare estimator the other engines wrap; the
 	// call-level engine choice is applied per call (see call.engine).
-	ev, err := diffusion.NewEngineOpts(c.p.inst, diffusion.EngineOptions{
+	ev, err := diffusion.NewEngineOpts(c.inst, diffusion.EngineOptions{
 		Engine: diffusion.EngineMC, Model: cfg.model,
 		Samples: cfg.samples, Seed: seed,
 		Diffusion: cfg.diffusion, LiveEdgeMemBudget: cfg.memBudget,
@@ -262,41 +306,62 @@ func (cl *call) progressFor(algo string) progress.Func {
 	}
 }
 
-// engineFor builds a per-call evaluation engine over the shared state for
-// the given stream seed: a view of the pool's shared estimator carrying the
-// call's context and worker count, wrapped in a (pooled) world cache when
-// the call runs the worldcache engine. The returned release func must be
-// invoked with the call's final error; it returns the world cache to the
-// pool only on success.
-func (c *Campaign) engineFor(ctx context.Context, cfg config, seed uint64) (ev diffusion.Evaluator, view *diffusion.Estimator, release func(error), err error) {
-	ep, err := c.pool(cfg, seed)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	view = ep.proto.View(ctx, cfg.workers)
-	// The eval mode is a per-call kernel choice, deliberately absent from
-	// engineKey: scalar and bit-parallel calls share worlds, substrates and
-	// snapshots, so it is stamped on the view rather than baked into the pool.
-	view.EvalMode = cfg.evalMode
-	release = func(error) {}
-	switch cfg.engine {
-	case diffusion.EngineWorldCache:
-		wc := ep.checkout(view)
-		ev = wc
-		release = func(callErr error) {
-			if callErr == nil {
-				ep.put(wc)
-			}
-		}
-	default: // mc, sketch, ssr: the estimator itself
-		ev = view
-	}
-	return ev, view, release, nil
+// callEngines is one call's resolved evaluation set: per requested stream
+// seed, an evaluator over the campaign's shared state and the estimator view
+// it measures through. The whole set resolves under one campaign lock hold,
+// so a concurrent ApplyEdges lands entirely before or entirely after it —
+// a call's engines always agree on the graph view (views[i].Inst is that
+// view; use it, not the campaign's, for everything the call derives).
+type callEngines struct {
+	evs     []diffusion.Evaluator
+	views   []*diffusion.Estimator
+	release func(error)
 }
 
-// engine builds the call's main evaluation engine.
-func (c *Campaign) engine(ctx context.Context, cl call) (diffusion.Evaluator, *diffusion.Estimator, func(error), error) {
-	return c.engineFor(ctx, cl.cfg, cl.seed)
+// enginesFor resolves one evaluator per seed for the call configuration: a
+// view of the pool's shared estimator carrying the call's context and worker
+// count, wrapped in a (pooled, epoch-stamped) world cache when the call runs
+// the worldcache engine. With bare set the evaluators stay plain estimator
+// views regardless of the configured engine (the baselines evaluate whole
+// deployments only). The eval mode is a per-call kernel choice, deliberately
+// absent from engineKey: scalar and bit-parallel calls share worlds,
+// substrates and snapshots, so it is stamped on the views rather than baked
+// into the pools. The release func must be invoked with the call's final
+// error; it re-pools checked-out world caches only on success.
+func (c *Campaign) enginesFor(ctx context.Context, cfg config, seeds []uint64, bare bool) (*callEngines, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ce := &callEngines{release: func(error) {}}
+	var puts []func(error)
+	for _, seed := range seeds {
+		ep, err := c.poolLocked(cfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		if !bare && cfg.engine == diffusion.EngineWorldCache {
+			wc, view, epoch := ep.checkout(ctx, cfg.workers, cfg.evalMode)
+			ep := ep
+			puts = append(puts, func(callErr error) {
+				if callErr == nil {
+					ep.put(wc, epoch)
+				}
+			})
+			ce.evs = append(ce.evs, wc)
+			ce.views = append(ce.views, view)
+		} else { // mc, sketch, ssr: the estimator itself
+			view := ep.view(ctx, cfg.workers, cfg.evalMode)
+			ce.evs = append(ce.evs, view)
+			ce.views = append(ce.views, view)
+		}
+	}
+	if len(puts) > 0 {
+		ce.release = func(callErr error) {
+			for _, put := range puts {
+				put(callErr)
+			}
+		}
+	}
+	return ce, nil
 }
 
 // Solve runs S3CA, the paper's approximation algorithm, against the
@@ -307,28 +372,28 @@ func (c *Campaign) Solve(ctx context.Context, opts ...Option) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ev, view, release, err := c.engine(ctx, cl)
-	if err != nil {
-		return nil, err
-	}
 	// The snapshot-selection scorer is an independent engine over a
 	// decorrelated stream. For pinned calls the stream is stable, so pool
 	// it like the main engine and warm calls reuse its materialized worlds
 	// too; unpinned calls draw a fresh stream per call (by design), so
 	// pooling would only grow the engine map — let the solver construct
 	// the scorer internally instead.
-	var (
-		scorer        diffusion.Evaluator
-		releaseScorer = func(error) {}
-	)
+	seeds := []uint64{cl.seed}
 	if cl.cfg.seedPinned {
-		scorer, _, releaseScorer, err = c.engineFor(ctx, cl.cfg, cl.scorerSeed)
-		if err != nil {
-			release(err)
-			return nil, err
-		}
+		seeds = append(seeds, cl.scorerSeed)
 	}
-	sol, err := core.SolveCtx(ctx, c.p.inst, core.Options{
+	ce, err := c.enginesFor(ctx, cl.cfg, seeds, false)
+	if err != nil {
+		return nil, err
+	}
+	ev, view := ce.evs[0], ce.views[0]
+	release := ce.release
+	var scorer diffusion.Evaluator
+	if len(ce.evs) > 1 {
+		scorer = ce.evs[1]
+	}
+	inst := view.Inst
+	sol, err := core.SolveCtx(ctx, inst, core.Options{
 		Engine:            cl.cfg.engine,
 		Model:             cl.cfg.model,
 		Diffusion:         cl.cfg.diffusion,
@@ -347,17 +412,16 @@ func (c *Campaign) Solve(ctx context.Context, opts ...Option) (*Result, error) {
 		Progress:          cl.progressFor("S3CA"),
 	})
 	release(err)
-	releaseScorer(err)
 	if err != nil {
 		return nil, fmt.Errorf("s3crm: %w", err)
 	}
-	r := resultFrom("S3CA", c.p.inst, sol.Deployment, view, cl.cfg.samples, cl.degraded)
+	r := resultFrom("S3CA", inst, sol.Deployment, view, cl.cfg.samples, cl.degraded)
 	// resultFrom measures on the ctx-carrying view, which breaks out of
 	// its world sweep when cancelled; never hand partial sums to a caller.
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("s3crm: final measurement aborted: %w", err)
 	}
-	r.ExploredRatio = float64(sol.Stats.ExploredNodes) / float64(c.p.Users())
+	r.ExploredRatio = float64(sol.Stats.ExploredNodes) / float64(inst.G.NumNodes())
 	return r, nil
 }
 
@@ -373,12 +437,12 @@ func (c *Campaign) RunBaseline(ctx context.Context, name string, opts ...Option)
 	// deployments, so the bare estimator view serves every engine (no
 	// world cache is checked out); the engine name still selects
 	// sketch-based candidate pruning.
-	ep, err := c.pool(cl.cfg, cl.seed)
+	ce, err := c.enginesFor(ctx, cl.cfg, []uint64{cl.seed}, true)
 	if err != nil {
 		return nil, err
 	}
-	view := ep.proto.View(ctx, cl.cfg.workers)
-	view.EvalMode = cl.cfg.evalMode
+	view := ce.views[0]
+	inst := view.Inst
 	cfg := baselines.Config{
 		Engine:            cl.cfg.engine,
 		Model:             cl.cfg.model,
@@ -396,24 +460,24 @@ func (c *Campaign) RunBaseline(ctx context.Context, name string, opts ...Option)
 	var o *baselines.Outcome
 	switch name {
 	case "IM-U":
-		o, err = baselines.IM(ctx, c.p.inst, cfg)
+		o, err = baselines.IM(ctx, inst, cfg)
 	case "IM-L":
 		cfg.Strategy = baselines.Limited
-		o, err = baselines.IM(ctx, c.p.inst, cfg)
+		o, err = baselines.IM(ctx, inst, cfg)
 	case "PM-U":
-		o, err = baselines.PM(ctx, c.p.inst, cfg)
+		o, err = baselines.PM(ctx, inst, cfg)
 	case "PM-L":
 		cfg.Strategy = baselines.Limited
-		o, err = baselines.PM(ctx, c.p.inst, cfg)
+		o, err = baselines.PM(ctx, inst, cfg)
 	case "IM-S":
-		o, err = baselines.IMS(ctx, c.p.inst, cfg)
+		o, err = baselines.IMS(ctx, inst, cfg)
 	default:
 		return nil, fmt.Errorf("s3crm: unknown baseline %q (want one of %v)", name, Baselines())
 	}
 	if err != nil {
 		return nil, fmt.Errorf("s3crm: %w", err)
 	}
-	r := resultFrom(name, c.p.inst, o.Deployment, view, cl.cfg.samples, cl.degraded)
+	r := resultFrom(name, inst, o.Deployment, view, cl.cfg.samples, cl.degraded)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("s3crm: final measurement aborted: %w", err)
 	}
@@ -443,15 +507,17 @@ func (c *Campaign) EvaluateBatch(ctx context.Context, deps []Deployment, opts ..
 	if err != nil {
 		return nil, err
 	}
-	ds := make([]*diffusion.Deployment, len(deps))
-	for i, dep := range deps {
-		if ds[i], err = c.p.buildDeployment(dep); err != nil {
-			return nil, err
-		}
-	}
-	ep, err := c.pool(cl.cfg, cl.seed)
+	ce, err := c.enginesFor(ctx, cl.cfg, []uint64{cl.seed}, true)
 	if err != nil {
 		return nil, err
+	}
+	base := ce.views[0]
+	inst := base.Inst
+	ds := make([]*diffusion.Deployment, len(deps))
+	for i, dep := range deps {
+		if ds[i], err = buildDeploymentFor(inst, dep); err != nil {
+			return nil, err
+		}
 	}
 	results := make([]*Result, len(ds))
 	workers := cl.cfg.workers
@@ -464,10 +530,8 @@ func (c *Campaign) EvaluateBatch(ctx context.Context, deps []Deployment, opts ..
 		// a cancelled view breaks out of its world sweep with partial
 		// sums, so a result computed under a cancelled ctx is garbage and
 		// must never be returned.
-		view := ep.proto.View(ctx, cl.cfg.workers)
-		view.EvalMode = cl.cfg.evalMode
 		for i, d := range ds {
-			results[i] = resultFrom("custom", c.p.inst, d, view, cl.cfg.samples, cl.degraded)
+			results[i] = resultFrom("custom", inst, d, base, cl.cfg.samples, cl.degraded)
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("s3crm: evaluate aborted after %d of %d deployments: %w", i, len(ds), err)
 			}
@@ -475,23 +539,22 @@ func (c *Campaign) EvaluateBatch(ctx context.Context, deps []Deployment, opts ..
 		return results, nil
 	}
 	// Parallel batch: fan the deployments out across workers, each worker
-	// evaluating sequentially on its own view (evaluations are independent
-	// and worlds stateless, so the fan-out is bit-identical to the
-	// sequential loop).
+	// evaluating sequentially on its own view derived from the call's base
+	// view (evaluations are independent and worlds stateless, so the
+	// fan-out is bit-identical to the sequential loop).
 	var wg sync.WaitGroup
 	next := int64(-1)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			view := ep.proto.View(ctx, 0)
-			view.EvalMode = cl.cfg.evalMode
+			view := base.View(ctx, 0)
 			for {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= len(ds) || ctx.Err() != nil {
 					return
 				}
-				results[i] = resultFrom("custom", c.p.inst, ds[i], view, cl.cfg.samples, cl.degraded)
+				results[i] = resultFrom("custom", inst, ds[i], view, cl.cfg.samples, cl.degraded)
 			}
 		}()
 	}
@@ -514,7 +577,13 @@ func (c *Campaign) EvaluateBatch(ctx context.Context, deps []Deployment, opts ..
 // request; both are reported alongside the standard-error bar derived from
 // the per-world benefit variance the kernels accumulate.
 func resultFrom(name string, inst *diffusion.Instance, d *diffusion.Deployment, est diffusion.Evaluator, samples int, degraded bool) *Result {
-	res := est.Evaluate(d)
+	return resultOf(name, inst, d, est.Evaluate(d), samples, degraded)
+}
+
+// resultOf assembles the public result from an already-measured diffusion
+// result — the warm-restart path hands in its final Rebase measurement
+// instead of paying one more full simulation.
+func resultOf(name string, inst *diffusion.Instance, d *diffusion.Deployment, res diffusion.Result, samples int, degraded bool) *Result {
 	seedCost := inst.SeedCostOf(d)
 	scCost := inst.SCCostOf(d)
 	out := &Result{

@@ -28,6 +28,15 @@
 // stderr (phase, iteration, spent budget, current redemption rate) — the
 // Campaign API's event stream. Interrupting with Ctrl-C cancels the solve
 // mid-iteration.
+//
+// With -churn f the command runs the churn replay mode instead: a fraction
+// f of the edges is held out, the reduced network solved, and the held-out
+// edges replayed in -churn-batches append batches (Campaign.ApplyEdges, the
+// warm engine state patched in place) with an incremental re-solve
+// (Campaign.Resolve) after each — then one cold solve of the full network
+// for comparison:
+//
+//	s3crm -dataset Epinions -scale 400 -engine worldcache -churn 0.01
 package main
 
 import (
@@ -74,6 +83,8 @@ func main() {
 		cap      = flag.Int("candidates", 0, "baseline greedy candidate cap (0 = all)")
 		topN     = flag.Int("top", 10, "coupon holders to print")
 		progress = flag.Bool("progress", false, "render a live solver progress line on stderr")
+		churn    = flag.Float64("churn", 0, "churn replay mode: hold out this fraction of edges, solve, then replay them as appends with warm re-solves (0 = off)")
+		churnB   = flag.Int("churn-batches", 10, "append batches the held-out edges are replayed in")
 		timeout  = flag.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the solve to this file")
 		memprof  = flag.String("memprofile", "", "write a heap profile after the solve to this file")
@@ -111,18 +122,26 @@ func main() {
 	if *progress {
 		opts = append(opts, s3crm.WithProgress(renderProgress))
 	}
-	campaign, err := problem.NewCampaign(opts...)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "s3crm:", err)
-		os.Exit(1)
-	}
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *churn > 0 {
+		if err := runChurn(ctx, problem, opts, *churn, *churnB, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "s3crm:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	campaign, err := problem.NewCampaign(opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "s3crm:", err)
+		os.Exit(1)
 	}
 
 	if *cpuprof != "" {
@@ -197,6 +216,89 @@ func main() {
 		fmt.Printf(" %d×%d", a.user, a.k)
 	}
 	fmt.Println()
+}
+
+// runChurn is the churn replay mode: hold out a fraction of the instance's
+// edges, solve the reduced network, then replay the held-out edges in
+// batches through Campaign.ApplyEdges with a warm Resolve after each —
+// finally running one cold solve on the full network for the comparison the
+// dynamic-graph design is benchmarked by (EXPERIMENTS.md, "Churn re-solve").
+func runChurn(ctx context.Context, problem *s3crm.Problem, opts []s3crm.Option, frac float64, batches int, seed uint64) error {
+	if batches < 1 {
+		batches = 1
+	}
+	reduced, stream, err := problem.HoldOutEdges(frac, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("churn replay: held out %d of %d edges (%.2f%%), %d batches\n",
+		len(stream), problem.Edges(), 100*frac, batches)
+
+	campaign, err := reduced.NewCampaign(opts...)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	result, err := campaign.Solve(ctx, s3crm.WithSeed(seed))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("initial solve (reduced graph): rate %.4f in %v\n",
+		result.RedemptionRate, time.Since(start).Round(time.Millisecond))
+
+	var warm time.Duration
+	per := (len(stream) + batches - 1) / batches
+	for b := 0; b < batches && len(stream) > 0; b++ {
+		k := per
+		if k > len(stream) {
+			k = len(stream)
+		}
+		batch := stream[:k]
+		stream = stream[k:]
+		t0 := time.Now()
+		st, err := campaign.ApplyEdges(ctx, batch)
+		if err != nil {
+			return err
+		}
+		applied := time.Since(t0)
+		result, err = campaign.Resolve(ctx, result)
+		if err != nil {
+			return err
+		}
+		step := time.Since(t0)
+		warm += step
+		fmt.Printf("batch %2d: +%d edges (apply %v, re-solve %v)  rate %.4f  patched %d snapshots%s\n",
+			b+1, st.EdgesAdded, applied.Round(time.Millisecond),
+			(step - applied).Round(time.Millisecond), result.RedemptionRate,
+			st.SnapshotsPatched, churnNotes(st))
+	}
+
+	start = time.Now()
+	cold, err := problem.NewCampaign(opts...)
+	if err != nil {
+		return err
+	}
+	coldResult, err := cold.Solve(ctx, s3crm.WithSeed(seed))
+	if err != nil {
+		return err
+	}
+	coldTime := time.Since(start)
+	fmt.Printf("\nwarm replay total: %v (rate %.4f) — cold full solve: %v (rate %.4f) — %.1fx\n",
+		warm.Round(time.Millisecond), result.RedemptionRate,
+		coldTime.Round(time.Millisecond), coldResult.RedemptionRate,
+		float64(coldTime)/float64(warm))
+	return nil
+}
+
+func churnNotes(st s3crm.ChurnStats) string {
+	s := ""
+	if st.Compacted {
+		s += ", compacted"
+	}
+	if st.LTRescaled {
+		s += ", lt-rescaled"
+	}
+	return s
 }
 
 // renderProgress rewrites one stderr line per solver event — a cheap sink,

@@ -30,6 +30,13 @@
 //	                 shared Monte-Carlo samples. Body: {"deployments":
 //	                 [{"seeds": [0], "coupons": {"0": 3}}], "engine": …}.
 //	                 Returns {"results": […]} in input order.
+//	POST /graph/append
+//	                 append influence edges to the served network. Body:
+//	                 {"edges": [{"from": 0, "to": 5, "p": 0.1}, …]}.
+//	                 The campaign's warm engine state is patched, not
+//	                 rebuilt (see DESIGN.md, "Dynamic graphs"); returns the
+//	                 churn statistics and the new graph size. Endpoints
+//	                 past the current user count grow the network.
 //
 // Overload safety (see DESIGN.md "Serving robustness"): requests pass an
 // admission limiter — a weighted semaphore (-capacity; solves weigh
@@ -267,6 +274,7 @@ type server struct {
 	degraded  atomic.Int64 // responses reporting a downgraded sample count
 	solves    atomic.Int64
 	evaluates atomic.Int64
+	appends   atomic.Int64
 }
 
 // mux assembles the daemon's routes: the solve and evaluate handlers run
@@ -279,6 +287,9 @@ func (s *server) mux() http.Handler {
 	mux.HandleFunc("GET /statusz", s.statusz)
 	mux.Handle("POST /solve", s.admit(s.solveWeight, s.faults.Wrap(http.HandlerFunc(s.solve))))
 	mux.Handle("POST /evaluate", s.admit(s.evaluateWeight, s.faults.Wrap(http.HandlerFunc(s.evaluate))))
+	// Appends patch every warm snapshot, so they weigh like a solve: under
+	// overload the limiter sheds churn the same way it sheds search work.
+	mux.Handle("POST /graph/append", s.admit(s.solveWeight, s.faults.Wrap(http.HandlerFunc(s.graphAppend))))
 	return mux
 }
 
@@ -442,8 +453,8 @@ func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *server) info(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"users":      s.problem.Users(),
-		"edges":      s.problem.Edges(),
+		"users":      s.campaign.Users(), // current counts: /graph/append grows them
+		"edges":      s.campaign.Edges(),
 		"budget":     s.problem.Budget(),
 		"defaults":   s.defaults,
 		"engines":    s3crm.Engines(),
@@ -464,6 +475,9 @@ func (s *server) statusz(w http.ResponseWriter, _ *http.Request) {
 		"degraded":  s.degraded.Load(),
 		"solves":    s.solves.Load(),
 		"evaluates": s.evaluates.Load(),
+		"appends":   s.appends.Load(),
+		"users":     s.campaign.Users(),
+		"edges":     s.campaign.Edges(),
 		"ladder":    s.ladder.String(),
 	}
 	if s.limiter != nil {
@@ -571,6 +585,49 @@ func (s *server) evaluate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.noteDegraded(results...)
 	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+type appendRequest struct {
+	Edges     []edgeJSON `json:"edges"`
+	TimeoutMS int        `json:"timeout_ms"`
+}
+
+type edgeJSON struct {
+	From int     `json:"from"`
+	To   int     `json:"to"`
+	P    float64 `json:"p"`
+}
+
+// graphAppend applies an edge batch to the served campaign. The campaign
+// patches its warm engine state in place (delta-overlay CSR, extended
+// live-edge substrates, re-simulated affected worlds); concurrent solves and
+// evaluates keep the consistent graph view their call resolved.
+func (s *server) graphAppend(w http.ResponseWriter, r *http.Request) {
+	s.appends.Add(1)
+	var req appendRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Edges) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("need at least one edge"))
+		return
+	}
+	ctx, cancel := callParams{TimeoutMS: req.TimeoutMS}.ctx(r, s.defaultTimeout)
+	defer cancel()
+	edges := make([]s3crm.EdgeAdd, len(req.Edges))
+	for i, e := range req.Edges {
+		edges[i] = s3crm.EdgeAdd{From: e.From, To: e.To, P: e.P}
+	}
+	st, err := s.campaign.ApplyEdges(ctx, edges)
+	if err != nil {
+		writeError(w, statusFor(ctx, err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"stats": st,
+		"users": s.campaign.Users(),
+		"edges": s.campaign.Edges(),
+	})
 }
 
 // statusFor maps a call error to an HTTP status: cancelled or timed-out

@@ -78,12 +78,13 @@ func TestDocsMentionCurrentSurface(t *testing.T) {
 		"DESIGN.md", "EXPERIMENTS.md",
 		"cmd/loadgen", "/statusz", "BENCH_7.json", "Retry-After",
 		"`ssr`", "WithEpsilon", "WithDelta", "BENCH_8.json", "internal/sketch",
+		"ApplyEdges", "Resolve", "/graph/append", "-churn", "BENCH_9.json",
 	} {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("README.md no longer mentions %q", want)
 		}
 	}
-	for _, artifact := range []string{"BENCH_4.json", "BENCH_5.json", "BENCH_6.json", "BENCH_7.json", "BENCH_8.json"} {
+	for _, artifact := range []string{"BENCH_4.json", "BENCH_5.json", "BENCH_6.json", "BENCH_7.json", "BENCH_8.json", "BENCH_9.json"} {
 		if _, err := os.Stat(artifact); err != nil {
 			t.Errorf("%s is not committed at the repo root", artifact)
 		}

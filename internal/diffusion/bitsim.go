@@ -129,7 +129,7 @@ func (e *Estimator) putBlockScratch(bs *blockScratch) { e.blockPool.Put(bs) }
 // entry under a set blockMask bit must be non-nil, and its slices are
 // appended to (callers reset them).
 func (e *Estimator) simBlock(bs *blockScratch, d *Deployment, worldBase uint64, blockMask uint64, recs *[64]*worldRecord) {
-	offs, allTargets, _ := e.Inst.G.CSR()
+	g := e.Inst.G
 	le := e.Live
 	in := e.Inst
 	bs.reset(blockMask)
@@ -179,9 +179,8 @@ func (e *Estimator) simBlock(bs *blockScratch, d *Deployment, worldBase uint64, 
 			}
 			continue
 		}
-		lo, hi := offs[v], offs[v+1]
-		targets := allTargets[lo:hi]
-		eBase := uint64(lo)
+		targets, _, keys, kbase := g.OutRow(v)
+		eBase := uint64(kbase)
 		for m := ent.mask; m != 0; m &= m - 1 {
 			bs.cnt[bits.TrailingZeros64(m)] = 0
 		}
@@ -208,7 +207,11 @@ func (e *Estimator) simBlock(bs *blockScratch, d *Deployment, worldBase uint64, 
 					}
 				}
 			}
-			liveMask := le.BlockMask(worldBase, eBase+uint64(j), probe)
+			ek := eBase + uint64(j)
+			if keys != nil {
+				ek = uint64(uint32(keys[j]))
+			}
+			liveMask := le.BlockMask(worldBase, ek, probe)
 			if liveMask == 0 {
 				continue
 			}

@@ -26,6 +26,19 @@ func NewDeployment(n int) *Deployment {
 // NumUsers returns the instance size the deployment was created for.
 func (d *Deployment) NumUsers() int { return d.n }
 
+// Pad grows the deployment to n users — appended users are non-seeds with
+// zero coupons, so every existing evaluation is unchanged. A no-op when the
+// deployment already covers n. Graph churn that introduces new nodes pads
+// the warm deployments through this before re-evaluating.
+func (d *Deployment) Pad(n int) {
+	if n <= d.n {
+		return
+	}
+	d.seed = append(d.seed, make([]bool, n-d.n)...)
+	d.k = append(d.k, make([]int32, n-d.n)...)
+	d.n = n
+}
+
 // AddSeed marks v as a seed. Adding an existing seed is a no-op.
 func (d *Deployment) AddSeed(v int32) {
 	if d.seed[v] {

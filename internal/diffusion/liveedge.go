@@ -63,22 +63,62 @@ const DefaultLiveEdgeMemBudget = int64(256) << 20
 // (identical, deterministic) contents and the first CAS wins.
 type LiveEdges struct {
 	coin    rng.Coin
-	probs   []float64 // global CSR edge probabilities (aliases graph storage)
 	samples int
 	spent   atomic.Int64 // bytes committed to filled rows
 	budget  int64
 
-	// IC state: per-edge bit rows.
+	// Edge probabilities indexed by stable coin key, in the split form of
+	// graph.KeyViewParts: keys < len(probs) read probs, later keys read the
+	// overlay tail. On substrates over a plain CSR the tail is nil and
+	// probs covers every key; the split is what lets Extend carry a churn
+	// batch in O(batch) instead of copying the O(edges) flat view.
+	probs     []float64
+	tailProbs []float64
+
+	// IC state: per-edge bit rows, with the same prefix/tail split. The
+	// prefix is SHARED across an Extend lineage — coin keys are stable and
+	// a row's contents are a pure function of (coin, key, probability), so
+	// a row filled through any lineage member is bit-identical to the one
+	// every other member would fill; extRows holds fresh slots for the
+	// overlay keys only.
 	words    int      // row words: (samples+63)/64
 	worldMix []uint64 // per-world hash term, hoisted out of row fills
 	rows     []atomic.Pointer[[]uint64]
+	extRows  []atomic.Pointer[[]uint64]
 
 	// LT state: per-node chosen-in-edge rows over the shared reverse CSR.
 	lt          bool
 	materialize bool         // false ⇒ every LT probe walks the in-row by hash
 	g           *graph.Graph // reverse CSR access for the categorical walk
-	targets     []int32      // global edge index → target node (aliases CSR)
+	targets     []int32      // coin key → target node, split like probs
+	tailTargets []int32
 	chosen      []atomic.Pointer[[]int32]
+}
+
+// prob returns the probability of the edge with the given coin key through
+// the prefix/tail split. The tail branch is never taken on substrates over
+// a plain CSR and predicts perfectly there.
+func (le *LiveEdges) prob(edge uint64) float64 {
+	if edge < uint64(len(le.probs)) {
+		return le.probs[edge]
+	}
+	return le.tailProbs[edge-uint64(len(le.probs))]
+}
+
+// target returns the target node of the edge with the given coin key.
+func (le *LiveEdges) target(edge uint64) int32 {
+	if edge < uint64(len(le.targets)) {
+		return le.targets[edge]
+	}
+	return le.tailTargets[edge-uint64(len(le.targets))]
+}
+
+// rowPtr returns the IC bit-row slot owning the given coin key.
+func (le *LiveEdges) rowPtr(edge uint64) *atomic.Pointer[[]uint64] {
+	if edge < uint64(len(le.rows)) {
+		return &le.rows[edge]
+	}
+	return &le.extRows[edge-uint64(len(le.rows))]
 }
 
 // NewLiveEdges returns the independent-cascade substrate for samples worlds
@@ -96,14 +136,16 @@ func NewLiveEdges(g *graph.Graph, samples int, coin rng.Coin, memBudget int64) *
 	if int64(words)*8 > memBudget {
 		return nil // cannot materialize anything useful
 	}
+	baseP, _, tailP, _ := g.KeyViewParts()
 	return &LiveEdges{
-		coin:     coin,
-		probs:    g.Probs(),
-		samples:  samples,
-		words:    words,
-		worldMix: rng.WorldMix(samples),
-		rows:     make([]atomic.Pointer[[]uint64], g.NumEdges()),
-		budget:   memBudget,
+		coin:      coin,
+		probs:     baseP,
+		tailProbs: tailP,
+		samples:   samples,
+		words:     words,
+		worldMix:  rng.WorldMix(samples),
+		rows:      make([]atomic.Pointer[[]uint64], g.NumEdges()),
+		budget:    memBudget,
 	}
 }
 
@@ -125,15 +167,17 @@ func NewLTLiveEdges(g *graph.Graph, samples int, coin rng.Coin, memBudget int64,
 	if samples <= 0 || g.NumEdges() == 0 {
 		return nil
 	}
-	_, targets, _ := g.CSR()
+	baseP, baseT, tailP, tailT := g.KeyViewParts()
 	le := &LiveEdges{
-		coin:    coin,
-		probs:   g.Probs(),
-		samples: samples,
-		budget:  memBudget,
-		lt:      true,
-		g:       g,
-		targets: targets,
+		coin:        coin,
+		probs:       baseP,
+		tailProbs:   tailP,
+		samples:     samples,
+		budget:      memBudget,
+		lt:          true,
+		g:           g,
+		targets:     baseT,
+		tailTargets: tailT,
 	}
 	if materialize && int64(samples)*4 <= memBudget {
 		le.materialize = true
@@ -149,10 +193,10 @@ func (le *LiveEdges) Live(world uint64, edge uint64) bool {
 	if le.lt {
 		return le.ltLive(world, edge)
 	}
-	rp := le.rows[edge].Load()
+	rp := le.rowPtr(edge).Load()
 	if rp == nil {
 		if rp = le.fill(edge); rp == nil {
-			return le.coin.Live(world, edge, le.probs[edge])
+			return le.coin.Live(world, edge, le.prob(edge))
 		}
 	}
 	return (*rp)[world>>6]&(1<<(world&63)) != 0
@@ -173,7 +217,7 @@ func (le *LiveEdges) BlockMask(worldBase uint64, edge uint64, probe uint64) uint
 	if le.lt {
 		return le.ltBlockMask(worldBase, edge, probe)
 	}
-	rp := le.rows[edge].Load()
+	rp := le.rowPtr(edge).Load()
 	if rp == nil {
 		rp = le.fill(edge)
 	}
@@ -182,7 +226,7 @@ func (le *LiveEdges) BlockMask(worldBase uint64, edge uint64, probe uint64) uint
 	}
 	// Budget-exhausted row: flip the scalar coin per probed world.
 	var m uint64
-	p := le.probs[edge]
+	p := le.prob(edge)
 	for b := probe; b != 0; b &= b - 1 {
 		w := uint64(bits.TrailingZeros64(b))
 		if le.coin.Live(worldBase+w, edge, p) {
@@ -197,7 +241,7 @@ func (le *LiveEdges) BlockMask(worldBase uint64, edge uint64, probe uint64) uint
 // target's materialized chosen row (one int32 compare per world, no hash
 // walk) or recomputed by the categorical walk past the memory budget.
 func (le *LiveEdges) ltBlockMask(worldBase uint64, edge uint64, probe uint64) uint64 {
-	t := le.targets[edge]
+	t := le.target(edge)
 	var m uint64
 	if le.materialize {
 		rp := le.chosen[t].Load()
@@ -234,10 +278,11 @@ func (le *LiveEdges) fill(edge uint64) *[]uint64 {
 		return nil
 	}
 	row := make([]uint64, le.words)
-	le.coin.FillRow(row, le.worldMix, edge, le.probs[edge])
-	if !le.rows[edge].CompareAndSwap(nil, &row) {
+	le.coin.FillRow(row, le.worldMix, edge, le.prob(edge))
+	slot := le.rowPtr(edge)
+	if !slot.CompareAndSwap(nil, &row) {
 		le.spent.Add(-rowBytes) // a racing worker won; use its copy
-		return le.rows[edge].Load()
+		return slot.Load()
 	}
 	return &row
 }
@@ -247,7 +292,7 @@ func (le *LiveEdges) fill(edge uint64) *[]uint64 {
 // and recomputed by the categorical walk otherwise — bit-identical by
 // construction, since the rows hold ltChoice's own draws.
 func (le *LiveEdges) ltLive(world uint64, edge uint64) bool {
-	t := le.targets[edge]
+	t := le.target(edge)
 	if le.materialize {
 		rp := le.chosen[t].Load()
 		if rp == nil {
@@ -280,12 +325,24 @@ func (le *LiveEdges) ltChoice(world uint64, t int32) int32 {
 	u := le.coin.Flip(world, ltItemKey(t))
 	cum := 0.0
 	for _, e := range eidx {
-		cum += le.probs[e]
+		cum += le.prob(uint64(e))
 		if u < cum {
 			return e
 		}
 	}
 	return -1
+}
+
+// chosenEdge returns the forward key of the in-edge node t selects in
+// world — the materialized row when present, the categorical walk otherwise.
+// The graph-churn patch compares old against new selections through it.
+func (le *LiveEdges) chosenEdge(world uint64, t int32) int32 {
+	if le.materialize {
+		if rp := le.chosen[t].Load(); rp != nil {
+			return (*rp)[world]
+		}
+	}
+	return le.ltChoice(world, t)
 }
 
 // fillLT materializes node t's chosen-in-edge row, drawing its categorical
@@ -313,10 +370,83 @@ func (le *LiveEdges) fillLT(t int32) *[]int32 {
 // chosen row under LT. Instrumentation for tests and memory diagnostics.
 func (le *LiveEdges) Materialized(edge uint64) bool {
 	if le.lt {
-		return le.materialize && le.chosen[le.targets[edge]].Load() != nil
+		return le.materialize && le.chosen[le.target(edge)].Load() != nil
 	}
-	return le.rows[edge].Load() != nil
+	return le.rowPtr(edge).Load() != nil
 }
 
 // SpentBytes returns the bytes currently committed to materialized rows.
 func (le *LiveEdges) SpentBytes() int64 { return le.spent.Load() }
+
+// Extend returns a substrate over the churn-extended graph g that carries
+// forward every still-valid materialized row from the receiver, which is
+// left untouched (in-flight views keep probing it consistently).
+//
+//   - IC: rows are edge-major and coin keys are stable, so the receiver's
+//     whole row-slot prefix is shared outright — a row's contents are a pure
+//     function of (coin, key, probability) and existing probabilities never
+//     change under append, so a row filled through either substrate is the
+//     row the other would fill, and lazy fills after the extension benefit
+//     both. Appended edges get fresh slots in an O(overlay) side array and
+//     fill lazily on first probe — one salted coin per (world, new edge),
+//     exactly the coins a cold substrate over g would flip. The spent
+//     counter carries over as-is: the shared prefix is one allocation, and
+//     post-extension fills bill whichever substrate triggers them, keeping
+//     the budget a cap on real memory.
+//   - LT: chosen-in-edge rows transfer except for the nodes in churnTargets
+//     (the targets of appended edges), whose in-distribution changed: their
+//     rows are dropped and re-drawn lazily against the new reverse in-row,
+//     reproducing the cold draw bit-for-bit (the selection uniform depends
+//     only on (world, node)).
+//
+// churnTargets is ignored under IC. Either way the work is O(overlay + n),
+// never O(edges) — the cost that would put a full-array copy back on the
+// churn path.
+func (le *LiveEdges) Extend(g *graph.Graph, churnTargets []int32) *LiveEdges {
+	baseP, baseT, tailP, tailT := g.KeyViewParts()
+	ne := &LiveEdges{
+		coin:        le.coin,
+		probs:       baseP,
+		tailProbs:   tailP,
+		samples:     le.samples,
+		budget:      le.budget,
+		words:       le.words,
+		worldMix:    le.worldMix,
+		lt:          le.lt,
+		materialize: le.materialize,
+	}
+	if le.lt {
+		ne.g = g
+		ne.targets, ne.tailTargets = baseT, tailT
+		if le.materialize {
+			ne.chosen = make([]atomic.Pointer[[]int32], g.NumNodes())
+			carried := int64(0)
+			rowBytes := int64(le.samples) * 4
+			for v := range le.chosen {
+				if rp := le.chosen[v].Load(); rp != nil {
+					ne.chosen[v].Store(rp)
+					carried += rowBytes
+				}
+			}
+			for _, t := range churnTargets {
+				if int(t) < len(le.chosen) {
+					if ne.chosen[t].Load() != nil {
+						carried -= rowBytes
+					}
+					ne.chosen[t].Store(nil)
+				}
+			}
+			ne.spent.Store(carried)
+		}
+		return ne
+	}
+	ne.rows = le.rows
+	ne.extRows = make([]atomic.Pointer[[]uint64], g.NumEdges()-len(le.rows))
+	for k := range le.extRows {
+		if rp := le.extRows[k].Load(); rp != nil {
+			ne.extRows[k].Store(rp)
+		}
+	}
+	ne.spent.Store(le.spent.Load())
+	return ne
+}

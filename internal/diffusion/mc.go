@@ -259,10 +259,12 @@ type worldRecord struct {
 // snapshot). This is the single propagation kernel: every engine evaluates
 // worlds through it, which is what keeps the engines in agreement.
 func (e *Estimator) simWorld(s *simScratch, d *Deployment, world uint64, rec *worldRecord) (worldB, worldC float64, maxHop int32, activated, explored int) {
-	// Hoist the CSR arrays once: the inner loop indexes rows by offset
-	// arithmetic instead of per-node accessor calls, and the row's global
-	// base offset doubles as the coin-flip edge identity.
-	offs, allTargets, allProbs := e.Inst.G.CSR()
+	// Rows come through OutRow so the kernel works on every graph lineage:
+	// on plain CSR graphs keys is nil and the row's base offset doubles as
+	// the coin-flip identity (the historical fast path, bit-for-bit); on
+	// overlay or key-remapped graphs the per-edge stable keys identify the
+	// coins instead.
+	g := e.Inst.G
 	le := e.Live // nil ⇒ hash per probe
 	s.reset()
 	for _, seed := range d.Seeds() {
@@ -285,9 +287,8 @@ func (e *Estimator) simWorld(s *simScratch, d *Deployment, world uint64, rec *wo
 		coupons := d.K(v)
 		stop, redeemed := 0, 0
 		if coupons > 0 {
-			lo, hi := offs[v], offs[v+1]
-			targets, probs := allTargets[lo:hi], allProbs[lo:hi]
-			base := uint64(lo)
+			targets, probs, keys, kbase := g.OutRow(v)
+			base := uint64(kbase)
 			j := 0
 			for ; j < len(targets); j++ {
 				if redeemed >= coupons {
@@ -303,11 +304,15 @@ func (e *Estimator) simWorld(s *simScratch, d *Deployment, world uint64, rec *wo
 						rec.probed = append(rec.probed, t)
 					}
 				}
+				ek := base + uint64(j)
+				if keys != nil {
+					ek = uint64(uint32(keys[j]))
+				}
 				live := false
 				if le != nil {
-					live = le.Live(world, base+uint64(j))
+					live = le.Live(world, ek)
 				} else {
-					live = e.Coin.Live(world, base+uint64(j), probs[j])
+					live = e.Coin.Live(world, ek, probs[j])
 				}
 				if live {
 					s.activate(t, s.hop[v]+1)

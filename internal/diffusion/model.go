@@ -54,12 +54,15 @@ func normalizeModel(name string) (string, error) {
 // sums can carry (d additions of a rounded 1/d may land just above 1).
 const ltWeightTolerance = 1e-9
 
-// inWeightSums returns Σ_u w(u, v) per node v in one CSR sweep.
+// inWeightSums returns Σ_u w(u, v) per node v in one sweep over the merged
+// adjacency (overlay rows included).
 func inWeightSums(g *graph.Graph) []float64 {
 	sums := make([]float64, g.NumNodes())
-	_, targets, probs := g.CSR()
-	for e, t := range targets {
-		sums[t] += probs[e]
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		targets, probs := g.OutEdges(v)
+		for i, t := range targets {
+			sums[t] += probs[i]
+		}
 	}
 	return sums
 }
@@ -77,4 +80,23 @@ func ValidateLTWeights(g *graph.Graph) error {
 		}
 	}
 	return nil
+}
+
+// InWeightExcess reports which of the given nodes violate the
+// linear-threshold in-weight bound Σ_u w(u, v) ≤ 1 (beyond floating-point
+// tolerance). Edge appends can only push the bound past 1 at the appended
+// edges' targets, so churn handlers pass exactly those and re-normalize with
+// graph.CapInWeights when the result is non-empty.
+func InWeightExcess(g *graph.Graph, nodes []int32) []int32 {
+	if len(nodes) == 0 {
+		return nil
+	}
+	sums := inWeightSums(g)
+	var out []int32
+	for _, v := range nodes {
+		if sums[v] > 1+ltWeightTolerance {
+			out = append(out, v)
+		}
+	}
+	return out
 }

@@ -610,10 +610,10 @@ func (wc *WorldCache) advanceSeed(d *Deployment, s int32) Result {
 	e.evals.Add(1)
 	g := e.Inst.G
 	in := e.Inst
-	targets, probs := g.OutEdges(s)
+	targets, probs, keys, kbase := g.OutRow(s)
 	k := d.K(s)
 	m := d.NumSeeds()
-	eBase := uint64(g.EdgeIndexBase(s))
+	eBase := uint64(kbase)
 	le := e.Live
 	coin := e.Coin
 	stop := int32(0)
@@ -631,11 +631,15 @@ func (wc *WorldCache) advanceSeed(d *Deployment, s int32) Result {
 		patchable := true
 		if k > 0 {
 			for j, t := range targets {
+				ek := eBase + uint64(j)
+				if keys != nil {
+					ek = uint64(uint32(keys[j]))
+				}
 				live := false
 				if le != nil {
-					live = le.Live(uint64(w), eBase+uint64(j))
+					live = le.Live(uint64(w), ek)
 				} else {
-					live = coin.Live(uint64(w), eBase+uint64(j), probs[j])
+					live = coin.Live(uint64(w), ek, probs[j])
 				}
 				if live || (!d.IsSeed(t) && abits[t>>6]&(1<<(uint(t)&63)) != 0) {
 					patchable = false
@@ -797,18 +801,22 @@ func (wc *WorldCache) patchScanTail(v int32, w int) bool {
 		return false
 	}
 	g := wc.Est.Inst.G
-	targets, probs := g.OutEdges(v)
+	targets, probs, keys, kbase := g.OutRow(v)
 	idx := int(v)*wc.Est.Samples + w
 	stop := int(wc.denseStop[idx])
 	coin := wc.Est.Coin
 	le := wc.Est.Live
-	base := uint64(g.EdgeIndexBase(v))
+	base := uint64(kbase)
 	for j := stop; j < len(targets); j++ {
+		ek := base + uint64(j)
+		if keys != nil {
+			ek = uint64(uint32(keys[j]))
+		}
 		live := false
 		if le != nil {
-			live = le.Live(uint64(w), base+uint64(j))
+			live = le.Live(uint64(w), ek)
 		} else {
-			live = coin.Live(uint64(w), base+uint64(j), probs[j])
+			live = coin.Live(uint64(w), ek, probs[j])
 		}
 		if live {
 			return false // the resumed scan could redeem here: re-simulate
@@ -939,6 +947,25 @@ func newDeltaScratch(n int) *deltaScratch {
 	}
 }
 
+// ensure grows the per-node arrays to n entries. Appended entries are zero,
+// which can only collide with epoch 0 — a value the epoch counters skip —
+// so grown scratches need no epoch reset. Dynamic graphs add nodes between
+// uses of a pooled scratch; every getDelta re-checks the size.
+func (sc *deltaScratch) ensure(n int) {
+	if len(sc.dStamp) >= n {
+		return
+	}
+	grow := func(a []int32) []int32 {
+		b := make([]int32, n)
+		copy(b, a)
+		return b
+	}
+	sc.stamp = grow(sc.stamp)
+	sc.stop = grow(sc.stop)
+	sc.red = grow(sc.red)
+	sc.dStamp = grow(sc.dStamp)
+}
+
 func (sc *deltaScratch) nextWorld() {
 	sc.epoch++
 	if sc.epoch == 0 {
@@ -965,7 +992,11 @@ func (wc *WorldCache) getDelta() *deltaScratch {
 		n := wc.Est.Inst.G.NumNodes()
 		wc.pool.New = func() any { return newDeltaScratch(n) }
 	})
-	return wc.pool.Get().(*deltaScratch)
+	sc := wc.pool.Get().(*deltaScratch)
+	// PatchEdges may have grown the node set since this scratch (or the
+	// pool's New closure) was sized.
+	sc.ensure(wc.Est.Inst.G.NumNodes())
+	return sc
 }
 
 func (wc *WorldCache) putDelta(sc *deltaScratch) { wc.pool.Put(sc) }
@@ -1132,14 +1163,18 @@ func (wc *WorldCache) replayAddCouponBits(sc *deltaScratch, world uint64, v int3
 	activeBase := func(t int32) bool { return act[t>>6]&(1<<(uint(t)&63)) != 0 }
 	sc.nextReplay()
 	delta := 0.0
-	targets, probs := g.OutEdges(v)
-	base := uint64(g.EdgeIndexBase(v))
+	targets, probs, keys, kbase := g.OutRow(v)
+	base := uint64(kbase)
 	for j := stop; j < len(targets); j++ {
 		t := targets[j]
 		if activeBase(t) || sc.dStamp[t] == sc.dEpoch {
 			continue // already active: no coupon consumed
 		}
-		if live(base+uint64(j), probs[j]) {
+		ek := base + uint64(j)
+		if keys != nil {
+			ek = uint64(uint32(keys[j]))
+		}
+		if live(ek, probs[j]) {
 			sc.dStamp[t] = sc.dEpoch
 			sc.queue = append(sc.queue, t)
 			break // the single extra coupon is spent
@@ -1152,8 +1187,8 @@ func (wc *WorldCache) replayAddCouponBits(sc *deltaScratch, world uint64, v int3
 		if coupons == 0 {
 			continue
 		}
-		ts, ps := g.OutEdges(u)
-		ub := uint64(g.EdgeIndexBase(u))
+		ts, ps, uk, ukb := g.OutRow(u)
+		ub := uint64(ukb)
 		redeemed := 0
 		for j, t := range ts {
 			if redeemed >= coupons {
@@ -1162,7 +1197,11 @@ func (wc *WorldCache) replayAddCouponBits(sc *deltaScratch, world uint64, v int3
 			if activeBase(t) || sc.dStamp[t] == sc.dEpoch {
 				continue
 			}
-			if live(ub+uint64(j), ps[j]) {
+			ek := ub + uint64(j)
+			if uk != nil {
+				ek = uint64(uint32(uk[j]))
+			}
+			if live(ek, ps[j]) {
 				sc.dStamp[t] = sc.dEpoch
 				sc.queue = append(sc.queue, t)
 				redeemed++
@@ -1216,14 +1255,18 @@ func (wc *WorldCache) replayAddCoupon(sc *deltaScratch, world uint64, v int32) f
 	}
 	sc.nextReplay()
 	delta := 0.0
-	targets, probs := g.OutEdges(v)
-	base := uint64(g.EdgeIndexBase(v))
+	targets, probs, keys, kbase := g.OutRow(v)
+	base := uint64(kbase)
 	for j := int(sc.stop[v]); j < len(targets); j++ {
 		t := targets[j]
 		if sc.stamp[t] == sc.epoch || sc.dStamp[t] == sc.dEpoch {
 			continue // already active: no coupon consumed
 		}
-		if live(base+uint64(j), probs[j]) {
+		ek := base + uint64(j)
+		if keys != nil {
+			ek = uint64(uint32(keys[j]))
+		}
+		if live(ek, probs[j]) {
 			sc.dStamp[t] = sc.dEpoch
 			sc.queue = append(sc.queue, t)
 			break // the single extra coupon is spent
@@ -1236,8 +1279,8 @@ func (wc *WorldCache) replayAddCoupon(sc *deltaScratch, world uint64, v int32) f
 		if coupons == 0 {
 			continue
 		}
-		ts, ps := g.OutEdges(u)
-		ub := uint64(g.EdgeIndexBase(u))
+		ts, ps, uk, ukb := g.OutRow(u)
+		ub := uint64(ukb)
 		redeemed := 0
 		for j, t := range ts {
 			if redeemed >= coupons {
@@ -1246,7 +1289,11 @@ func (wc *WorldCache) replayAddCoupon(sc *deltaScratch, world uint64, v int32) f
 			if sc.stamp[t] == sc.epoch || sc.dStamp[t] == sc.dEpoch {
 				continue
 			}
-			if live(ub+uint64(j), ps[j]) {
+			ek := ub + uint64(j)
+			if uk != nil {
+				ek = uint64(uint32(uk[j]))
+			}
+			if live(ek, ps[j]) {
 				sc.dStamp[t] = sc.dEpoch
 				sc.queue = append(sc.queue, t)
 				redeemed++

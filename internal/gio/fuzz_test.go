@@ -1,0 +1,107 @@
+package gio
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadEdgeList drives the streaming SNAP loader with arbitrary bytes
+// across every probability model. The loader must never panic; when it
+// accepts an input, the graph must satisfy the package invariants (stats
+// agree with the graph, probabilities in range, the LT bound when asked)
+// and survive a plain-text round trip.
+func FuzzLoadEdgeList(f *testing.F) {
+	f.Add([]byte("# SNAP comment\n0 1 0.5\n1 2 0.25\n"), uint8(0), false)
+	f.Add([]byte("0\t1\n1\t2\n2\t0\n"), uint8(2), false)
+	f.Add([]byte("5 5\n5 6\n"), uint8(1), true)            // self-loop intern
+	f.Add([]byte("0 1 0.9\n0 1 0.8\n"), uint8(0), false)   // duplicate arc
+	f.Add([]byte("10 20 1.5\n"), uint8(0), false)          // out-of-range prob
+	f.Add([]byte("1000000 2000000 0.1\n"), uint8(3), true) // sparse ids remapped
+	f.Add([]byte("0 1 0.5 extra\n"), uint8(0), false)      // 4 fields
+	f.Add([]byte("a b\n"), uint8(0), false)                // non-numeric ids
+	f.Add([]byte(""), uint8(0), false)
+	f.Fuzz(func(t *testing.T, data []byte, model uint8, normalize bool) {
+		if len(data) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		models := Models()
+		opts := LoadOptions{
+			Model:       models[int(model)%len(models)],
+			NormalizeLT: normalize,
+		}
+		g, stats, err := LoadEdgeList(bytes.NewReader(data), opts)
+		if err != nil {
+			if g != nil {
+				t.Fatalf("error %v returned a graph", err)
+			}
+			return
+		}
+		if g.NumNodes() != stats.Nodes || g.NumEdges() != stats.Edges {
+			t.Fatalf("stats %d nodes/%d edges, graph %d/%d",
+				stats.Nodes, stats.Edges, g.NumNodes(), g.NumEdges())
+		}
+		inSum := make([]float64, g.NumNodes())
+		for _, e := range g.Edges() {
+			if e.P < 0 || e.P > 1 {
+				t.Fatalf("edge (%d,%d) probability %v outside [0,1]", e.From, e.To, e.P)
+			}
+			if e.From == e.To {
+				t.Fatalf("self-loop (%d,%d) survived the default policy", e.From, e.To)
+			}
+			inSum[e.To] += e.P
+		}
+		if normalize {
+			for v, s := range inSum {
+				if s > 1+1e-9 {
+					t.Fatalf("NormalizeLT left node %d with in-weight sum %v", v, s)
+				}
+			}
+		}
+		// Round trip: the written edges reload as the same arc set (the node
+		// count may shrink — isolated self-loop-only nodes have no edge to
+		// carry them through the text form).
+		var buf bytes.Buffer
+		if err := WriteEdgeListPlain(&buf, g); err != nil {
+			t.Fatalf("write back: %v", err)
+		}
+		g2, _, err := LoadEdgeList(bytes.NewReader(buf.Bytes()), LoadOptions{Model: ModelFile})
+		if err != nil {
+			t.Fatalf("reloading own output: %v", err)
+		}
+		if g2.NumEdges() != g.NumEdges() || g2.NumNodes() > g.NumNodes() {
+			t.Fatalf("round trip: %d nodes/%d edges, want ≤%d/%d",
+				g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+		}
+	})
+}
+
+// FuzzCapInWeights pairs with the loader fuzz: arbitrary accepted graphs
+// must come out of CapInWeights satisfying the LT bound with the arc set
+// unchanged.
+func FuzzCapInWeights(f *testing.F) {
+	f.Add([]byte("0 1 0.9\n2 1 0.8\n3 1 0.7\n"))
+	f.Add([]byte("0 1 1\n1 0 1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<14 {
+			t.Skip("oversized input")
+		}
+		g, _, err := LoadEdgeList(bytes.NewReader(data), LoadOptions{})
+		if err != nil {
+			return
+		}
+		capped := g.CapInWeights()
+		if capped.NumNodes() != g.NumNodes() || capped.NumEdges() != g.NumEdges() {
+			t.Fatalf("CapInWeights changed the shape: %d/%d -> %d/%d",
+				g.NumNodes(), g.NumEdges(), capped.NumNodes(), capped.NumEdges())
+		}
+		inSum := make([]float64, capped.NumNodes())
+		for _, e := range capped.Edges() {
+			inSum[e.To] += e.P
+		}
+		for v, s := range inSum {
+			if s > 1+1e-9 {
+				t.Fatalf("node %d in-weight sum %v after CapInWeights", v, s)
+			}
+		}
+	})
+}

@@ -31,12 +31,35 @@ type Graph struct {
 	// sorted (the model's load-bearing invariant); only lookups use this.
 	byTarget []int32
 
+	// eid, when non-nil, maps each CSR position to that edge's stable coin
+	// key — the identity under which its Monte-Carlo coin and live-edge bit
+	// live. Keys are a permutation of [0, NumEdges). nil means keys equal
+	// CSR positions (every graph built by FromEdges), which is what keeps
+	// the static fast paths and the golden parity pins bit-identical.
+	// Non-nil keys appear on graphs built by FromEdgesStable and on
+	// compactions of delta-overlay graphs, where an edge must keep the key
+	// it was assigned when it first entered the lineage even though its
+	// CSR position moved.
+	eid []int32
+	// keyProbs/keyTargets are the key-indexed views of probs/targets:
+	// keyProbs[k] is the probability of the edge whose coin key is k.
+	// Both are nil when keys equal positions (use probs/targets directly);
+	// otherwise they are materialized at construction so substrates that
+	// index by key (live-edge rows, LT chosen-in-edge draws) stay O(1).
+	keyProbs   []float64
+	keyTargets []int32
+
+	// ov, when non-nil, is the delta overlay: edges appended after the CSR
+	// was frozen, readable alongside it. See overlay.go.
+	ov *overlay
+
 	// Reverse CSR, built lazily on first InEdges call (reverse-influence
 	// sampling is the only consumer; the solve path never pays for it).
 	// revSources[revOffsets[v]:revOffsets[v+1]] are v's in-neighbours sorted
 	// by descending forward probability (ties by ascending source id — the
-	// mirror of the forward invariant), and revEdge the forward global edge
-	// index of each slot, so probabilities and coin flips are shared.
+	// mirror of the forward invariant), and revEdge the stable coin key of
+	// each slot (the forward global index on plain graphs), so probabilities
+	// (KeyProbs()[key]) and coin flips are shared with the forward walk.
 	revOnce    sync.Once
 	revOffsets []int32
 	revSources []int32
@@ -139,6 +162,9 @@ func (g *Graph) finalizeRange(lo, hi int) error {
 	for v := lo; v < hi; v++ {
 		rlo, rhi := g.offsets[v], g.offsets[v+1]
 		adj := adjSorter{targets: g.targets[rlo:rhi], probs: g.probs[rlo:rhi]}
+		if g.eid != nil {
+			adj.keys = g.eid[rlo:rhi]
+		}
 		sort.Sort(adj)
 		// Build the by-target lookup index: the local adjacency positions
 		// sorted by ascending target id. Duplicate detection rides on the
@@ -195,6 +221,7 @@ func shardNodes(n, edges int, fn func(lo, hi int) error) error {
 type adjSorter struct {
 	targets []int32
 	probs   []float64
+	keys    []int32 // optional stable coin keys, co-sorted when non-nil
 }
 
 func (a adjSorter) Len() int { return len(a.targets) }
@@ -207,16 +234,33 @@ func (a adjSorter) Less(i, j int) bool {
 func (a adjSorter) Swap(i, j int) {
 	a.targets[i], a.targets[j] = a.targets[j], a.targets[i]
 	a.probs[i], a.probs[j] = a.probs[j], a.probs[i]
+	if a.keys != nil {
+		a.keys[i], a.keys[j] = a.keys[j], a.keys[i]
+	}
 }
 
 // NumNodes returns |V|.
 func (g *Graph) NumNodes() int { return g.n }
 
-// NumEdges returns |E|.
-func (g *Graph) NumEdges() int { return len(g.targets) }
+// NumEdges returns |E|, overlay edges included.
+func (g *Graph) NumEdges() int {
+	m := len(g.targets)
+	if g.ov != nil {
+		m += g.ov.extra
+	}
+	return m
+}
 
 // OutDegree returns the number of out-neighbours of v — the paper's |N(vi)|.
 func (g *Graph) OutDegree(v int32) int {
+	if g.ov != nil {
+		if r := g.ov.row(v); r != nil {
+			return len(r.targets)
+		}
+		if int(v) >= g.ov.baseN {
+			return 0
+		}
+	}
 	return int(g.offsets[v+1] - g.offsets[v])
 }
 
@@ -224,64 +268,160 @@ func (g *Graph) OutDegree(v int32) int {
 func (g *Graph) InDegree(v int32) int { return int(g.inDeg[v]) }
 
 // OutEdges returns the out-neighbours and probabilities of v, sorted by
-// descending probability. The slices alias the graph's internal storage and
-// must not be modified.
+// descending probability. On delta-overlay graphs, churned sources return
+// their merged row (base and appended edges in the same invariant order a
+// cold rebuild would store). The slices alias the graph's internal storage
+// and must not be modified.
 func (g *Graph) OutEdges(v int32) (targets []int32, probs []float64) {
+	if g.ov != nil {
+		if r := g.ov.row(v); r != nil {
+			return r.targets, r.probs
+		}
+		if int(v) >= g.ov.baseN {
+			return nil, nil
+		}
+	}
 	lo, hi := g.offsets[v], g.offsets[v+1]
 	return g.targets[lo:hi], g.probs[lo:hi]
 }
 
+// OutRow returns v's out-row together with its coin keys: targets and probs
+// as OutEdges, and the stable key identifying each edge's Monte-Carlo coin.
+// keys == nil means the row's keys are contiguous — position j's key is
+// kbase+j — which is the case on every graph whose keys equal CSR positions
+// (all FromEdges-built graphs) and lets hot loops keep the add-only fast
+// path. When keys is non-nil (overlay rows, remapped compactions), kbase is
+// meaningless and keys[j] is the identity to probe. The slices alias graph
+// storage and must not be modified.
+func (g *Graph) OutRow(v int32) (targets []int32, probs []float64, keys []int32, kbase int64) {
+	if g.ov != nil {
+		if r := g.ov.row(v); r != nil {
+			return r.targets, r.probs, r.keys, 0
+		}
+		if int(v) >= g.ov.baseN {
+			return nil, nil, nil, 0
+		}
+	}
+	lo, hi := g.offsets[v], g.offsets[v+1]
+	if g.eid != nil {
+		return g.targets[lo:hi], g.probs[lo:hi], g.eid[lo:hi], 0
+	}
+	return g.targets[lo:hi], g.probs[lo:hi], nil, int64(lo)
+}
+
 // CSR exposes the forward adjacency as its raw arrays: node v's out-edges
-// occupy [offsets[v], offsets[v+1]) of targets and probs, and that range's
-// indices are the edges' global indices (the coin-flip identities). Hot
-// loops — the Monte-Carlo kernel, world-cache replays, RIS — iterate these
-// directly instead of re-deriving per-node slices. All three alias the
-// graph's internal storage and must not be modified.
+// occupy [offsets[v], offsets[v+1]) of targets and probs. Hot loops that
+// only need topology and probabilities may iterate these directly; loops
+// that derive coin identities from positions must use OutRow instead (on
+// key-remapped graphs positions are not keys). Panics on a graph with a
+// live delta overlay, whose appended edges these arrays do not contain —
+// Compact first, or iterate OutRow. All three alias the graph's internal
+// storage and must not be modified.
 func (g *Graph) CSR() (offsets, targets []int32, probs []float64) {
+	if g.ov != nil {
+		panic("graph: CSR on a delta-overlay graph (appended edges are not in the CSR arrays); Compact first or iterate OutRow")
+	}
 	return g.offsets, g.targets, g.probs
 }
 
-// EdgeIndexBase returns the global index of v's first out-edge. The global
-// index of v's j-th strongest edge is EdgeIndexBase(v)+j; it identifies the
-// edge for Monte-Carlo coin flips.
-func (g *Graph) EdgeIndexBase(v int32) int64 { return int64(g.offsets[v]) }
+// EdgeIndexBase returns the global CSR index of v's first out-edge, which is
+// also the coin key of v's strongest edge on graphs whose keys equal
+// positions. It panics on dynamic graphs (live overlay or remapped keys) —
+// any caller still deriving coin identities from CSR positions there is a
+// bug; use OutRow.
+func (g *Graph) EdgeIndexBase(v int32) int64 {
+	if g.ov != nil || g.eid != nil {
+		panic("graph: EdgeIndexBase on a dynamic graph; coin keys are not CSR positions — use OutRow")
+	}
+	return int64(g.offsets[v])
+}
 
 // Probs returns all edge probabilities in global CSR order: the probability
-// of the edge with global index i (see EdgeIndexBase) is Probs()[i]. The
-// slice aliases the graph's internal storage and must not be modified. It is
-// the input of the live-edge world materializer, which flips every edge's
-// coin once per world instead of once per probe.
-func (g *Graph) Probs() []float64 { return g.probs }
+// of the edge at CSR position i is Probs()[i]. Positions are coin keys only
+// on graphs without remapped keys; key-indexed consumers use KeyProbs.
+// Panics on a graph with a live delta overlay (the array would be
+// incomplete). The slice aliases the graph's internal storage and must not
+// be modified.
+func (g *Graph) Probs() []float64 {
+	if g.ov != nil {
+		panic("graph: Probs on a delta-overlay graph (appended edges are not in the CSR arrays); use KeyProbs")
+	}
+	return g.probs
+}
+
+// KeyProbs returns edge probabilities indexed by stable coin key:
+// KeyProbs()[k] is the probability of the edge whose Monte-Carlo coin is
+// salted with k. On graphs whose keys equal CSR positions this is Probs()
+// itself; on keyed graphs it is the key-indexed view materialized at build
+// time; on overlay graphs the flat array is materialized lazily, at most
+// once, from the lineage-shared base prefix and the overlay tail (callers
+// that can consume the split form directly use KeyViewParts and skip the
+// O(edges) materialization). The slice aliases graph storage and must not
+// be modified. Safe for concurrent use.
+func (g *Graph) KeyProbs() []float64 {
+	if g.ov != nil {
+		g.ov.keyOnce.Do(g.materializeKeyViews)
+		return g.keyProbs
+	}
+	if g.keyProbs != nil {
+		return g.keyProbs
+	}
+	return g.probs
+}
+
+// KeyTargets returns edge target nodes indexed by stable coin key — the
+// key-indexed companion of KeyProbs, consumed by the LT live-edge substrate
+// to map a probed edge key to the node whose chosen-in-edge decides it. The
+// slice aliases graph storage and must not be modified. Safe for concurrent
+// use.
+func (g *Graph) KeyTargets() []int32 {
+	if g.ov != nil {
+		g.ov.keyOnce.Do(g.materializeKeyViews)
+		return g.keyTargets
+	}
+	if g.keyTargets != nil {
+		return g.keyTargets
+	}
+	return g.targets
+}
 
 // buildReverse materializes the reverse CSR: a forward sweep scatters every
 // edge into its target's row (counting sort on the already-known in-degrees),
 // then each row is sorted by descending forward probability, ties by
 // ascending source — exactly the order a standalone transpose graph would
-// store, so reverse walks consume random streams identically to one.
+// store, so reverse walks consume random streams identically to one. The
+// sweep iterates OutRow, so overlay graphs get a full merged reverse (base
+// and appended in-edges interleaved in the invariant order a cold rebuild
+// would produce) and revEdge records stable coin keys on every lineage.
 func (g *Graph) buildReverse() {
-	n := g.n
+	n, m := g.n, g.NumEdges()
 	g.revOffsets = make([]int32, n+1)
 	for v := 0; v < n; v++ {
 		g.revOffsets[v+1] = g.revOffsets[v] + g.inDeg[v]
 	}
-	g.revSources = make([]int32, len(g.targets))
-	g.revEdge = make([]int32, len(g.targets))
+	g.revSources = make([]int32, m)
+	g.revEdge = make([]int32, m)
 	cursor := make([]int32, n)
 	copy(cursor, g.revOffsets[:n])
 	for v := int32(0); v < int32(n); v++ {
-		for e := g.offsets[v]; e < g.offsets[v+1]; e++ {
-			t := g.targets[e]
+		targets, _, keys, kbase := g.OutRow(v)
+		for j, t := range targets {
 			i := cursor[t]
 			g.revSources[i] = v
-			g.revEdge[i] = e
+			if keys != nil {
+				g.revEdge[i] = keys[j]
+			} else {
+				g.revEdge[i] = int32(kbase) + int32(j)
+			}
 			cursor[t]++
 		}
 	}
-	_ = shardNodes(n, len(g.targets), func(lo, hi int) error {
+	kp := g.KeyProbs()
+	_ = shardNodes(n, m, func(lo, hi int) error {
 		for v := lo; v < hi; v++ {
 			rlo, rhi := g.revOffsets[v], g.revOffsets[v+1]
 			srcs, eidx := g.revSources[rlo:rhi], g.revEdge[rlo:rhi]
-			sort.Sort(revSorter{sources: srcs, edges: eidx, probs: g.probs})
+			sort.Sort(revSorter{sources: srcs, edges: eidx, probs: kp})
 		}
 		return nil
 	})
@@ -308,11 +448,12 @@ func (r revSorter) Swap(i, j int) {
 
 // InEdges returns v's in-neighbours sorted by descending influence
 // probability (ties by ascending source id) together with each in-edge's
-// forward global index — the identity under which its probability
-// (Probs()[idx]) and its Monte-Carlo coin live. The reverse CSR is built
-// once, lazily, on first call; the slices alias graph storage and must not
-// be modified. Safe for concurrent use.
-func (g *Graph) InEdges(v int32) (sources, edgeIdx []int32) {
+// stable coin key — the identity under which its probability
+// (KeyProbs()[key]) and its Monte-Carlo coin live. On plain graphs keys
+// equal forward global CSR indices, preserving the historical contract.
+// The reverse CSR is built once, lazily, on first call; the slices alias
+// graph storage and must not be modified. Safe for concurrent use.
+func (g *Graph) InEdges(v int32) (sources, edgeKeys []int32) {
 	g.revOnce.Do(g.buildReverse)
 	lo, hi := g.revOffsets[v], g.revOffsets[v+1]
 	return g.revSources[lo:hi], g.revEdge[lo:hi]
@@ -326,9 +467,21 @@ const lookupThreshold = 8
 // probability-sorted adjacency, or -1. Small degrees scan linearly;
 // high-degree hubs — where the GPI/pivot paths concentrate their lookups —
 // binary-search the by-target index instead of walking O(degree) entries.
+// Overlay rows carry their own by-target index, so churned sources pay the
+// same lookup cost as frozen ones.
 func (g *Graph) findRank(from, to int32) int {
-	lo, hi := g.offsets[from], g.offsets[from+1]
-	ts := g.targets[lo:hi]
+	var ts, bt []int32
+	if g.ov != nil {
+		if r := g.ov.row(from); r != nil {
+			ts, bt = r.targets, r.byTarget
+		} else if int(from) >= g.ov.baseN {
+			return -1
+		}
+	}
+	if ts == nil {
+		lo, hi := g.offsets[from], g.offsets[from+1]
+		ts, bt = g.targets[lo:hi], g.byTarget[lo:hi]
+	}
 	if len(ts) <= lookupThreshold {
 		for i, t := range ts {
 			if t == to {
@@ -337,7 +490,6 @@ func (g *Graph) findRank(from, to int32) int {
 		}
 		return -1
 	}
-	bt := g.byTarget[lo:hi]
 	i := sort.Search(len(bt), func(i int) bool { return ts[bt[i]] >= to })
 	if i < len(bt) && ts[bt[i]] == to {
 		return int(bt[i])
@@ -349,7 +501,8 @@ func (g *Graph) findRank(from, to int32) int {
 // exists.
 func (g *Graph) EdgeProb(from, to int32) (float64, bool) {
 	if i := g.findRank(from, to); i >= 0 {
-		return g.probs[g.offsets[from]+int32(i)], true
+		_, probs := g.OutEdges(from)
+		return probs[i], true
 	}
 	return 0, false
 }
@@ -424,14 +577,26 @@ func (g *Graph) InDegrees() []int {
 // in-degree array are cloned without re-running edge validation or the
 // counting sort — and only the per-row probability order is re-established,
 // so re-weighting a million-node graph costs one row finalization, not a
-// full rebuild from an []Edge copy.
+// full rebuild from an []Edge copy. A live delta overlay is compacted first
+// (re-weighting changes per-row probability order, which overlay rows
+// cannot absorb in place); stable coin keys are carried through the re-sort
+// so each edge keeps the identity of its coin.
 func (g *Graph) Reweight(f func(from, to int32, p float64) float64) (*Graph, error) {
+	if g.ov != nil {
+		cg, err := g.Compact()
+		if err != nil {
+			return nil, err
+		}
+		g = cg
+	}
 	ng := &Graph{
-		n:       g.n,
-		offsets: g.offsets, // immutable topology: shared, never written
-		targets: append([]int32(nil), g.targets...),
-		probs:   make([]float64, len(g.probs)),
-		inDeg:   g.inDeg,
+		n:          g.n,
+		offsets:    g.offsets, // immutable topology: shared, never written
+		targets:    append([]int32(nil), g.targets...),
+		probs:      make([]float64, len(g.probs)),
+		eid:        append([]int32(nil), g.eid...),
+		keyTargets: g.keyTargets, // targets per key are unchanged
+		inDeg:      g.inDeg,
 	}
 	for v := int32(0); v < int32(g.n); v++ {
 		for e := g.offsets[v]; e < g.offsets[v+1]; e++ {
@@ -445,6 +610,13 @@ func (g *Graph) Reweight(f func(from, to int32, p float64) float64) (*Graph, err
 	if err := ng.finalizeRows(); err != nil {
 		// Cannot happen: the topology held no duplicates before re-weighting.
 		panic("graph: Reweight finalize failed: " + err.Error())
+	}
+	if ng.eid != nil {
+		kp := make([]float64, len(ng.probs))
+		for i, k := range ng.eid {
+			kp[k] = ng.probs[i]
+		}
+		ng.keyProbs = kp
 	}
 	return ng, nil
 }
@@ -460,6 +632,14 @@ func (g *Graph) Reweight(f func(from, to int32, p float64) float64) (*Graph, err
 // coin-flip edge identities are those of the returned graph, not the
 // receiver's.
 func (g *Graph) CapInWeights() *Graph {
+	if g.ov != nil {
+		cg, err := g.Compact()
+		if err != nil {
+			// Cannot happen: the overlay rejected duplicates at append time.
+			panic("graph: CapInWeights compact failed: " + err.Error())
+		}
+		g = cg
+	}
 	sums := make([]float64, g.n)
 	for e, t := range g.targets {
 		sums[t] += g.probs[e]
@@ -505,13 +685,23 @@ func (g *Graph) PadNodes(n int) (*Graph, error) {
 	if n == g.n {
 		return g, nil
 	}
+	if g.ov != nil {
+		cg, err := g.Compact()
+		if err != nil {
+			return nil, err
+		}
+		g = cg
+	}
 	ng := &Graph{
-		n:        n,
-		offsets:  make([]int32, n+1),
-		targets:  g.targets,
-		probs:    g.probs,
-		byTarget: g.byTarget,
-		inDeg:    make([]int32, n),
+		n:          n,
+		offsets:    make([]int32, n+1),
+		targets:    g.targets,
+		probs:      g.probs,
+		byTarget:   g.byTarget,
+		eid:        g.eid,
+		keyProbs:   g.keyProbs,
+		keyTargets: g.keyTargets,
+		inDeg:      make([]int32, n),
 	}
 	copy(ng.offsets, g.offsets)
 	last := g.offsets[g.n]

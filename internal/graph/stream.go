@@ -48,6 +48,7 @@ type StreamBuilder struct {
 	src  []int32
 	dst  []int32
 	prob []float64 // nil until the first Add with an explicit probability
+	key  []int32   // nil unless arcs arrive via AddKeyedProb (stable coin keys)
 }
 
 // NewStreamBuilder returns a streaming builder for a graph with n nodes.
@@ -65,6 +66,13 @@ func NewStreamBuilderAuto() *StreamBuilder {
 // Add records one arc with probability 0 (to be assigned at Build via
 // ProbAssign, or left 0 as FromEdges would).
 func (b *StreamBuilder) Add(from, to int32) error {
+	if b.key != nil {
+		return fmt.Errorf("graph: cannot mix keyed and unkeyed arcs in one stream build")
+	}
+	return b.add(from, to)
+}
+
+func (b *StreamBuilder) add(from, to int32) error {
 	if b.auto {
 		if from < 0 || to < 0 {
 			return fmt.Errorf("graph: edge (%d,%d) has a negative endpoint", from, to)
@@ -93,16 +101,45 @@ func (b *StreamBuilder) Add(from, to int32) error {
 // probability column). Mixing Add and AddProb is allowed; plain arcs carry
 // probability 0.
 func (b *StreamBuilder) AddProb(from, to int32, p float64) error {
+	if b.key != nil {
+		return fmt.Errorf("graph: cannot mix keyed and unkeyed arcs in one stream build")
+	}
+	return b.addProb(from, to, p)
+}
+
+func (b *StreamBuilder) addProb(from, to int32, p float64) error {
 	if p < 0 || p > 1 {
 		return fmt.Errorf("graph: edge (%d,%d) probability %v outside [0,1]", from, to, p)
 	}
 	if b.prob == nil {
 		b.prob = make([]float64, len(b.src), cap(b.src))
 	}
-	if err := b.Add(from, to); err != nil {
+	if err := b.add(from, to); err != nil {
 		return err
 	}
 	b.prob[len(b.src)-1] = p
+	return nil
+}
+
+// AddKeyedProb records one arc with an explicit probability and a stable
+// coin key — the identity the edge's Monte-Carlo coin is salted with,
+// carried through row sorting into Graph.eid. Keyed and unkeyed arcs cannot
+// be mixed in one build; a keyed Build requires DupError (dropping a
+// duplicate would leave a hole in the key space) and validates at Build
+// that the keys form a permutation of [0, arcs). Used by overlay compaction
+// and FromEdgesStable, where edges must keep the keys assigned when they
+// entered the lineage.
+func (b *StreamBuilder) AddKeyedProb(from, to int32, p float64, key int32) error {
+	if b.key == nil && len(b.src) > 0 {
+		return fmt.Errorf("graph: cannot mix keyed and unkeyed arcs in one stream build")
+	}
+	if key < 0 {
+		return fmt.Errorf("graph: edge (%d,%d) has negative coin key %d", from, to, key)
+	}
+	if err := b.addProb(from, to, p); err != nil {
+		return err
+	}
+	b.key = append(b.key, key)
 	return nil
 }
 
@@ -118,6 +155,9 @@ func (b *StreamBuilder) Build(policy DupPolicy, probFn ProbAssign) (*Graph, Buil
 	n, m := b.n, len(b.src)
 	if n < 0 {
 		return nil, stats, fmt.Errorf("graph: negative node count")
+	}
+	if b.key != nil && policy != DupError {
+		return nil, stats, fmt.Errorf("graph: keyed stream builds require DupError (dropping a duplicate would hole the key space)")
 	}
 	g := &Graph{
 		n:       n,
@@ -140,6 +180,10 @@ func (b *StreamBuilder) Build(policy DupPolicy, probFn ProbAssign) (*Graph, Buil
 	if b.prob != nil {
 		fileProbs = make([]float64, m)
 	}
+	var fileKeys []int32
+	if b.key != nil {
+		fileKeys = make([]int32, m)
+	}
 	cursor := counts[:n]
 	for i, f := range b.src {
 		at := cursor[f]
@@ -147,11 +191,14 @@ func (b *StreamBuilder) Build(policy DupPolicy, probFn ProbAssign) (*Graph, Buil
 		if fileProbs != nil {
 			fileProbs[at] = b.prob[i]
 		}
+		if fileKeys != nil {
+			fileKeys[at] = b.key[i]
+		}
 		cursor[f]++
 	}
-	b.src, b.dst, b.prob = nil, nil, nil // release the columnar accumulation
+	b.src, b.dst, b.prob, b.key = nil, nil, nil, nil // release the columnar accumulation
 
-	dropped, err := g.dedupRows(policy, fileProbs)
+	dropped, err := g.dedupRows(policy, fileProbs, fileKeys)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -161,6 +208,22 @@ func (b *StreamBuilder) Build(policy DupPolicy, probFn ProbAssign) (*Graph, Buil
 		if fileProbs != nil {
 			fileProbs = fileProbs[:m]
 		}
+		if fileKeys != nil {
+			fileKeys = fileKeys[:m]
+		}
+	}
+	if fileKeys != nil {
+		// Keys must form a permutation of [0, m): anything else means the
+		// caller assigned keys inconsistently and coin identities would
+		// collide or dangle.
+		seen := make([]uint64, (m+63)/64)
+		for _, k := range fileKeys {
+			if int(k) >= m || seen[k>>6]&(1<<(uint(k)&63)) != 0 {
+				return nil, stats, fmt.Errorf("graph: coin keys must form a permutation of [0,%d); key %d is out of range or repeated", m, k)
+			}
+			seen[k>>6] |= 1 << (uint(k) & 63)
+		}
+		g.eid = fileKeys
 	}
 	for _, t := range g.targets {
 		g.inDeg[t]++
@@ -185,18 +248,42 @@ func (b *StreamBuilder) Build(policy DupPolicy, probFn ProbAssign) (*Graph, Buil
 	if err := g.finalizeRows(); err != nil {
 		return nil, stats, err
 	}
+	if g.eid != nil {
+		// If row sorting left every key at its own CSR position the key map
+		// is the identity: drop it, making the graph indistinguishable from
+		// a FromEdges build (and keeping the static fast paths).
+		identity := true
+		for i, k := range g.eid {
+			if int(k) != i {
+				identity = false
+				break
+			}
+		}
+		if identity {
+			g.eid = nil
+		} else {
+			kp := make([]float64, m)
+			kt := make([]int32, m)
+			for i, k := range g.eid {
+				kp[k] = g.probs[i]
+				kt[k] = g.targets[i]
+			}
+			g.keyProbs, g.keyTargets = kp, kt
+		}
+	}
 	return g, stats, nil
 }
 
 // dedupRows sorts each row by target (stably, so equal targets keep stream
 // order), resolves duplicates per policy and compacts the CSR arrays in
 // place, rewriting offsets. Returns the number of dropped arcs.
-func (g *Graph) dedupRows(policy DupPolicy, fileProbs []float64) (int, error) {
+func (g *Graph) dedupRows(policy DupPolicy, fileProbs []float64, fileKeys []int32) (int, error) {
 	n := g.n
 	write := int32(0)
 	var order []int32 // per-row positions sorted by (target, stream order)
 	var rowT []int32  // row snapshot: compaction writes into the row's own range
 	var rowP []float64
+	var rowK []int32
 	for v := 0; v < n; v++ {
 		lo, hi := g.offsets[v], g.offsets[v+1]
 		g.offsets[v] = write
@@ -207,6 +294,9 @@ func (g *Graph) dedupRows(policy DupPolicy, fileProbs []float64) (int, error) {
 		rowT = append(rowT[:0], g.targets[lo:hi]...)
 		if fileProbs != nil {
 			rowP = append(rowP[:0], fileProbs[lo:hi]...)
+		}
+		if fileKeys != nil {
+			rowK = append(rowK[:0], fileKeys[lo:hi]...)
 		}
 		order = order[:0]
 		for i := 0; i < deg; i++ {
@@ -231,6 +321,9 @@ func (g *Graph) dedupRows(policy DupPolicy, fileProbs []float64) (int, error) {
 			g.targets[write] = t
 			if fileProbs != nil {
 				fileProbs[write] = rowP[li]
+			}
+			if fileKeys != nil {
+				fileKeys[write] = rowK[li]
 			}
 			write++
 		}

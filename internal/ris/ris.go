@@ -92,7 +92,7 @@ func Generate(g *graph.Graph, count int, src *rng.Source) (*Sketches, error) {
 	// edge index that addresses its probability. Visited in-neighbours are
 	// skipped before the draw, so the stream matches the historical
 	// generator exactly.
-	probs := g.Probs()
+	probs := g.KeyProbs()
 	return drawSets(g, count, src, func(_ int32, v int32, visited func(int32) bool, enqueue func(int32)) {
 		srcs, eidx := g.InEdges(v)
 		for j, t := range srcs {
@@ -116,7 +116,7 @@ func Generate(g *graph.Graph, count int, src *rng.Source) (*Sketches, error) {
 // down the reverse CSR's sorted in-row exactly as the forward engines'
 // substrate does.
 func GenerateLT(g *graph.Graph, count int, src *rng.Source) (*Sketches, error) {
-	probs := g.Probs()
+	probs := g.KeyProbs()
 	return drawSets(g, count, src, func(_ int32, v int32, visited func(int32) bool, enqueue func(int32)) {
 		srcs, eidx := g.InEdges(v)
 		if len(eidx) == 0 {
@@ -136,8 +136,8 @@ func GenerateLT(g *graph.Graph, count int, src *rng.Source) (*Sketches, error) {
 	})
 }
 
-// LiveFunc reports whether the forward edge with the given global index
-// (graph.EdgeIndexBase(from)+rank) and probability p is live in the given
+// LiveFunc reports whether the forward edge with the given stable coin key
+// (graph.InEdges' edge-key slot) and probability p is live in the given
 // world. It is the seam through which RR-set drawing shares the diffusion
 // substrate of the forward simulators: a diffusion.LiveEdges probe reads a
 // materialized bit, a plain coin hashes — outcomes are identical.
@@ -169,7 +169,7 @@ func generateLive(g *graph.Graph, count int, src *rng.Source, live LiveFunc, sin
 	// index (whose coin decides liveness in every engine). Liveness is a
 	// per-edge bit, so the walk order within a row cannot change which nodes
 	// an RR set contains.
-	probs := g.Probs()
+	probs := g.KeyProbs()
 	return drawSets(g, count, src, func(set int32, v int32, visited func(int32) bool, enqueue func(int32)) {
 		srcs, eidx := g.InEdges(v)
 		for j, u := range srcs {
@@ -203,7 +203,7 @@ type Walker struct {
 
 // NewWalker prepares a walker over g's shared reverse CSR.
 func NewWalker(g *graph.Graph) *Walker {
-	w := &Walker{g: g, probs: g.Probs(), visited: make([]int32, g.NumNodes())}
+	w := &Walker{g: g, probs: g.KeyProbs(), visited: make([]int32, g.NumNodes())}
 	for i := range w.visited {
 		w.visited[i] = -1
 	}

@@ -120,13 +120,13 @@ func (ga *gates) alphas(r int32) []float64 {
 	}
 	g := ga.inst.G
 	a := make([]float64, kmax)
-	srcs, eidx := g.InEdges(r)
+	srcs, _ := g.InEdges(r)
 	if len(srcs) > gateScan {
-		srcs, eidx = srcs[:gateScan], eidx[:gateScan]
+		srcs = srcs[:gateScan]
 	}
 	sumP := 0.0
-	for i, u := range srcs {
-		j := int(int64(eidx[i]) - g.EdgeIndexBase(u))
+	for _, u := range srcs {
+		j := g.NeighborRank(u, r)
 		_, probs := g.OutEdges(u)
 		// One capacity-DP pass over the positions before j yields the
 		// redeemed-count distribution for every capacity c <= kmax at once:

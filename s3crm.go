@@ -388,7 +388,14 @@ type Deployment struct {
 // buildDeployment validates a public deployment against the problem and
 // converts it to the internal representation.
 func (p *Problem) buildDeployment(dep Deployment) (*diffusion.Deployment, error) {
-	n := p.Users()
+	return buildDeploymentFor(p.inst, dep)
+}
+
+// buildDeploymentFor validates a public deployment against one graph view —
+// a campaign call validates against the view its engines resolved, which may
+// be ahead of the problem's original instance after ApplyEdges.
+func buildDeploymentFor(inst *diffusion.Instance, dep Deployment) (*diffusion.Deployment, error) {
+	n := inst.G.NumNodes()
 	d := diffusion.NewDeployment(n)
 	for _, s := range dep.Seeds {
 		if err := checkUser(s, n); err != nil {
@@ -403,7 +410,7 @@ func (p *Problem) buildDeployment(dep Deployment) (*diffusion.Deployment, error)
 		if k < 0 {
 			return nil, fmt.Errorf("s3crm: negative coupon count for user %d", v)
 		}
-		if deg := p.inst.G.OutDegree(int32(v)); k > deg {
+		if deg := inst.G.OutDegree(int32(v)); k > deg {
 			return nil, fmt.Errorf("s3crm: user %d allocated %d coupons but has %d friends", v, k, deg)
 		}
 		d.SetK(int32(v), k)
