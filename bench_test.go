@@ -533,6 +533,76 @@ func BenchmarkChurnResolve(b *testing.B) {
 	}
 }
 
+// --- SSR warm-reuse benchmark (the pooled sketch-state acceptance run) ---
+
+// BenchmarkSSRWarmReuse measures what the pooled SSR sample state buys
+// after 1% edge churn on the Epinions profile: "cold" pays a fresh campaign
+// and a from-scratch sketch solve over the final edge set, while "warm"
+// holds a campaign that already solved the pre-churn graph and times
+// ApplyEdges (overlay append, NoteChurn on the pooled sketch state) plus
+// Resolve (per-edge re-validation of the pooled samples, re-draw of the
+// invalidated few, resumed doubling). The warm cell reports the reused and
+// redrawn sample counts alongside its redemption metric — the acceptance
+// bar is ≥90% of pooled samples reused and warm beating cold by ≥3×.
+func BenchmarkSSRWarmReuse(b *testing.B) {
+	const churnFrac = 0.01
+	ctx := context.Background()
+	problem, err := GenerateDataset("Epinions", 400, 77)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := func() []Option {
+		return []Option{WithEngine("ssr"), WithSamples(1000), WithSeed(77)}
+	}
+	reduced, stream, err := problem.HoldOutEdges(churnFrac, 77)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("phase=cold", func(b *testing.B) {
+		var rate float64
+		for i := 0; i < b.N; i++ {
+			c, err := problem.NewCampaign(opts()...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := c.Solve(ctx, WithSeed(77))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rate = r.RedemptionRate
+		}
+		b.ReportMetric(rate, "redemption")
+	})
+	b.Run("phase=warm", func(b *testing.B) {
+		var rate, reused, redrawn float64
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			c, err := reduced.NewCampaign(opts()...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prev, err := c.Solve(ctx, WithSeed(77))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := c.ApplyEdges(ctx, stream); err != nil {
+				b.Fatal(err)
+			}
+			r, err := c.Resolve(ctx, prev, WithSeed(77))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rate = r.RedemptionRate
+			reused = float64(r.SketchReused)
+			redrawn = float64(r.SketchRedrawn)
+		}
+		b.ReportMetric(rate, "redemption")
+		b.ReportMetric(reused, "reused")
+		b.ReportMetric(redrawn, "redrawn")
+	})
+}
+
 // --- Million-node bench profile (the graph-substrate acceptance run) ---
 
 // BenchmarkMillionNodeSolve runs the full S3CA pipeline on a million-node
@@ -584,13 +654,16 @@ func BenchmarkMillionNodeSolve(b *testing.B) {
 	// forward-simulates (only the final snapshot scoring and the end-of-
 	// solve measurement do), which is the cell this engine is accepted on —
 	// it must beat the worldcache time above within the same heap budget.
+	// Workers opts the sharded sample build, the gate-DP prefill and the
+	// snapshot scoring fan into every available core; the selected
+	// deployment is bit-identical for any worker count.
 	b.Run("engine="+diffusion.EngineSSR, func(b *testing.B) {
 		var rate float64
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			sol, err := core.Solve(inst, core.Options{
 				Engine: diffusion.EngineSSR, Samples: 100, Seed: 77,
-				GPILimit: 2000,
+				GPILimit: 2000, Workers: runtime.NumCPU(),
 			})
 			if err != nil {
 				b.Fatal(err)

@@ -13,6 +13,7 @@ import (
 	"s3crm/internal/graph"
 	"s3crm/internal/progress"
 	"s3crm/internal/rng"
+	"s3crm/internal/sketch"
 	"s3crm/internal/stats"
 )
 
@@ -60,6 +61,12 @@ const maxEnginePools = 16
 // concurrent burst reuses.
 const maxIdleWorldCaches = 8
 
+// maxIdleSketchWarms bounds each pool's idle SSR sample states. A warm
+// state holds both sample collections' arenas and inverted postings —
+// typically far smaller than a world-cache snapshot but still O(samples ·
+// avg RR-set size) — and sequential ssr traffic reuses exactly one.
+const maxIdleSketchWarms = 2
+
 // engineKey identifies the shared evaluation state two calls may reuse:
 // calls agreeing on these fields see the same possible worlds, so they can
 // share materialized live-edge rows and pooled world-cache snapshots. The
@@ -94,6 +101,13 @@ type enginePool struct {
 	proto *diffusion.Estimator
 	epoch uint64
 	idle  []*diffusion.WorldCache
+	// idleSketch pools SSR sample states the way idle pools world-cache
+	// snapshots: ssr calls check one out, the sketch solver replays or
+	// patches it, and the state the solve produced comes back on success.
+	// ApplyEdges notes churn on idle states in place (the actual sample
+	// patching is deferred to the next checkout) and the shared epoch stamp
+	// drops any state that straddled an append.
+	idleSketch []*sketch.Warm
 }
 
 // view returns a per-call view of the pool's current prototype estimator.
@@ -139,6 +153,39 @@ func (ep *enginePool) put(wc *diffusion.WorldCache, epoch uint64) {
 	ep.mu.Unlock()
 }
 
+// takeSketch pops an idle SSR sample state, newest first, plus the pool's
+// churn epoch at checkout time. Unless dirtyOK is set, only exact (never
+// churned) states are eligible: Solve may only reuse a state it can replay
+// bit-identically, while Resolve (dirtyOK) accepts a churned state and
+// patches it.
+func (ep *enginePool) takeSketch(dirtyOK bool) (*sketch.Warm, uint64) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	for i := len(ep.idleSketch) - 1; i >= 0; i-- {
+		w := ep.idleSketch[i]
+		if dirtyOK || w.Exact() {
+			ep.idleSketch = append(ep.idleSketch[:i], ep.idleSketch[i+1:]...)
+			return w, ep.epoch
+		}
+	}
+	return nil, ep.epoch
+}
+
+// putSketch returns an SSR sample state to the pool under the same rules as
+// put: only successful calls re-pool, and a state checked out before a
+// graph append (stale epoch) is dropped — it describes the old graph and
+// never saw the append's NoteChurn.
+func (ep *enginePool) putSketch(w *sketch.Warm, epoch uint64) {
+	if w == nil {
+		return
+	}
+	ep.mu.Lock()
+	if epoch == ep.epoch && len(ep.idleSketch) < maxIdleSketchWarms {
+		ep.idleSketch = append(ep.idleSketch, w)
+	}
+	ep.mu.Unlock()
+}
+
 // applyBatch moves the pool onto inst2, whose graph extends the prototype's
 // by exactly batch: the prototype becomes a churn-extended estimator
 // (carrying the liveness substrate forward via Extend) and every idle world
@@ -150,6 +197,13 @@ func (ep *enginePool) applyBatch(inst2 *diffusion.Instance, batch []graph.Edge, 
 	next := ep.proto.WithGraph(inst2, churnTargets)
 	for _, wc := range ep.idle {
 		wc.PatchEdges(next.View(context.Background(), workers), batch)
+	}
+	// Idle SSR states record the batch (endpoint → max appended key) and
+	// defer the sample patch to their next checkout; the append-only key
+	// contract puts the batch's keys at the tail of the key space.
+	firstKey := int64(inst2.G.NumEdges() - len(batch))
+	for _, w := range ep.idleSketch {
+		w.NoteChurn(inst2, batch, firstKey)
 	}
 	ep.proto = next
 	ep.epoch++
@@ -263,6 +317,14 @@ func (c *Campaign) newCall(opts []Option) (call, error) {
 	if err != nil {
 		return call{}, err
 	}
+	if cfg.engine == diffusion.EngineAuto {
+		// Resolve auto by the campaign's *current* size (ApplyEdges growth
+		// included) so every downstream consumer — pools, core dispatch,
+		// results — sees a concrete engine name.
+		c.mu.Lock()
+		cfg.engine = diffusion.AutoEngine(c.inst.G.NumNodes(), c.inst.G.NumEdges())
+		c.mu.Unlock()
+	}
 	cl := call{cfg: cfg, seq: c.seq.Add(1), seed: cfg.seed}
 	if cfg.degrade != nil {
 		// Graceful degradation: the hook may downgrade the call to fewer
@@ -313,9 +375,14 @@ func (cl *call) progressFor(algo string) progress.Func {
 // a call's engines always agree on the graph view (views[i].Inst is that
 // view; use it, not the campaign's, for everything the call derives).
 type callEngines struct {
-	evs     []diffusion.Evaluator
-	views   []*diffusion.Estimator
-	release func(error)
+	evs   []diffusion.Evaluator
+	views []*diffusion.Estimator
+	// sketch is the SSR sample state checked out for the call (nil when
+	// none was pooled or the call runs another engine); sketchPut re-pools
+	// the state the solve produced, under the checkout's epoch stamp.
+	sketch    *sketch.Warm
+	sketchPut func(*sketch.Warm)
+	release   func(error)
 }
 
 // enginesFor resolves one evaluator per seed for the call configuration: a
@@ -328,10 +395,10 @@ type callEngines struct {
 // substrates and snapshots, so it is stamped on the views rather than baked
 // into the pools. The release func must be invoked with the call's final
 // error; it re-pools checked-out world caches only on success.
-func (c *Campaign) enginesFor(ctx context.Context, cfg config, seeds []uint64, bare bool) (*callEngines, error) {
+func (c *Campaign) enginesFor(ctx context.Context, cfg config, seeds []uint64, bare, sketchDirtyOK bool) (*callEngines, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	ce := &callEngines{release: func(error) {}}
+	ce := &callEngines{release: func(error) {}, sketchPut: func(*sketch.Warm) {}}
 	var puts []func(error)
 	for _, seed := range seeds {
 		ep, err := c.poolLocked(cfg, seed)
@@ -352,6 +419,14 @@ func (c *Campaign) enginesFor(ctx context.Context, cfg config, seeds []uint64, b
 			view := ep.view(ctx, cfg.workers, cfg.evalMode)
 			ce.evs = append(ce.evs, view)
 			ce.views = append(ce.views, view)
+		}
+		if !bare && cfg.engine == diffusion.EngineSSR && len(ce.evs) == 1 {
+			// The call's main seed also keys its SSR sample pool; the
+			// scorer seed's pool (pinned calls) never holds sketch state.
+			w, epoch := ep.takeSketch(sketchDirtyOK)
+			ce.sketch = w
+			ep := ep
+			ce.sketchPut = func(nw *sketch.Warm) { ep.putSketch(nw, epoch) }
 		}
 	}
 	if len(puts) > 0 {
@@ -382,7 +457,7 @@ func (c *Campaign) Solve(ctx context.Context, opts ...Option) (*Result, error) {
 	if cl.cfg.seedPinned {
 		seeds = append(seeds, cl.scorerSeed)
 	}
-	ce, err := c.enginesFor(ctx, cl.cfg, seeds, false)
+	ce, err := c.enginesFor(ctx, cl.cfg, seeds, false, false)
 	if err != nil {
 		return nil, err
 	}
@@ -409,12 +484,15 @@ func (c *Campaign) Solve(ctx context.Context, opts ...Option) (*Result, error) {
 		Delta:             cl.cfg.delta,
 		Evaluator:         ev,
 		Scorer:            scorer,
+		SketchWarm:        ce.sketch,
+		SketchPool:        true,
 		Progress:          cl.progressFor("S3CA"),
 	})
 	release(err)
 	if err != nil {
 		return nil, fmt.Errorf("s3crm: %w", err)
 	}
+	ce.sketchPut(sol.SketchWarm)
 	r := resultFrom("S3CA", inst, sol.Deployment, view, cl.cfg.samples, cl.degraded)
 	// resultFrom measures on the ctx-carrying view, which breaks out of
 	// its world sweep when cancelled; never hand partial sums to a caller.
@@ -422,7 +500,18 @@ func (c *Campaign) Solve(ctx context.Context, opts ...Option) (*Result, error) {
 		return nil, fmt.Errorf("s3crm: final measurement aborted: %w", err)
 	}
 	r.ExploredRatio = float64(sol.Stats.ExploredNodes) / float64(inst.G.NumNodes())
+	copySketchStats(r, sol.Stats)
 	return r, nil
+}
+
+// copySketchStats surfaces the SSR engine's build instrumentation on a
+// public result; other engines leave the fields zero (and absent from the
+// JSON encoding).
+func copySketchStats(r *Result, st core.Stats) {
+	r.SketchWorkers = st.SketchWorkers
+	r.SketchBuildNs = st.SketchBuildNs
+	r.SketchReused = st.SketchReused
+	r.SketchRedrawn = st.SketchRedrawn
 }
 
 // RunBaseline runs one of the paper's comparison algorithms (see Baselines)
@@ -437,7 +526,7 @@ func (c *Campaign) RunBaseline(ctx context.Context, name string, opts ...Option)
 	// deployments, so the bare estimator view serves every engine (no
 	// world cache is checked out); the engine name still selects
 	// sketch-based candidate pruning.
-	ce, err := c.enginesFor(ctx, cl.cfg, []uint64{cl.seed}, true)
+	ce, err := c.enginesFor(ctx, cl.cfg, []uint64{cl.seed}, true, false)
 	if err != nil {
 		return nil, err
 	}
@@ -507,7 +596,7 @@ func (c *Campaign) EvaluateBatch(ctx context.Context, deps []Deployment, opts ..
 	if err != nil {
 		return nil, err
 	}
-	ce, err := c.enginesFor(ctx, cl.cfg, []uint64{cl.seed}, true)
+	ce, err := c.enginesFor(ctx, cl.cfg, []uint64{cl.seed}, true, false)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"s3crm/internal/core"
 	"s3crm/internal/diffusion"
 	"s3crm/internal/graph"
 	"s3crm/internal/rng"
@@ -242,12 +243,34 @@ const resolveRepairLimit = 8
 // and reverted if the gain does not hold. The result is the repaired
 // deployment's exact measurement; a nil prev falls back to a full Solve.
 //
-// Resolve runs on the worldcache engine regardless of the configured engine
-// (the repair loop is incremental by construction). All other call options
-// apply as usual.
+// Under the SSR engine (configured directly or resolved from "auto" by the
+// campaign's current size) Resolve instead re-runs the sketch solver
+// warm-started from a pooled sample state: samples untouched by the churn are
+// reused verbatim and only watermark-invalidated ones are re-drawn, so the
+// re-solve re-certifies the (1−1/e−ε) guarantee at a fraction of a cold
+// solve. Every other engine runs the worldcache repair loop (it is
+// incremental by construction). All other call options apply as usual.
 func (c *Campaign) Resolve(ctx context.Context, prev *Result, opts ...Option) (*Result, error) {
 	if prev == nil {
 		return c.Solve(ctx, opts...)
+	}
+	// Peek the call's effective engine without burning a call sequence
+	// number: the ssr-vs-worldcache branch must resolve before newCall, or
+	// the unused call would shift every later unpinned call's scorer stream.
+	base := c.cfg
+	base.seedPinned = false
+	pcfg, err := base.apply(opts)
+	if err != nil {
+		return nil, err
+	}
+	engine := pcfg.engine
+	if engine == diffusion.EngineAuto {
+		c.mu.Lock()
+		engine = diffusion.AutoEngine(c.inst.G.NumNodes(), c.inst.G.NumEdges())
+		c.mu.Unlock()
+	}
+	if engine == diffusion.EngineSSR {
+		return c.resolveSSR(ctx, opts)
 	}
 	opts = append(opts[:len(opts):len(opts)], WithEngine("worldcache"))
 	cl, err := c.newCall(opts)
@@ -258,7 +281,7 @@ func (c *Campaign) Resolve(ctx context.Context, prev *Result, opts ...Option) (*
 	churned := append([]int32(nil), c.churned...)
 	c.mu.Unlock()
 
-	ce, err := c.enginesFor(ctx, cl.cfg, []uint64{cl.seed}, false)
+	ce, err := c.enginesFor(ctx, cl.cfg, []uint64{cl.seed}, false, false)
 	if err != nil {
 		return nil, err
 	}
@@ -346,4 +369,84 @@ func (c *Campaign) Resolve(ctx context.Context, prev *Result, opts ...Option) (*
 	c.mu.Unlock()
 
 	return resultOf("resolve", inst, d, res, cl.cfg.samples, cl.degraded), nil
+}
+
+// resolveSSR is Resolve's path for SSR-engine campaigns: a full sketch
+// re-solve warm-started from a pooled sample state. The pooled state carries
+// the churn log every ApplyEdges since its last use recorded
+// (sketch.Warm.NoteChurn); the solver patches it — retargeting the stores
+// onto the extended graph and re-drawing only samples whose draw-time
+// watermark proves an appended edge could have changed them — and resumes
+// the doubling schedule from the samples it kept. The warm path is
+// ε-accurate rather than bit-exact (the sampling universe stays frozen at
+// its build; see DESIGN.md, "SSR sketch solver"), which is exactly the
+// certificate Resolve promises.
+func (c *Campaign) resolveSSR(ctx context.Context, opts []Option) (*Result, error) {
+	// Force the concrete name so a caller's "auto" cannot re-resolve
+	// differently inside newCall if the graph grows concurrently.
+	opts = append(opts[:len(opts):len(opts)], WithEngine("ssr"))
+	cl, err := c.newCall(opts)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	churnedLen := len(c.churned)
+	c.mu.Unlock()
+
+	seeds := []uint64{cl.seed}
+	if cl.cfg.seedPinned {
+		seeds = append(seeds, cl.scorerSeed)
+	}
+	ce, err := c.enginesFor(ctx, cl.cfg, seeds, false, true)
+	if err != nil {
+		return nil, err
+	}
+	ev, view := ce.evs[0], ce.views[0]
+	var scorer diffusion.Evaluator
+	if len(ce.evs) > 1 {
+		scorer = ce.evs[1]
+	}
+	inst := view.Inst
+	sol, err := core.SolveCtx(ctx, inst, core.Options{
+		Engine:            cl.cfg.engine,
+		Model:             cl.cfg.model,
+		Diffusion:         cl.cfg.diffusion,
+		LiveEdgeMemBudget: cl.cfg.memBudget,
+		EvalMode:          cl.cfg.evalMode,
+		Samples:           cl.cfg.samples,
+		Seed:              cl.seed,
+		ScorerSeed:        cl.scorerSeed,
+		Workers:           cl.cfg.workers,
+		GPILimit:          cl.cfg.gpiLimit,
+		ExhaustiveID:      cl.cfg.exhaustiveID,
+		Epsilon:           cl.cfg.epsilon,
+		Delta:             cl.cfg.delta,
+		Evaluator:         ev,
+		Scorer:            scorer,
+		SketchWarm:        ce.sketch,
+		SketchWarmApprox:  true,
+		SketchPool:        true,
+		Progress:          cl.progressFor("S3CA"),
+	})
+	ce.release(err)
+	if err != nil {
+		return nil, fmt.Errorf("s3crm: %w", err)
+	}
+	ce.sketchPut(sol.SketchWarm)
+	r := resultFrom("resolve", inst, sol.Deployment, view, cl.cfg.samples, cl.degraded)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("s3crm: final measurement aborted: %w", err)
+	}
+	r.ExploredRatio = float64(sol.Stats.ExploredNodes) / float64(inst.G.NumNodes())
+	copySketchStats(r, sol.Stats)
+
+	// Consume the churn set this re-solve covered (the warm state's own log
+	// was consumed by the patch); endpoints appended by a concurrent
+	// ApplyEdges stay queued for the next Resolve.
+	c.mu.Lock()
+	if len(c.churned) >= churnedLen {
+		c.churned = append([]int32(nil), c.churned[churnedLen:]...)
+	}
+	c.mu.Unlock()
+	return r, nil
 }

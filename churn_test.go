@@ -2,6 +2,7 @@ package s3crm
 
 import (
 	"context"
+	"math"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -72,6 +73,16 @@ func coldProblemAfter(t *testing.T, p *Problem, stream []EdgeAdd) *Problem {
 	return &Problem{inst: extendInstance(p.inst, g)}
 }
 
+// clearSketchTiming zeroes the one Result field that is wall-clock rather
+// than deterministic state, so parity tests can DeepEqual whole Results.
+func clearSketchTiming(rs ...*Result) {
+	for _, r := range rs {
+		if r != nil {
+			r.SketchBuildNs = 0
+		}
+	}
+}
+
 // TestApplyEdgesColdParity: after ApplyEdges, every engine's Solve and
 // Evaluate answers are bit-identical to a campaign built cold over the
 // stable-keyed rebuild of the extended graph — across engines and models,
@@ -122,6 +133,7 @@ func TestApplyEdgesColdParity(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
+					clearSketchTiming(rw, rc)
 					if !reflect.DeepEqual(rw, rc) {
 						t.Fatalf("solve diverged:\nwarm %+v\ncold %+v", rw, rc)
 					}
@@ -184,6 +196,7 @@ func TestApplyEdgesSplitEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			clearSketchTiming(r1, r2, r3)
 			if !reflect.DeepEqual(r1, r2) || !reflect.DeepEqual(r1, r3) {
 				t.Fatalf("batch split changed results:\none %+v\ntwo %+v\nper-edge %+v", r1, r2, r3)
 			}
@@ -333,6 +346,107 @@ func TestResolveWarmRestart(t *testing.T) {
 	}
 }
 
+// TestResolveSSRWarmReuse: Resolve on an ssr campaign re-runs the sketch
+// solver warm-started from the pooled sample state — after a ~1% append the
+// watermark check must keep the overwhelming majority of pooled samples, and
+// the patched re-solve must land within the certified ε of a campaign built
+// cold over the extended graph.
+func TestResolveSSRWarmReuse(t *testing.T) {
+	ctx := context.Background()
+	r := rand.New(rand.NewSource(21))
+	p, stream := randomChurnProblem(t, r, 120, 1200, 12)
+	const eps = 0.2
+	opts := []Option{WithEngine("ssr"), WithSamples(64), WithSeed(7),
+		WithEpsilon(eps), WithDelta(0.1)}
+	warm, err := p.NewCampaign(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := warm.Solve(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.ApplyEdges(ctx, stream); err != nil {
+		t.Fatal(err)
+	}
+	got, err := warm.Resolve(ctx, prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Algorithm != "resolve" {
+		t.Fatalf("algorithm = %q", got.Algorithm)
+	}
+	total := got.SketchReused + got.SketchRedrawn
+	if total == 0 {
+		t.Fatal("ssr Resolve did not take the warm patch path (no reuse accounting)")
+	}
+	if frac := float64(got.SketchReused) / float64(total); frac < 0.9 {
+		t.Fatalf("reused %d of %d pooled samples (%.2f), want >= 0.90",
+			got.SketchReused, total, frac)
+	}
+	cold, err := coldProblemAfter(t, p, stream).NewCampaign(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := cold.Solve(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(got.RedemptionRate - rc.RedemptionRate); diff > eps*rc.RedemptionRate {
+		t.Fatalf("warm resolve rate %.4f differs from cold %.4f by %.4f (allowed ε·rate = %.4f)",
+			got.RedemptionRate, rc.RedemptionRate, diff, eps*rc.RedemptionRate)
+	}
+	warm.mu.Lock()
+	left := len(warm.churned)
+	warm.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("%d churn endpoints left unconsumed after ssr Resolve", left)
+	}
+}
+
+// TestSketchPoolEpochStaleness: a sample state checked out before an
+// ApplyEdges never saw that append's NoteChurn, so its watermark log is
+// incomplete — re-pooling it would let a later Resolve patch against missing
+// churn. The epoch stamp must drop it.
+func TestSketchPoolEpochStaleness(t *testing.T) {
+	ctx := context.Background()
+	r := rand.New(rand.NewSource(8))
+	p, stream := randomChurnProblem(t, r, 24, 72, 6)
+	c, err := p.NewCampaign(WithEngine("ssr"), WithSamples(48), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Solve(ctx); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	ep := c.engines[c.defaultKey]
+	c.mu.Unlock()
+	w, epoch := ep.takeSketch(false)
+	if w == nil {
+		t.Fatal("cold ssr solve pooled no sample state")
+	}
+	// The state is in flight while an append advances the pool — the
+	// straddling-call scenario the stamp exists for.
+	if _, err := c.ApplyEdges(ctx, stream); err != nil {
+		t.Fatal(err)
+	}
+	ep.putSketch(w, epoch)
+	if n := len(ep.idleSketch); n != 0 {
+		t.Fatalf("stale sample state re-pooled across ApplyEdges (%d idle)", n)
+	}
+	// A current-epoch stamp is accepted, nil puts are ignored, and the idle
+	// list never grows past its cap.
+	_, epoch2 := ep.takeSketch(true)
+	ep.putSketch(nil, epoch2)
+	for i := 0; i < maxIdleSketchWarms+2; i++ {
+		ep.putSketch(w, epoch2)
+	}
+	if n := len(ep.idleSketch); n != maxIdleSketchWarms {
+		t.Fatalf("idle sketch list = %d states, want the cap %d", n, maxIdleSketchWarms)
+	}
+}
+
 // TestHoldOutEdges: the split plus its replay restores the exact original
 // edge set, and bad fractions are rejected.
 func TestHoldOutEdges(t *testing.T) {
@@ -366,12 +480,19 @@ func TestHoldOutEdges(t *testing.T) {
 
 // TestConcurrentChurn exercises ApplyEdges racing Solve, Evaluate and
 // Resolve on one shared campaign — the scenario the epoch-stamped pools and
-// the single-lock engine resolution exist for. Run under -race in CI.
+// the single-lock engine resolution exist for. Both pooled-state engines run
+// (worldcache snapshots, ssr sample states). Run under -race in CI.
 func TestConcurrentChurn(t *testing.T) {
+	for _, engine := range []string{"worldcache", "ssr"} {
+		t.Run(engine, func(t *testing.T) { concurrentChurn(t, engine) })
+	}
+}
+
+func concurrentChurn(t *testing.T, engine string) {
 	ctx := context.Background()
 	r := rand.New(rand.NewSource(12))
 	p, stream := randomChurnProblem(t, r, 24, 60, 24)
-	c, err := p.NewCampaign(WithEngine("worldcache"), WithSamples(48), WithSeed(4), WithWorkers(2))
+	c, err := p.NewCampaign(WithEngine(engine), WithSamples(48), WithSeed(4), WithWorkers(2))
 	if err != nil {
 		t.Fatal(err)
 	}

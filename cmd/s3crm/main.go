@@ -15,8 +15,11 @@
 // has one, else the paper's weighted cascade (1/in-degree); "uniform" and
 // "trivalency" are available explicitly.
 //
-// Propagation follows -model: "ic" (independent cascade, the default) or
-// "lt" (linear threshold — in-weights must sum to ≤ 1 per user, which the
+// The evaluation engine follows -engine, defaulting to "auto": the SSR
+// sketch solver at or above 200k users / 2M edges, the incremental world
+// cache below — pass a concrete name (mc, worldcache, sketch, ssr) to pin
+// one. Propagation follows -model: "ic" (independent cascade, the default)
+// or "lt" (linear threshold — in-weights must sum to ≤ 1 per user, which the
 // weighted-cascade probabilities guarantee and -ltnorm establishes for any
 // other weighting):
 //
@@ -68,7 +71,7 @@ func main() {
 		kappa    = flag.Float64("kappa", 10, "total seed cost / total benefit ratio")
 		budget   = flag.Float64("budget", 0, "investment budget Binv (0 = dataset default)")
 		algo     = flag.String("algo", "S3CA", "algorithm: S3CA, IM-U, IM-L, PM-U, PM-L, IM-S")
-		engine   = flag.String("engine", "mc", "evaluation engine: mc, worldcache, sketch (baseline candidate pruning), ssr (sketch solver)")
+		engine   = flag.String("engine", "auto", "evaluation engine: "+s3crm.EngineUsage())
 		epsilon  = flag.Float64("epsilon", 0.1, "ssr engine approximation slack ε in (0,1): certify within (1−1/e−ε)")
 		delta    = flag.Float64("delta", 0.01, "ssr engine failure probability δ in (0,1)")
 		model    = flag.String("model", "ic", "triggering model: ic (independent cascade), lt (linear threshold)")

@@ -86,7 +86,7 @@ func main() {
 		probmod  = flag.String("probmodel", "", "influence probabilities for -graph: file, uniform, wc, trivalency (default: file column if present, else wc)")
 		budget   = flag.Float64("budget", 0, "investment budget for -graph instances")
 		scenario = flag.String("scenario", "", "saved scenario JSON (alternative to -dataset)")
-		engine   = flag.String("engine", "mc", "default evaluation engine: mc, worldcache, sketch (baseline candidate pruning), ssr (sketch solver)")
+		engine   = flag.String("engine", "mc", "default evaluation engine: "+s3crm.EngineUsage())
 		epsilon  = flag.Float64("epsilon", 0.1, "default ssr engine approximation slack ε in (0,1)")
 		delta    = flag.Float64("delta", 0.01, "default ssr engine failure probability δ in (0,1)")
 		model    = flag.String("model", "ic", "default triggering model: ic (independent cascade), lt (linear threshold)")
@@ -453,15 +453,16 @@ func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *server) info(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"users":      s.campaign.Users(), // current counts: /graph/append grows them
-		"edges":      s.campaign.Edges(),
-		"budget":     s.problem.Budget(),
-		"defaults":   s.defaults,
-		"engines":    s3crm.Engines(),
-		"models":     s3crm.Models(),
-		"diffusions": s3crm.Diffusions(),
-		"eval_modes": s3crm.EvalModes(),
-		"baselines":  s3crm.Baselines(),
+		"users":        s.campaign.Users(), // current counts: /graph/append grows them
+		"edges":        s.campaign.Edges(),
+		"budget":       s.problem.Budget(),
+		"defaults":     s.defaults,
+		"engines":      s3crm.Engines(),
+		"engine_usage": s3crm.EngineUsage(),
+		"models":       s3crm.Models(),
+		"diffusions":   s3crm.Diffusions(),
+		"eval_modes":   s3crm.EvalModes(),
+		"baselines":    s3crm.Baselines(),
 	})
 }
 

@@ -97,7 +97,7 @@ func TestSolveEndpoint(t *testing.T) {
 func TestSolveRejectsUnknownNames(t *testing.T) {
 	s := testServer(t)
 	cases := []struct{ body, want string }{
-		{`{"engine":"warp"}`, `unknown engine "warp" (want one of [mc worldcache sketch ssr])`},
+		{`{"engine":"warp"}`, `unknown engine "warp" (want one of [mc worldcache sketch ssr auto])`},
 		{`{"model":"voter"}`, `unknown triggering model "voter" (want one of [ic lt])`},
 		{`{"diffusion":"quantum"}`, `unknown diffusion substrate "quantum" (want one of [liveedge hash])`},
 	}

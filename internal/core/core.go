@@ -7,6 +7,7 @@ import (
 
 	"s3crm/internal/diffusion"
 	"s3crm/internal/progress"
+	"s3crm/internal/sketch"
 )
 
 // Options configures Solve.
@@ -37,7 +38,9 @@ type Options struct {
 	// baselines' seed ranking, not the solver), or diffusion.EngineSSR (the
 	// SSR sketch solver: selection runs as weighted cover maximization over
 	// coupon-indexed RR samples sized adaptively by Epsilon/Delta, and only
-	// the final deployment is forward-evaluated).
+	// the final deployment is forward-evaluated). diffusion.EngineAuto
+	// resolves to ssr or worldcache by instance size before dispatch (see
+	// diffusion.AutoEngine).
 	Engine string
 	// Model selects the triggering model deciding per-world edge liveness
 	// (see diffusion.Models): diffusion.ModelIC (the default, independent
@@ -137,6 +140,19 @@ type Options struct {
 	// The experiment harness enables this to mirror the paper's regime;
 	// the strict variant's redemption rates are higher still.
 	SpendBudget bool
+	// SketchWarm, when non-nil and the SSR engine runs, seeds the sketch
+	// solver with a pooled sample state from an earlier solve; the state
+	// produced by this solve comes back in Solution.SketchWarm. An exact
+	// unchurned state replays bit-identically; a churned one is used only
+	// under SketchWarmApprox, re-drawing just its invalidated samples
+	// (ε-accurate, not bit-exact — Resolve-style callers opt in).
+	SketchWarm       *sketch.Warm
+	SketchWarmApprox bool
+	// SketchPool asks the SSR engine to hand its sample state back in
+	// Solution.SketchWarm for pooling. Callers without a pool (one-shot
+	// solves) leave it false so the collections become collectable before
+	// the final forward measurement instead of sitting in the heap.
+	SketchPool bool
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -192,6 +208,14 @@ type Stats struct {
 	SketchLB        float64
 	SketchUB        float64
 	SketchCertified bool
+	// SketchWorkers is the worker cap the SSR sample build ran under and
+	// SketchBuildNs the nanoseconds it spent drawing or patching samples.
+	// SketchReused and SketchRedrawn account a warm state's churn patch:
+	// samples copied bit-for-bit versus re-drawn. Zero under other engines.
+	SketchWorkers int
+	SketchBuildNs int64
+	SketchReused  int
+	SketchRedrawn int
 }
 
 // TrajectoryPoint is one ID investment: what was bought, and the
@@ -216,6 +240,10 @@ type Solution struct {
 	// Trajectory holds the ID phase's investment sequence when
 	// Options.RecordTrajectory is set.
 	Trajectory []TrajectoryPoint
+	// SketchWarm is the SSR engine's poolable sample state (nil under every
+	// other engine); a caller may hand it to a later compatible solve via
+	// Options.SketchWarm.
+	SketchWarm *sketch.Warm
 }
 
 // PartialError reports a solve aborted by context cancellation or deadline
@@ -247,6 +275,11 @@ type solver struct {
 	explored   []bool
 	stats      Stats
 	trajectory []TrajectoryPoint
+	sketchWarm *sketch.Warm // SSR engine's poolable sample state
+	// extraEvals counts forward evaluations made on sequential estimator
+	// views (the ssr snapshot scorer), which the shared estimator's own
+	// counter cannot see.
+	extraEvals int64
 
 	// Exhaustive-sweep scratch, reused across ID iterations so the inner
 	// loop allocates nothing: influence marks (cleared via the marked list,
@@ -367,6 +400,9 @@ func SolveCtx(ctx context.Context, inst *diffusion.Instance, opts Options) (*Sol
 	}
 	n := inst.G.NumNodes()
 	opts = opts.withDefaults(n)
+	if opts.Engine == diffusion.EngineAuto {
+		opts.Engine = diffusion.AutoEngine(n, inst.G.NumEdges())
+	}
 	ev := opts.Evaluator
 	if ev == nil {
 		var err error
@@ -417,7 +453,9 @@ func SolveCtx(ctx context.Context, inst *diffusion.Instance, opts Options) (*Sol
 			}
 			return nil, err
 		}
-		return s.finish(best), nil
+		sol := s.finish(best)
+		sol.SketchWarm = s.sketchWarm
+		return sol, nil
 	}
 
 	s.enterPhase("id")
@@ -458,7 +496,7 @@ func (s *solver) partial() error {
 	if !s.aborted() {
 		return nil
 	}
-	s.stats.Evaluations = s.est.Evals()
+	s.stats.Evaluations = s.est.Evals() + s.extraEvals
 	s.stats.WorldBlocks = worldBlocks(s.est)
 	return &PartialError{Phase: s.phase, Stats: s.stats, Err: s.err}
 }
@@ -473,7 +511,7 @@ func (s *solver) finish(d *diffusion.Deployment) *Solution {
 	if total > 0 {
 		rate = benefit / total
 	}
-	s.stats.Evaluations = s.est.Evals()
+	s.stats.Evaluations = s.est.Evals() + s.extraEvals
 	s.stats.WorldBlocks = worldBlocks(s.est)
 	return &Solution{
 		Deployment:     d,

@@ -1,23 +1,54 @@
 package core
 
 import (
+	"context"
+	"sync"
+	"sync/atomic"
+
 	"s3crm/internal/diffusion"
 	"s3crm/internal/progress"
 	"s3crm/internal/sketch"
 )
+
+// estimatorViewer is satisfied by *diffusion.Estimator: the ssr path scores
+// candidate snapshots on sequential (workers=0) views so that every forward
+// measurement it makes is independent of the Workers knob — parallelism
+// comes from fanning candidates across goroutines, one sequential view
+// each, which is what keeps ssr Results bit-identical for any worker count.
+type estimatorViewer interface {
+	View(ctx context.Context, workers int) *diffusion.Estimator
+}
 
 // sketchSolve runs the SSR sketch engine over phase 1's pivot queue: the
 // queue (already rate-ordered) seeds the cover maximizer exactly as it
 // seeds the forward ID loop, the sample schedule is sized by the
 // Epsilon/Delta stopping rule, and the selected deployment comes back for
 // one honest forward evaluation in finish. Each doubling round emits one
-// "sketch" progress event carrying the sample count and the certification
-// bound gap.
+// "sketch" progress event carrying the sample count, the certification
+// bound gap, and the build parallelism counters.
 func (s *solver) sketchSolve(queue []pivotEntry) (*diffusion.Deployment, error) {
 	pivots := make([]sketch.Pivot, len(queue))
 	for i, e := range queue {
 		pivots[i] = sketch.Pivot{Node: e.node, K: e.k, Rate: e.rate}
 	}
+	workers := s.opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	s.stats.SketchWorkers = workers
+
+	vr, canView := s.est.(estimatorViewer)
+	scoreSeq := diffusion.Evaluator(s.est)
+	if canView {
+		scoreSeq = vr.View(s.ctx, 0)
+	}
+	var scored atomic.Int64
+	scoreOn := func(ev diffusion.Evaluator, d *diffusion.Deployment) float64 {
+		scored.Add(1)
+		cost := s.inst.SeedCostOf(d) + s.inst.SCCostOf(d)
+		return safeRatio(ev.Benefit(d), cost)
+	}
+
 	res, err := sketch.Solve(sketch.Config{
 		Inst:          s.inst,
 		Model:         s.opts.Model,
@@ -27,23 +58,59 @@ func (s *solver) sketchSolve(queue []pivotEntry) (*diffusion.Deployment, error) 
 		Delta:         s.opts.Delta,
 		RateTolerance: s.opts.RateTolerance,
 		SpendBudget:   s.opts.SpendBudget,
+		Workers:       workers,
+		Warm:          s.opts.SketchWarm,
+		WarmApprox:    s.opts.SketchWarmApprox,
 		Ctx:           s.ctx,
 		// Snapshot selection runs on forward-measured rates: the sketch
 		// relaxation overestimates coupon marginals, so its own estimates
 		// would stop the trajectory too late (see sketch.Config.Score).
 		Score: func(d *diffusion.Deployment) float64 {
-			cost := s.inst.SeedCostOf(d) + s.inst.SCCostOf(d)
-			return safeRatio(s.est.Benefit(d), cost)
+			return scoreOn(scoreSeq, d)
 		},
-		OnRound: func(round, samples int, gap float64) {
+		ScoreBatch: func(ds []*diffusion.Deployment) []float64 {
+			out := make([]float64, len(ds))
+			w := workers
+			if w > len(ds) {
+				w = len(ds)
+			}
+			if !canView || w <= 1 {
+				for i, d := range ds {
+					out[i] = scoreOn(scoreSeq, d)
+				}
+				return out
+			}
+			var wg sync.WaitGroup
+			next := int64(-1)
+			for k := 0; k < w; k++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					view := vr.View(s.ctx, 0)
+					for {
+						i := int(atomic.AddInt64(&next, 1))
+						if i >= len(ds) {
+							return
+						}
+						out[i] = scoreOn(view, ds[i])
+					}
+				}()
+			}
+			wg.Wait()
+			return out
+		},
+		OnRound: func(round, samples int, gap float64, buildNs int64) {
 			s.stats.SketchRounds, s.stats.SketchSamples = round, samples
+			s.stats.SketchBuildNs = buildNs
 			if s.opts.Progress != nil {
 				s.opts.Progress(progress.Event{
-					Phase:       s.phase,
-					Iteration:   round,
-					Samples:     samples,
-					BoundGap:    gap,
-					Evaluations: s.est.Evals(),
+					Phase:         s.phase,
+					Iteration:     round,
+					Samples:       samples,
+					BoundGap:      gap,
+					Evaluations:   s.est.Evals() + scored.Load(),
+					SketchWorkers: workers,
+					SketchBuildNs: buildNs,
 				})
 			}
 		},
@@ -55,6 +122,12 @@ func (s *solver) sketchSolve(queue []pivotEntry) (*diffusion.Deployment, error) 
 	s.stats.SketchSamples = res.Samples
 	s.stats.SketchLB, s.stats.SketchUB = res.LB, res.UB
 	s.stats.SketchCertified = res.Certified
+	s.stats.SketchBuildNs = res.BuildNs
+	s.stats.SketchReused, s.stats.SketchRedrawn = res.Reused, res.Redrawn
+	if s.opts.SketchPool {
+		s.sketchWarm = res.Warm
+	}
+	s.extraEvals = scored.Load()
 	if s.opts.RecordTrajectory {
 		for _, st := range res.Steps {
 			action := "coupon"

@@ -31,10 +31,47 @@ const (
 	// evaluation of the selected deployment (this evaluator, MC semantics),
 	// so all engines agree on what a redemption rate means.
 	EngineSSR = "ssr"
+	// EngineAuto resolves to EngineSSR or EngineWorldCache by instance size
+	// before any engine is built (see AutoEngine): reverse sampling wins
+	// once graphs are large enough that forward world simulation dominates,
+	// and the world cache wins below that. Campaign and core resolve the
+	// name at call time, so everything downstream (pools, stats, results)
+	// sees the concrete engine.
+	EngineAuto = "auto"
 )
 
 // Engines lists the evaluation engines in documentation order.
-func Engines() []string { return []string{EngineMC, EngineWorldCache, EngineSketch, EngineSSR} }
+func Engines() []string {
+	return []string{EngineMC, EngineWorldCache, EngineSketch, EngineSSR, EngineAuto}
+}
+
+// Auto-selection thresholds: at or above either, AutoEngine picks the SSR
+// sketch solver. The crossover in the benchmark suite sits between the
+// Epinions-scale profiles (~120k nodes / ~1.6M edges, where worldcache
+// solves in tens of milliseconds) and the million-node profile (1M nodes /
+// 10M edges, where ssr solves seconds faster in a fraction of the memory);
+// the thresholds split that gap.
+const (
+	AutoSSRNodeThreshold = 200_000
+	AutoSSREdgeThreshold = 2_000_000
+)
+
+// AutoEngine resolves EngineAuto for an instance of the given size.
+func AutoEngine(nodes, edges int) string {
+	if nodes >= AutoSSRNodeThreshold || edges >= AutoSSREdgeThreshold {
+		return EngineSSR
+	}
+	return EngineWorldCache
+}
+
+// EngineUsage is the one-line engine synopsis shared by both CLIs' -engine
+// flag help and the daemon's /info payload, so the accepted names live in
+// one place.
+func EngineUsage() string {
+	return "mc (plain Monte Carlo), worldcache (incremental world replay), " +
+		"sketch (RIS-pruned baselines), ssr (SSR sketch solver), " +
+		"auto (ssr at scale, worldcache below it)"
+}
 
 // Evaluator is the evaluation seam every layer of the reproduction talks
 // to: the S3CA solver, all baselines and the eval harness estimate B(S, K)
@@ -95,6 +132,12 @@ type EngineOptions struct {
 func NewEngineOpts(inst *Instance, o EngineOptions) (Evaluator, error) {
 	var est *Estimator
 	switch o.Engine {
+	case EngineAuto:
+		// Callers normally resolve auto before building (Campaign.newCall,
+		// core.SolveCtx); resolve here too so direct engine construction
+		// accepts every name Engines() lists.
+		o.Engine = AutoEngine(inst.G.NumNodes(), inst.G.NumEdges())
+		return NewEngineOpts(inst, o)
 	case "", EngineMC, EngineSketch, EngineSSR, EngineWorldCache:
 		est = NewEstimator(inst, o.Samples, o.Seed)
 		est.Workers = o.Workers

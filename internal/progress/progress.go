@@ -44,6 +44,11 @@ type Event struct {
 	// doubling round (SSR engine "sketch" phase only); the stopping rule
 	// fires once it falls to Epsilon + the greedy slack.
 	BoundGap float64 `json:"bound_gap,omitempty"`
+	// SketchWorkers is the worker cap the SSR sample build runs under and
+	// SketchBuildNs the cumulative nanoseconds it has spent drawing or
+	// patching samples (SSR engine "sketch" phase only).
+	SketchWorkers int   `json:"sketch_workers,omitempty"`
+	SketchBuildNs int64 `json:"sketch_build_ns,omitempty"`
 }
 
 // Func receives events. A nil Func is "no progress reporting"; emitters

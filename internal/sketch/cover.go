@@ -2,6 +2,7 @@ package sketch
 
 import (
 	"math"
+	"sort"
 
 	"s3crm/internal/diffusion"
 	"s3crm/internal/pq"
@@ -20,6 +21,7 @@ type maximizer struct {
 	inst   *diffusion.Instance
 	st     *store
 	scale  float64 // W_U / θ: cover counts → expected benefit
+	limit  int     // samples [0, limit) participate; the rest are invisible
 	budget float64
 
 	covered []bool
@@ -56,21 +58,35 @@ type move struct {
 	cost           float64
 }
 
-func newMaximizer(inst *diffusion.Instance, st *store, scale float64) *maximizer {
+// newMaximizer builds a cover pass over the first limit samples of st. A
+// warm store may hold more samples than the doubling round being replayed;
+// restricting every cover count and list walk to the prefix makes the pass
+// bit-identical to one over a store holding exactly limit samples, which is
+// what lets a warm Solve replay the cold doubling schedule.
+func newMaximizer(inst *diffusion.Instance, st *store, scale float64, limit int) *maximizer {
 	n := inst.G.NumNodes()
 	m := &maximizer{
-		inst: inst, st: st, scale: scale, budget: inst.Budget,
-		covered: make([]bool, st.len()),
+		inst: inst, st: st, scale: scale, limit: limit, budget: inst.Budget,
+		covered: make([]bool, limit),
 		entered: make([]bool, n),
 		d:       diffusion.NewDeployment(n),
 	}
 	for c := 0; c < kmax; c++ {
 		m.deg[c] = make([]int32, n)
 		for v, list := range st.slotCover[c] {
-			m.deg[c][v] = int32(len(list))
+			m.deg[c][v] = int32(prefixLen(list, limit))
 		}
 	}
 	return m
+}
+
+// prefixLen counts how many entries of an ascending sample-index list fall
+// below limit.
+func prefixLen(list []int32, limit int) int {
+	if n := len(list); n == 0 || int(list[n-1]) < limit {
+		return n
+	}
+	return sort.Search(len(list), func(i int) bool { return int(list[i]) >= limit })
 }
 
 // ratio mirrors core's safeRatio: 0/0 is 0, positive gain at zero marginal
@@ -152,6 +168,9 @@ func (m *maximizer) absorb(v int32) {
 // of each member of each slot exactly once per newly covered sample.
 func (m *maximizer) cover(list []int32) {
 	for _, s := range list {
+		if int(s) >= m.limit {
+			break // ascending sample order: the rest is past the prefix
+		}
 		if m.covered[s] {
 			continue
 		}

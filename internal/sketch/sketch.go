@@ -21,6 +21,13 @@
 // The caller therefore always forward-measures the returned deployment for
 // reporting; the sketches only drive selection (see DESIGN.md, "SSR sketch
 // solver").
+//
+// The build is the solver's hot path and parallelizes without perturbing a
+// single bit: every draw is keyed by the global sample index, so extension
+// shards by contiguous sample ranges across Workers goroutines and merges
+// in sample order, and a certified Warm state can be pooled and re-used by
+// a later call — replayed exactly when nothing changed, or patched after
+// append-only churn by re-drawing only watermark-invalidated samples.
 package sketch
 
 import (
@@ -28,6 +35,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"s3crm/internal/diffusion"
 	"s3crm/internal/rng"
@@ -95,15 +103,41 @@ type Config struct {
 	// reported metric actually is. Solve calls Score at most 32 times, on
 	// deployments it may mutate afterwards (do not retain).
 	Score func(*diffusion.Deployment) float64
+	// ScoreBatch, when non-nil, takes precedence over Score: it receives
+	// every candidate snapshot at once (independent deployments the callee
+	// may score concurrently; do not retain) and returns their rates in
+	// order. Candidate choice and the argmax tie-break are identical to the
+	// Score path, so the two select the same snapshot whenever the callee
+	// scores a deployment identically.
+	ScoreBatch func([]*diffusion.Deployment) []float64
 	// UniverseCap truncates the root-sampling domain (0 means 1<<18 nodes).
 	UniverseCap int
 	// MinSamples and MaxSamples bound the per-collection doubling schedule
 	// (0 means 256 and 1<<19). MaxSamples caps an uncertifiable instance;
 	// Result.Certified reports whether the target was met.
 	MinSamples, MaxSamples int
+	// Workers caps the goroutines sample extension, gate-DP prefill and
+	// ScoreBatch fan-out may use (≤1 means sequential). Draws are keyed by
+	// sample index, never by worker, so every worker count produces
+	// byte-identical collections and bit-identical Results.
+	Workers int
+	// Warm, when non-nil and compatible with this Config, seeds the solve
+	// with a pooled sample state from an earlier call instead of building
+	// from scratch. An exact, unchurned Warm replays the cold doubling
+	// schedule bit-identically (extension is prefix-preserving and the
+	// cover passes are prefix-limited). A churned Warm is used only under
+	// WarmApprox: its watermark-invalidated samples are re-drawn over the
+	// patched graph and the rest reused, which is ε-accurate rather than
+	// bit-exact because the root universe stays frozen between full builds.
+	Warm *Warm
+	// WarmApprox permits reusing a Warm that is no longer bit-exact
+	// (churned since it was built). Resolve-style callers set it; plain
+	// Solve callers leave it false so pinned-seed solves stay reproducible.
+	WarmApprox bool
 	// OnRound, when non-nil, receives one callback per doubling round with
-	// the total samples drawn and the relative bound gap 1 − LB/UB.
-	OnRound func(round, samples int, gap float64)
+	// the total samples drawn, the relative bound gap 1 − LB/UB, and the
+	// cumulative nanoseconds spent building samples.
+	OnRound func(round, samples int, gap float64, buildNs int64)
 	// Ctx aborts the solve between rounds when cancelled.
 	Ctx context.Context
 }
@@ -121,10 +155,15 @@ type Step struct {
 type Result struct {
 	Deployment *diffusion.Deployment
 	Rounds     int     // doubling rounds run
-	Samples    int     // total samples drawn across both collections
+	Samples    int     // total samples visible to the final round, both collections
 	LB, UB     float64 // final benefit bounds on the sketch objective
 	Certified  bool    // the (1−1/e−ε, δ) target was met before MaxSamples
 	Steps      []Step  // the selected prefix of greedy moves
+	Workers    int     // effective worker cap the build ran under
+	BuildNs    int64   // nanoseconds spent drawing/patching samples
+	Reused     int     // samples reused from a churned Warm (patch path)
+	Redrawn    int     // samples re-drawn from a churned Warm (patch path)
+	Warm       *Warm   // poolable sample state for a later compatible call
 }
 
 // Solve grows the two SSR sample collections through doubling rounds until
@@ -166,18 +205,52 @@ func Solve(cfg Config) (*Result, error) {
 	if tol < 0 {
 		tol = 0
 	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
 
-	res := &Result{Deployment: diffusion.NewDeployment(n)}
-	u := buildUniverse(cfg.Inst, cfg.Pivots, ucap)
-	if len(cfg.Pivots) == 0 || u.total <= 0 {
-		// Nothing affordable or nothing worth activating: the empty
-		// deployment is optimal and needs no samples to certify.
+	res := &Result{Deployment: diffusion.NewDeployment(n), Workers: workers}
+	if len(cfg.Pivots) == 0 {
+		// Nothing affordable: the empty deployment is optimal and needs no
+		// samples to certify.
 		res.Certified = true
 		return res, nil
 	}
-	ga := newGates(cfg.Inst)
-	st1 := newStore(cfg.Inst, u, ga, rng.DeriveStream(cfg.Seed, streamSelect), lt)
-	st2 := newStore(cfg.Inst, u, ga, rng.DeriveStream(cfg.Seed, streamValidate), lt)
+	sig := pivotSig(cfg.Pivots)
+
+	// Bind the sample state: an exact pooled Warm replays the cold schedule
+	// bit-identically; a churned one (WarmApprox callers only) is patched —
+	// invalidated samples re-drawn, the rest reused; otherwise build cold.
+	var (
+		u          *universe
+		ga         *gates
+		st1, st2   *store
+		buildNs    int64
+		exactState = true
+	)
+	if w := cfg.Warm; w.usable(cfg.Inst, cfg.Seed, lt, ucap, theta0, thetaMax) {
+		if w.exact && !w.Dirty() && w.sig == sig {
+			u, ga, st1, st2 = w.u, w.ga, w.st1, w.st2
+		} else if cfg.WarmApprox {
+			start := time.Now()
+			w.patch()
+			buildNs += int64(time.Since(start))
+			res.Reused, res.Redrawn = w.Reused, w.Redrawn
+			u, ga, st1, st2 = w.u, w.ga, w.st1, w.st2
+			exactState = false
+		}
+	}
+	if st1 == nil {
+		u = buildUniverse(cfg.Inst, cfg.Pivots, ucap)
+		if u.total <= 0 {
+			res.Certified = true
+			return res, nil
+		}
+		ga = newGates(cfg.Inst)
+		st1 = newStore(cfg.Inst, u, ga, rng.DeriveStream(cfg.Seed, streamSelect), lt)
+		st2 = newStore(cfg.Inst, u, ga, rng.DeriveStream(cfg.Seed, streamValidate), lt)
+	}
 
 	// Confidence is split evenly across the worst-case round count
 	// (OPIM-C's δ/(3·imax) schedule), so the union bound over every round's
@@ -189,17 +262,29 @@ func Solve(cfg Config) (*Result, error) {
 	a := math.Log(3 * float64(imax) / cfg.Delta)
 	target := 1 - 1/math.E - cfg.Epsilon
 
+	// An exact warm starts the schedule over from theta0: extension no-ops
+	// until theta passes the pooled length and the cover passes are limited
+	// to the round's prefix, so the replay is bit-identical to the cold
+	// run. A patched warm skips straight to its pooled length — its earlier
+	// rounds already certified once and the patch preserved sample count.
+	thetaStart := theta0
+	if !exactState && st1.len() > thetaStart {
+		thetaStart = st1.len()
+	}
+
 	var moves []move
 	var cov2 []int
 	var scale float64
-	for theta, round := theta0, 1; ; theta, round = theta*2, round+1 {
-		st1.extend(theta)
-		st2.extend(theta)
+	for theta, round := thetaStart, 1; ; theta, round = theta*2, round+1 {
+		start := time.Now()
+		st1.extend(theta, workers)
+		st2.extend(theta, workers)
+		buildNs += int64(time.Since(start))
 		scale = u.total / float64(theta)
-		m := newMaximizer(cfg.Inst, st1, scale)
+		m := newMaximizer(cfg.Inst, st1, scale, theta)
 		m.run(cfg.Pivots)
 		moves = m.moves
-		cov2 = replay(moves, st2)
+		cov2 = replay(moves, st2, theta)
 		covSel := 0
 		if len(cov2) > 0 {
 			covSel = cov2[len(cov2)-1]
@@ -216,14 +301,14 @@ func Solve(cfg Config) (*Result, error) {
 		if lb > ub {
 			lb = ub
 		}
-		res.Rounds, res.Samples = round, st1.len()+st2.len()
+		res.Rounds, res.Samples = round, 2*theta
 		res.LB, res.UB = lb, ub
 		gap := 1.0
 		if ub > 0 {
 			gap = 1 - lb/ub
 		}
 		if cfg.OnRound != nil {
-			cfg.OnRound(round, res.Samples, gap)
+			cfg.OnRound(round, res.Samples, gap, buildNs)
 		}
 		// The cancellation check sits after the round report so a sink that
 		// cancels on what it just saw aborts here — before the certified
@@ -242,6 +327,7 @@ func Solve(cfg Config) (*Result, error) {
 			break
 		}
 	}
+	res.BuildNs = buildNs
 
 	// Snapshot selection: the paper's argmax-rate over the investment
 	// trajectory. With a forward scorer the argmax runs on exact
@@ -251,7 +337,7 @@ func Solve(cfg Config) (*Result, error) {
 	// later (larger) deployment.
 	bestIdx := len(moves) - 1
 	if !cfg.SpendBudget {
-		if cfg.Score != nil {
+		if cfg.ScoreBatch != nil || cfg.Score != nil {
 			bestIdx = selectForward(cfg, moves, cov2, scale, n, tol)
 		} else {
 			maxRate := 0.0
@@ -281,6 +367,12 @@ func Solve(cfg Config) (*Result, error) {
 			Benefit: scale * float64(cov2[i]), Cost: mv.cost,
 		})
 	}
+	res.Warm = &Warm{
+		inst: cfg.Inst, seed: cfg.Seed, lt: lt,
+		ucap: ucap, min: theta0, max: thetaMax, sig: sig,
+		u: u, ga: ga, st1: st1, st2: st2,
+		exact: exactState,
+	}
 	return res, nil
 }
 
@@ -291,7 +383,10 @@ func Solve(cfg Config) (*Result, error) {
 const maxScored = 32
 
 // selectForward picks the snapshot index by forward-measured rate over a
-// bounded candidate set of greedy prefixes.
+// bounded candidate set of greedy prefixes. The ScoreBatch path hands every
+// candidate out at once (each an independent clone of the greedy prefix)
+// and runs the identical argmax over the returned rates, so batch and
+// one-at-a-time scoring select the same snapshot.
 func selectForward(cfg Config, moves []move, cov2 []int, scale float64, n int, tol float64) int {
 	cand := make([]bool, len(moves))
 	if len(moves) <= maxScored {
@@ -318,17 +413,35 @@ func selectForward(cfg Config, moves []move, cov2 []int, scale float64, n int, t
 		cand[len(moves)-1] = true
 	}
 	d := diffusion.NewDeployment(n)
+	if cfg.ScoreBatch != nil {
+		var deps []*diffusion.Deployment
+		var idxs []int
+		for i, mv := range moves {
+			applyMove(d, mv)
+			if cand[i] {
+				deps = append(deps, d.Clone())
+				idxs = append(idxs, i)
+			}
+		}
+		scores := cfg.ScoreBatch(deps)
+		bestIdx, maxRate := len(moves)-1, 0.0
+		first := true
+		for j, i := range idxs {
+			r := scores[j]
+			if first || r > maxRate {
+				maxRate = r
+			}
+			if first || r >= maxRate*(1-tol) {
+				bestIdx = i
+			}
+			first = false
+		}
+		return bestIdx
+	}
 	bestIdx, maxRate := len(moves)-1, 0.0
 	first := true
 	for i, mv := range moves {
-		if mv.seed {
-			d.AddSeed(mv.node)
-			if int(mv.slotHi) > d.K(mv.node) {
-				d.SetK(mv.node, int(mv.slotHi))
-			}
-		} else {
-			d.AddK(mv.node, 1)
-		}
+		applyMove(d, mv)
 		if !cand[i] {
 			continue
 		}
@@ -344,15 +457,31 @@ func selectForward(cfg Config, moves []move, cov2 []int, scale float64, n int, t
 	return bestIdx
 }
 
-// replay marks each move's cover lists against an independent collection,
-// returning the cumulative covered count after every move — the unbiased
-// per-snapshot benefit estimates the selection pass cannot provide for
-// itself (its counts are optimized, hence biased upward).
-func replay(moves []move, st *store) []int {
-	covered := make([]bool, st.len())
+// applyMove replays one greedy move onto a deployment.
+func applyMove(d *diffusion.Deployment, mv move) {
+	if mv.seed {
+		d.AddSeed(mv.node)
+		if int(mv.slotHi) > d.K(mv.node) {
+			d.SetK(mv.node, int(mv.slotHi))
+		}
+	} else {
+		d.AddK(mv.node, 1)
+	}
+}
+
+// replay marks each move's cover lists against the first limit samples of
+// an independent collection, returning the cumulative covered count after
+// every move — the unbiased per-snapshot benefit estimates the selection
+// pass cannot provide for itself (its counts are optimized, hence biased
+// upward).
+func replay(moves []move, st *store, limit int) []int {
+	covered := make([]bool, limit)
 	cnt := 0
 	mark := func(list []int32) {
 		for _, s := range list {
+			if int(s) >= limit {
+				break // ascending sample order
+			}
 			if !covered[s] {
 				covered[s] = true
 				cnt++

@@ -172,7 +172,7 @@ func TestGapShrinksAcrossRounds(t *testing.T) {
 	res, err := Solve(Config{
 		Inst: inst, Pivots: standalonePivots(inst),
 		Seed: 11, Epsilon: 0.05, Delta: 0.01,
-		OnRound: func(round, s int, gap float64) {
+		OnRound: func(round, s int, gap float64, buildNs int64) {
 			gaps = append(gaps, gap)
 			samples = append(samples, s)
 		},

@@ -1,7 +1,11 @@
 package sketch
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"s3crm/internal/diffusion"
+	"s3crm/internal/graph"
 	"s3crm/internal/ris"
 	"s3crm/internal/rng"
 )
@@ -19,7 +23,9 @@ const kmax = 3
 // (sample, slot) pair owns a world, and the item keys below stay clear of
 // both forward edge indices and the forward substrates' LT node keys
 // (1<<40 | node), so no SSR draw can collide with an engine draw even under
-// a shared seed.
+// a shared seed. Because every draw is keyed by the global sample index —
+// never by a worker id — a sharded parallel build produces byte-identical
+// collections for any worker count.
 const (
 	worldsPerSample = kmax + 1
 	itemRoot        = uint64(1) << 41
@@ -103,21 +109,21 @@ const gateScan = 32
 // the sample distribution. α is computed from the capacity DP of
 // diffusion.RedeemProbs, probability-weighted over the root's strongest
 // in-edges, and depends only on the instance, so one cache serves both
-// sample collections.
+// sample collections. compute is pure given its scratch, so prefill can fan
+// cache fills across workers; a filled cache is read-only and safe to share
+// across draw shards.
 type gates struct {
 	inst  *diffusion.Instance
 	cache map[int32][]float64
-	dist  [kmax + 1]float64
 }
 
 func newGates(inst *diffusion.Instance) *gates {
 	return &gates{inst: inst, cache: make(map[int32][]float64)}
 }
 
-func (ga *gates) alphas(r int32) []float64 {
-	if a, ok := ga.cache[r]; ok {
-		return a
-	}
+// compute derives α for root r using the caller's DP scratch; it reads only
+// the instance, so concurrent calls with distinct scratches are safe.
+func (ga *gates) compute(r int32, dist *[kmax + 1]float64) []float64 {
 	g := ga.inst.G
 	a := make([]float64, kmax)
 	srcs, _ := g.InEdges(r)
@@ -132,7 +138,6 @@ func (ga *gates) alphas(r int32) []float64 {
 		// redeemed-count distribution for every capacity c <= kmax at once:
 		// dist[c] is exact for c < kmax (truncation only lumps states that
 		// are already over every capacity we read).
-		dist := &ga.dist
 		*dist = [kmax + 1]float64{}
 		dist[0] = 1
 		for m := 0; m < j; m++ {
@@ -164,8 +169,69 @@ func (ga *gates) alphas(r int32) []float64 {
 			a[c] = 0
 		}
 	}
+	return a
+}
+
+func (ga *gates) alphas(r int32) []float64 {
+	if a, ok := ga.cache[r]; ok {
+		return a
+	}
+	var dist [kmax + 1]float64
+	a := ga.compute(r, &dist)
 	ga.cache[r] = a
 	return a
+}
+
+// prefill computes and caches α for every distinct uncached root in roots,
+// fanning the capacity DPs across workers with per-worker scratch. Cache
+// insertion happens on the calling goroutine, so after prefill the cache is
+// read-only for the draw shards.
+func (ga *gates) prefill(roots []int32, workers int) {
+	var need []int32
+	seen := make(map[int32]bool)
+	for _, r := range roots {
+		if seen[r] {
+			continue
+		}
+		seen[r] = true
+		if _, ok := ga.cache[r]; !ok {
+			need = append(need, r)
+		}
+	}
+	if len(need) == 0 {
+		return
+	}
+	if workers > len(need) {
+		workers = len(need)
+	}
+	if workers <= 1 {
+		var dist [kmax + 1]float64
+		for _, r := range need {
+			ga.cache[r] = ga.compute(r, &dist)
+		}
+		return
+	}
+	out := make([][]float64, len(need))
+	var wg sync.WaitGroup
+	next := int64(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var dist [kmax + 1]float64
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(need) {
+					return
+				}
+				out[i] = ga.compute(need[i], &dist)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, r := range need {
+		ga.cache[r] = out[i]
+	}
 }
 
 // store is one SSR sample collection. Sample i consists of a
@@ -177,28 +243,38 @@ func (ga *gates) alphas(r int32) []float64 {
 // answer the maximizer's "which samples does this move cover" and the
 // forward lists its exact cover-degree decrements. All draws are keyed by
 // sample index, so extending the store is deterministic and
-// prefix-preserving — a doubling round reuses every earlier sample.
+// prefix-preserving — a doubling round reuses every earlier sample — and a
+// worker-sharded extension (contiguous sample ranges per worker, merged in
+// sample order) is byte-identical to the sequential build.
+//
+// marks holds the per-sample max-touched-key watermark: the number of keyed
+// edges that existed when the sample was (re)drawn. The append-only key
+// space makes it the reuse certificate after churn — an appended edge can
+// only perturb a sample if its key is at or past the sample's watermark and
+// it touches a row the sample's reverse walks read (see Warm).
 type store struct {
 	u      *universe
 	ga     *gates
 	coin   rng.Coin
+	g      *graph.Graph
 	walker *ris.Walker
+	extra  []*ris.Walker // per-shard walkers beyond walker, grown lazily
 	lt     bool
 
 	roots []int32 // per-sample root
+	marks []int64 // per-sample watermark: keyed-edge count at draw time
 	arena []int32 // concatenated slot member lists (roots excluded)
 	offs  []int64 // len = numSamples·kmax + 1
 
 	rootCover map[int32][]int32       // node -> samples rooted at it
 	slotCover [kmax]map[int32][]int32 // slot -> node -> samples covered
-
-	scratch []int32
 }
 
 func newStore(inst *diffusion.Instance, u *universe, ga *gates, seed uint64, lt bool) *store {
 	st := &store{
 		u: u, ga: ga,
 		coin:      rng.NewCoin(seed),
+		g:         inst.G,
 		walker:    ris.NewWalker(inst.G),
 		lt:        lt,
 		offs:      make([]int64, 1),
@@ -212,21 +288,187 @@ func newStore(inst *diffusion.Instance, u *universe, ga *gates, seed uint64, lt 
 
 func (st *store) len() int { return len(st.roots) }
 
-// extend draws samples until the store holds target of them.
-func (st *store) extend(target int) {
+// retarget points the store's draw machinery at inst's (extended) graph;
+// existing samples keep their draws — the stable per-edge coin keys make a
+// redraw over the new graph reproduce every walk that never touched an
+// appended row.
+func (st *store) retarget(inst *diffusion.Instance) {
+	st.g = inst.G
+	st.walker = ris.NewWalker(inst.G)
+	st.extra = nil
+}
+
+// shardMinSamples is the smallest per-shard sample count worth a goroutine:
+// below it, shard setup and the merge copy dominate the draws.
+const shardMinSamples = 64
+
+// shardDraw is one worker's slice of an extension: a contiguous sample
+// range's member arena, per-slot offsets and inverted postings, all local
+// to the shard. Shards merge in worker order — ascending sample order — so
+// the merged store is byte-identical to a sequential build.
+type shardDraw struct {
+	arena []int32
+	offs  []int64 // shard-relative; entry per (sample, slot)
+	post  [kmax]map[int32][]int32
+}
+
+// drawShard draws samples [lo, hi) with the given walker. It reads only
+// immutable store state (the universe, the prefilled gate cache, the roots
+// prefix and the stateless coin), so shards run concurrently.
+func (st *store) drawShard(lo, hi int, wk *ris.Walker) *shardDraw {
+	sd := &shardDraw{}
+	for c := range sd.post {
+		sd.post[c] = make(map[int32][]int32)
+	}
 	live := func(world, e uint64, p float64) bool { return st.coin.Live(world, e, p) }
 	unif := func(world uint64, node int32) float64 {
 		return st.coin.Flip(world, itemLTBase|uint64(uint32(node)))
 	}
-	for i := st.len(); i < target; i++ {
-		w0 := uint64(i) * worldsPerSample
-		root := st.u.pick(st.coin.Flip(w0, itemRoot))
-		st.roots = append(st.roots, root)
-		st.rootCover[root] = append(st.rootCover[root], int32(i))
+	var scratch []int32
+	for i := lo; i < hi; i++ {
+		root := st.roots[i]
 		alphas := st.ga.alphas(root)
+		w0 := uint64(i) * worldsPerSample
 		for c := 0; c < kmax; c++ {
 			w := w0 + uint64(c)
-			members := st.scratch[:0]
+			members := scratch[:0]
+			if st.coin.Flip(w, itemGate) < alphas[c] {
+				if st.lt {
+					members = wk.DrawLT(members, root, w, unif)
+				} else {
+					members = wk.Draw(members, root, w, live, false)
+				}
+			}
+			for _, v := range members {
+				if v == root {
+					continue // the root's own coupons never activate the root
+				}
+				sd.arena = append(sd.arena, v)
+				sd.post[c][v] = append(sd.post[c][v], int32(i))
+			}
+			sd.offs = append(sd.offs, int64(len(sd.arena)))
+			scratch = members
+		}
+	}
+	return sd
+}
+
+// shardWalker returns the walker for shard k, growing the lazily allocated
+// pool; walkers are not safe for concurrent use, so each shard owns one.
+func (st *store) shardWalker(k int) *ris.Walker {
+	if k == 0 {
+		return st.walker
+	}
+	for len(st.extra) < k {
+		st.extra = append(st.extra, ris.NewWalker(st.g))
+	}
+	return st.extra[k-1]
+}
+
+// extend draws samples until the store holds target of them, sharding the
+// draws across up to workers goroutines. Roots are assigned sequentially
+// (cheap benefit-proportional picks, and the inverted root postings must
+// append in sample order), the gate DPs prefill in parallel, and the walk
+// shards merge in worker order, so the result is byte-identical for any
+// worker count.
+func (st *store) extend(target, workers int) {
+	lo := st.len()
+	if target <= lo {
+		return
+	}
+	mark := int64(st.g.NumEdges())
+	for i := lo; i < target; i++ {
+		root := st.u.pick(st.coin.Flip(uint64(i)*worldsPerSample, itemRoot))
+		st.roots = append(st.roots, root)
+		st.marks = append(st.marks, mark)
+		st.rootCover[root] = append(st.rootCover[root], int32(i))
+	}
+	st.ga.prefill(st.roots[lo:], workers)
+
+	n := target - lo
+	w := workers
+	if w > n/shardMinSamples {
+		w = n / shardMinSamples
+	}
+	if w < 1 {
+		w = 1
+	}
+	shards := make([]*shardDraw, w)
+	if w == 1 {
+		shards[0] = st.drawShard(lo, target, st.walker)
+	} else {
+		var wg sync.WaitGroup
+		per, extra := n/w, n%w
+		start := lo
+		for k := 0; k < w; k++ {
+			count := per
+			if k < extra {
+				count++
+			}
+			slo, shi := start, start+count
+			start = shi
+			wk := st.shardWalker(k)
+			wg.Add(1)
+			go func(k, slo, shi int, wk *ris.Walker) {
+				defer wg.Done()
+				shards[k] = st.drawShard(slo, shi, wk)
+			}(k, slo, shi, wk)
+		}
+		wg.Wait()
+	}
+	for _, sd := range shards {
+		base := int64(len(st.arena))
+		st.arena = append(st.arena, sd.arena...)
+		for _, o := range sd.offs {
+			st.offs = append(st.offs, base+o)
+		}
+		for c := 0; c < kmax; c++ {
+			for v, list := range sd.post[c] {
+				st.slotCover[c][v] = append(st.slotCover[c][v], list...)
+			}
+		}
+	}
+}
+
+// rebuild re-packs the arena, offsets and inverted postings after churn:
+// samples not marked bad are copied bit-for-bit, bad ones are re-drawn over
+// the (re-targeted) graph with their original sample-index keys — exactly
+// the draw a cold build at the same index would make over the new rows.
+// Roots and their postings are untouched: the root-sampling universe stays
+// frozen between full builds, so sample i's root never moves.
+func (st *store) rebuild(bad []bool) (reused, redrawn int) {
+	mark := int64(st.g.NumEdges())
+	live := func(world, e uint64, p float64) bool { return st.coin.Live(world, e, p) }
+	unif := func(world uint64, node int32) float64 {
+		return st.coin.Flip(world, itemLTBase|uint64(uint32(node)))
+	}
+	arena := make([]int32, 0, len(st.arena))
+	offs := make([]int64, 1, cap(st.offs))
+	var sc [kmax]map[int32][]int32
+	for c := range sc {
+		sc[c] = make(map[int32][]int32, len(st.slotCover[c]))
+	}
+	var scratch []int32
+	for i := 0; i < st.len(); i++ {
+		if !bad[i] {
+			reused++
+			for c := 0; c < kmax; c++ {
+				for _, v := range st.members(i, c) {
+					arena = append(arena, v)
+					sc[c][v] = append(sc[c][v], int32(i))
+				}
+				offs = append(offs, int64(len(arena)))
+			}
+			continue
+		}
+		redrawn++
+		st.marks[i] = mark
+		root := st.roots[i]
+		alphas := st.ga.alphas(root)
+		w0 := uint64(i) * worldsPerSample
+		for c := 0; c < kmax; c++ {
+			w := w0 + uint64(c)
+			members := scratch[:0]
 			if st.coin.Flip(w, itemGate) < alphas[c] {
 				if st.lt {
 					members = st.walker.DrawLT(members, root, w, unif)
@@ -236,15 +478,17 @@ func (st *store) extend(target int) {
 			}
 			for _, v := range members {
 				if v == root {
-					continue // the root's own coupons never activate the root
+					continue
 				}
-				st.arena = append(st.arena, v)
-				st.slotCover[c][v] = append(st.slotCover[c][v], int32(i))
+				arena = append(arena, v)
+				sc[c][v] = append(sc[c][v], int32(i))
 			}
-			st.offs = append(st.offs, int64(len(st.arena)))
-			st.scratch = members
+			offs = append(offs, int64(len(arena)))
+			scratch = members
 		}
 	}
+	st.arena, st.offs, st.slotCover = arena, offs, sc
+	return reused, redrawn
 }
 
 // members returns sample i's slot-c member list.

@@ -68,9 +68,11 @@ func (c config) apply(opts []Option) (config, error) {
 // or "ssr" (the SSR sketch *solver*: S3CA's seed/coupon selection runs
 // against reverse-sample cover counts under an adaptive (1−1/e−ε) stopping
 // rule tuned by WithEpsilon and WithDelta, and only the final deployment is
-// measured forward). See Engines and DESIGN.md ("Evaluation engines", "SSR
-// sketch solver"). The engine name is validated eagerly, at NewCampaign or
-// at the call that carries the option.
+// measured forward). "auto" defers the choice to instance size, resolving to
+// "ssr" at or above 200k users / 2M edges and "worldcache" below, re-checked
+// per call as ApplyEdges grows the network. See Engines and DESIGN.md
+// ("Evaluation engines", "SSR sketch solver"). The engine name is validated
+// eagerly, at NewCampaign or at the call that carries the option.
 func WithEngine(name string) Option {
 	return func(c *config) error {
 		if name == "" {
@@ -223,9 +225,12 @@ func WithSeed(seed uint64) Option {
 	}
 }
 
-// WithWorkers parallelizes Monte-Carlo evaluation inside a call (0 =
-// sequential). Parallel evaluation is bit-identical to sequential — worlds
-// are stateless — so workers only trade memory for speed.
+// WithWorkers parallelizes evaluation inside a call (0 = sequential): the
+// Monte-Carlo world sweep under the forward engines, and the sample
+// extension, gate-DP prefill and snapshot scoring under the ssr engine.
+// Parallel evaluation is bit-identical to sequential — worlds are stateless,
+// and ssr keys every sample's random stream by its global sample index, never
+// by the worker that drew it — so workers only trade memory for speed.
 func WithWorkers(n int) Option {
 	return func(c *config) error {
 		if n < 0 {

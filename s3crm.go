@@ -51,7 +51,10 @@
 // seed/coupon selection runs against reverse-sample cover counts and an
 // adaptive stopping rule certifies a (1−1/e−ε) approximation of the sketch
 // objective with probability 1−δ, tuned by WithEpsilon and WithDelta; only
-// the final deployment is forward-measured). All engines agree on reported
+// the final deployment is forward-measured). WithEngine("auto") defers the
+// choice to instance size: ssr at or above 200k users / 2M edges, worldcache
+// below — the crossover where reverse sampling overtakes forward world
+// replay in the benchmark suite. All engines agree on reported
 // metrics within Monte-Carlo noise, and every
 // engine serves both triggering models — WithModel("ic"), the default
 // independent cascade, or WithModel("lt"), linear threshold via its
@@ -356,6 +359,18 @@ type Result struct {
 	// requested by the campaign's degradation hook (graceful degradation
 	// under serving overload; see WithDegradation and cmd/s3crmd).
 	Degraded bool `json:"degraded"`
+
+	// SketchWorkers and SketchBuildNs instrument the SSR engine's sample
+	// build: the worker cap the sharded extension ran under and the
+	// nanoseconds it spent drawing or patching samples. SketchReused and
+	// SketchRedrawn report a warm re-solve's sample economy (Campaign.Resolve
+	// under the ssr engine): how many pooled samples survived the churn
+	// watermark check and how many had to be re-drawn. All four are zero —
+	// and absent from the JSON encoding — for other engines.
+	SketchWorkers int   `json:"sketch_workers,omitempty"`
+	SketchBuildNs int64 `json:"sketch_build_ns,omitempty"`
+	SketchReused  int   `json:"sketch_reused,omitempty"`
+	SketchRedrawn int   `json:"sketch_redrawn,omitempty"`
 }
 
 // Baselines lists the algorithm names accepted by RunBaseline.
@@ -363,6 +378,10 @@ func Baselines() []string { return []string{"IM-U", "IM-L", "PM-U", "PM-L", "IM-
 
 // Engines lists the evaluation engines accepted by WithEngine.
 func Engines() []string { return diffusion.Engines() }
+
+// EngineUsage is a one-line synopsis of the engines Engines lists, shared by
+// the CLIs' flag help and the daemon's /info payload.
+func EngineUsage() string { return diffusion.EngineUsage() }
 
 // Models lists the triggering models accepted by WithModel: "ic"
 // (independent cascade, the default) and "lt" (linear threshold via its

@@ -8,6 +8,7 @@ package s3crm
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"s3crm/internal/core"
@@ -105,6 +106,94 @@ func TestSSRDeterminism(t *testing.T) {
 		if a.Stats.SketchRounds != b.Stats.SketchRounds || a.Stats.SketchSamples != b.Stats.SketchSamples {
 			t.Errorf("model %s: sample schedules differ under the same seed: %d/%d vs %d/%d",
 				model, a.Stats.SketchRounds, a.Stats.SketchSamples, b.Stats.SketchRounds, b.Stats.SketchSamples)
+		}
+	}
+}
+
+// TestSSRParallelBitIdentical: the ssr engine's answers must not depend on
+// the Workers knob — parallelism lives in the sharded sample build, the
+// gate-DP prefill and the fan-out of snapshot scoring, all of which are
+// bit-stable by construction (sample-index-keyed streams; scoring always on
+// sequential estimator views). The solver is driven at the core layer with
+// an injected sequential evaluator so the one worker-dependent piece — the
+// forward engines' chunked world-sweep summation — is pinned, isolating the
+// ssr build itself.
+func TestSSRParallelBitIdentical(t *testing.T) {
+	inst, err := eval.BuildInstance(eval.Setup{Preset: gen.Facebook, Scale: 20, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range []string{diffusion.ModelIC, diffusion.ModelLT} {
+		for _, diff := range []string{diffusion.DiffusionLiveEdge, diffusion.DiffusionHash} {
+			t.Run(model+"-"+diff, func(t *testing.T) {
+				solve := func(workers int) *core.Solution {
+					ev, err := diffusion.NewEngineOpts(inst, diffusion.EngineOptions{
+						Engine: diffusion.EngineMC, Model: model, Diffusion: diff,
+						Samples: 500, Seed: 13,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					sol, err := core.Solve(inst, core.Options{
+						Engine: diffusion.EngineSSR, Model: model, Diffusion: diff,
+						Samples: 500, Seed: 13, Epsilon: 0.1, Delta: 0.01,
+						Workers: workers, Evaluator: ev,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					// The worker cap and build wall-clock are the only fields
+					// allowed to vary; everything else must be bit-identical.
+					sol.Stats.SketchWorkers, sol.Stats.SketchBuildNs = 0, 0
+					sol.SketchWarm = nil
+					return sol
+				}
+				base := solve(1)
+				for _, w := range []int{2, 3, 8} {
+					sol := solve(w)
+					if !sol.Deployment.Equal(base.Deployment) {
+						t.Fatalf("workers=%d: deployment diverged", w)
+					}
+					if sol.Benefit != base.Benefit || sol.RedemptionRate != base.RedemptionRate ||
+						sol.TotalCost != base.TotalCost {
+						t.Fatalf("workers=%d: metrics diverged: %+v vs %+v", w, sol, base)
+					}
+					if !reflect.DeepEqual(sol.Stats, base.Stats) {
+						t.Fatalf("workers=%d: stats diverged:\n%+v\nvs\n%+v", w, sol.Stats, base.Stats)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSSRCampaignWorkersParity runs the same contract through the public
+// campaign surface: WithWorkers may change only the build instrumentation
+// and the last-ulp noise of the final forward measurement (whose world sweep
+// is chunked per worker), never the selected deployment.
+func TestSSRCampaignWorkersParity(t *testing.T) {
+	p := parityProblem(t)
+	solve := func(workers int) *Result {
+		c, err := p.NewCampaign(WithEngine("ssr"), WithSamples(300), WithSeed(7),
+			WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := c.Solve(t.Context(), WithSeed(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	base := solve(0)
+	for _, w := range []int{2, 8} {
+		r := solve(w)
+		if !reflect.DeepEqual(r.Seeds, base.Seeds) || !reflect.DeepEqual(r.Coupons, base.Coupons) {
+			t.Fatalf("workers=%d: deployment diverged:\n%+v\nvs\n%+v", w, r, base)
+		}
+		if math.Abs(r.RedemptionRate-base.RedemptionRate) > 1e-9*base.RedemptionRate {
+			t.Fatalf("workers=%d: rate diverged beyond summation noise: %v vs %v",
+				w, r.RedemptionRate, base.RedemptionRate)
 		}
 	}
 }
